@@ -1,0 +1,535 @@
+//! The backward sweep: one VJP per recorded op.
+
+use crate::graph::{Graph, Id, Node, Op, Var};
+use std::rc::Rc;
+use stwa_tensor::{linalg, Result, Tensor, TensorError};
+
+impl Graph {
+    /// Run reverse-mode differentiation from `loss` (which must hold a
+    /// single element), filling each reachable gradient-requiring node's
+    /// `grad`.
+    ///
+    /// *Leaf* gradients accumulate across calls (PyTorch-style); use
+    /// [`Graph::zero_grads`] to reset them. Intermediate gradients are
+    /// per-sweep scratch and are cleared at the start of each call.
+    pub fn backward(&self, loss: &Var) -> Result<()> {
+        if !Rc::ptr_eq(&self.inner, &loss.graph.inner) {
+            return Err(TensorError::Invalid(
+                "backward: loss belongs to a different graph".into(),
+            ));
+        }
+        {
+            let nodes = self.inner.borrow();
+            let value = &nodes[loss.id].value;
+            if value.len() != 1 {
+                return Err(TensorError::Invalid(format!(
+                    "backward: loss must be a single element, got shape {:?}",
+                    value.shape()
+                )));
+            }
+        }
+        let mut nodes = self.inner.borrow_mut();
+        // Leaf gradients accumulate across backward calls (PyTorch-style),
+        // but *intermediate* gradients are per-sweep scratch: stale values
+        // from a previous backward would re-propagate and double-count.
+        for node in nodes.iter_mut() {
+            if !matches!(node.op, Op::Leaf) {
+                node.grad = None;
+            }
+        }
+        seed(&mut nodes, loss.id);
+        // Node ids are a topological order (ops only reference earlier
+        // ids), so a reverse sweep visits every node after all of its
+        // consumers.
+        for id in (0..=loss.id).rev() {
+            if !nodes[id].requires_grad {
+                continue;
+            }
+            // Take the gradient out instead of cloning it: this node is
+            // fully accumulated (all consumers have higher ids and were
+            // already visited), and `propagate` only writes to lower ids.
+            let Some(grad) = nodes[id].grad.take() else {
+                continue;
+            };
+            let op = nodes[id].op.clone();
+            let out_value = Rc::clone(&nodes[id].value);
+            propagate(&mut nodes, &op, &grad, &out_value)?;
+            nodes[id].grad = Some(grad);
+        }
+        Ok(())
+    }
+}
+
+fn seed(nodes: &mut [Node], id: Id) {
+    let shape = nodes[id].value.shape().to_vec();
+    // Accumulate rather than overwrite: when the loss node is itself a
+    // leaf, its gradient must keep accumulating across backward calls
+    // like every other leaf (non-leaf losses were just cleared, so this
+    // is equivalent to assignment for them).
+    let ones = Tensor::ones(&shape);
+    match &mut nodes[id].grad {
+        Some(existing) => {
+            existing.add_assign(&ones).expect("seed shape matches");
+        }
+        slot @ None => *slot = Some(ones),
+    }
+}
+
+fn accumulate(nodes: &mut [Node], id: Id, grad: Tensor) -> Result<()> {
+    if !nodes[id].requires_grad {
+        return Ok(());
+    }
+    match &mut nodes[id].grad {
+        Some(existing) => existing.add_assign(&grad),
+        slot @ None => {
+            *slot = Some(grad);
+            Ok(())
+        }
+    }
+}
+
+/// Sum `grad` down to `shape`, inverting broadcasting: extra leading axes
+/// are summed away and axes that were expanded from length 1 are summed
+/// back to length 1.
+fn reduce_to_shape(grad: &Tensor, shape: &[usize]) -> Result<Tensor> {
+    if grad.shape() == shape {
+        return Ok(grad.clone());
+    }
+    let mut g = grad.clone();
+    while g.rank() > shape.len() {
+        g = g.sum_axis(0, false)?;
+    }
+    for (axis, (&gs, &ts)) in g.shape().to_vec().iter().zip(shape.iter()).enumerate() {
+        if ts == 1 && gs != 1 {
+            g = g.sum_axis(axis, true)?;
+        }
+    }
+    if g.shape() != shape {
+        // Ranks matched but some axis disagreed without being 1: the
+        // forward op would have failed, so this indicates a bug.
+        return Err(TensorError::ShapeMismatch {
+            op: "reduce_to_shape",
+            lhs: grad.shape().to_vec(),
+            rhs: shape.to_vec(),
+        });
+    }
+    Ok(g)
+}
+
+fn value_of(nodes: &[Node], id: Id) -> Rc<Tensor> {
+    Rc::clone(&nodes[id].value)
+}
+
+fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result<()> {
+    match *op {
+        Op::Leaf => Ok(()),
+
+        Op::Add(a, b) => {
+            let ga = reduce_to_shape(grad, value_of(nodes, a).shape())?;
+            accumulate(nodes, a, ga)?;
+            let gb = reduce_to_shape(grad, value_of(nodes, b).shape())?;
+            accumulate(nodes, b, gb)
+        }
+
+        Op::Sub(a, b) => {
+            let ga = reduce_to_shape(grad, value_of(nodes, a).shape())?;
+            accumulate(nodes, a, ga)?;
+            let gb = reduce_to_shape(&grad.neg(), value_of(nodes, b).shape())?;
+            accumulate(nodes, b, gb)
+        }
+
+        Op::Mul(a, b) => {
+            let av = value_of(nodes, a);
+            let bv = value_of(nodes, b);
+            let ga = reduce_to_shape(&grad.mul(&bv)?, av.shape())?;
+            accumulate(nodes, a, ga)?;
+            let gb = reduce_to_shape(&grad.mul(&av)?, bv.shape())?;
+            accumulate(nodes, b, gb)
+        }
+
+        Op::Div(a, b) => {
+            let av = value_of(nodes, a);
+            let bv = value_of(nodes, b);
+            // d(a/b)/da = 1/b ; d(a/b)/db = -a/b^2
+            let ga = reduce_to_shape(&grad.div(&bv)?, av.shape())?;
+            accumulate(nodes, a, ga)?;
+            let b2 = bv.square();
+            let gb_full = grad.mul(&av)?.div(&b2)?.neg();
+            let gb = reduce_to_shape(&gb_full, bv.shape())?;
+            accumulate(nodes, b, gb)
+        }
+
+        Op::Neg(x) => accumulate(nodes, x, grad.neg()),
+
+        // exp'(x) = exp(x) = out
+        Op::Exp(x) => accumulate(nodes, x, grad.mul(out)?),
+
+        // ln'(x) = 1/x
+        Op::Ln(x) => {
+            let xv = value_of(nodes, x);
+            accumulate(nodes, x, grad.div(&xv)?)
+        }
+
+        // sqrt'(x) = 1 / (2 sqrt(x)) = 1 / (2 out)
+        Op::Sqrt(x) => {
+            let gx = grad.div(&out.mul_scalar(2.0))?;
+            accumulate(nodes, x, gx)
+        }
+
+        // tanh'(x) = 1 - out^2
+        Op::Tanh(x) => {
+            let gx = grad.mul(&out.square().affine(-1.0, 1.0))?;
+            accumulate(nodes, x, gx)
+        }
+
+        // sigmoid'(x) = out (1 - out)
+        Op::Sigmoid(x) => {
+            let gx = grad.mul(&out.mul(&out.affine(-1.0, 1.0))?)?;
+            accumulate(nodes, x, gx)
+        }
+
+        Op::Relu(x) => {
+            let xv = value_of(nodes, x);
+            let mask = xv.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+            accumulate(nodes, x, grad.mul(&mask)?)
+        }
+
+        Op::Abs(x) => {
+            let xv = value_of(nodes, x);
+            let sign = xv.map(|v| {
+                if v > 0.0 {
+                    1.0
+                } else if v < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            });
+            accumulate(nodes, x, grad.mul(&sign)?)
+        }
+
+        Op::Square(x) => {
+            let xv = value_of(nodes, x);
+            accumulate(nodes, x, grad.mul(&xv.mul_scalar(2.0))?)
+        }
+
+        Op::AddScalar(x) => accumulate(nodes, x, grad.clone()),
+
+        Op::MulScalar(x, s) => accumulate(nodes, x, grad.mul_scalar(s)),
+
+        Op::Matmul(a, b) => {
+            let av = value_of(nodes, a);
+            let bv = value_of(nodes, b);
+            // dA = g @ B^T, reduced over broadcast batch dims; dB = A^T @ g.
+            let ga_full = linalg::matmul(grad, &bv.transpose_last2()?)?;
+            accumulate(nodes, a, reduce_to_shape(&ga_full, av.shape())?)?;
+            let gb_full = linalg::matmul(&av.transpose_last2()?, grad)?;
+            accumulate(nodes, b, reduce_to_shape(&gb_full, bv.shape())?)
+        }
+
+        Op::SumAxis { x, axis, keepdim } => {
+            let xv = value_of(nodes, x);
+            let g = if keepdim {
+                grad.clone()
+            } else {
+                grad.unsqueeze(axis)?
+            };
+            accumulate(nodes, x, g.broadcast_to(xv.shape())?)
+        }
+
+        Op::MeanAxis { x, axis, keepdim } => {
+            let xv = value_of(nodes, x);
+            let n = xv.shape()[axis] as f32;
+            let g = if keepdim {
+                grad.clone()
+            } else {
+                grad.unsqueeze(axis)?
+            };
+            accumulate(nodes, x, g.broadcast_to(xv.shape())?.mul_scalar(1.0 / n))
+        }
+
+        Op::SumAll(x) => {
+            let xv = value_of(nodes, x);
+            let g = grad.item()?;
+            accumulate(nodes, x, Tensor::full(xv.shape(), g))
+        }
+
+        Op::MeanAll(x) => {
+            let xv = value_of(nodes, x);
+            let g = grad.item()? / xv.len() as f32;
+            accumulate(nodes, x, Tensor::full(xv.shape(), g))
+        }
+
+        // Softmax Jacobian-vector product:
+        //   dx = y * (g - sum(g * y, axis))
+        Op::Softmax { x, axis } => {
+            let gy = grad.mul(out)?;
+            let s = gy.sum_axis(axis, true)?;
+            let gx = out.mul(&grad.sub(&s.broadcast_to(grad.shape())?)?)?;
+            accumulate(nodes, x, gx)
+        }
+
+        Op::Reshape(x) => {
+            let xv = value_of(nodes, x);
+            accumulate(nodes, x, grad.reshape(xv.shape())?)
+        }
+
+        Op::Permute { x, ref perm } => {
+            // Invert the permutation: output axis i came from input axis
+            // perm[i], so grad axis perm[i] must go back to axis i.
+            let mut inverse = vec![0usize; perm.len()];
+            for (i, &p) in perm.iter().enumerate() {
+                inverse[p] = i;
+            }
+            accumulate(nodes, x, grad.permute(&inverse)?)
+        }
+
+        Op::Concat { ref xs, axis } => {
+            let mut start = 0;
+            for &x in xs {
+                let len = value_of(nodes, x).shape()[axis];
+                let gx = grad.narrow(axis, start, len)?;
+                accumulate(nodes, x, gx)?;
+                start += len;
+            }
+            Ok(())
+        }
+
+        Op::Narrow { x, axis, start } => {
+            // Scatter the gradient back into a zero tensor of the input
+            // shape at the narrowed range.
+            let xv = value_of(nodes, x);
+            let len = grad.shape()[axis];
+            let axis_len = xv.shape()[axis];
+            let outer: usize = xv.shape()[..axis].iter().product();
+            let inner: usize = xv.shape()[axis + 1..].iter().product();
+            let mut gx = Tensor::zeros(xv.shape());
+            let dst = gx.data_mut();
+            for o in 0..outer {
+                let src_base = o * len * inner;
+                let dst_base = o * axis_len * inner + start * inner;
+                dst[dst_base..dst_base + len * inner]
+                    .copy_from_slice(&grad.data()[src_base..src_base + len * inner]);
+            }
+            accumulate(nodes, x, gx)
+        }
+
+        Op::IndexSelect {
+            x,
+            axis,
+            ref indices,
+        } => {
+            // Scatter-add: repeated indices accumulate their gradients.
+            let xv = value_of(nodes, x);
+            let axis_len = xv.shape()[axis];
+            let outer: usize = xv.shape()[..axis].iter().product();
+            let inner: usize = xv.shape()[axis + 1..].iter().product();
+            let mut gx = Tensor::zeros(xv.shape());
+            let dst = gx.data_mut();
+            for o in 0..outer {
+                for (j, &i) in indices.iter().enumerate() {
+                    let src_base = (o * indices.len() + j) * inner;
+                    let dst_base = (o * axis_len + i) * inner;
+                    for t in 0..inner {
+                        dst[dst_base + t] += grad.data()[src_base + t];
+                    }
+                }
+            }
+            accumulate(nodes, x, gx)
+        }
+
+        Op::BroadcastTo(x) => {
+            let xv = value_of(nodes, x);
+            accumulate(nodes, x, reduce_to_shape(grad, xv.shape())?)
+        }
+
+        Op::WhereMask { ref mask, a, b } => {
+            let ga = grad.mul(mask)?;
+            accumulate(nodes, a, reduce_to_shape(&ga, value_of(nodes, a).shape())?)?;
+            let inv = mask.affine(-1.0, 1.0);
+            let gb = grad.mul(&inv)?;
+            accumulate(nodes, b, reduce_to_shape(&gb, value_of(nodes, b).shape())?)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn sum_of_squares_gradient() {
+        let g = Graph::new();
+        let x = g.leaf(t(&[1.0, -2.0, 3.0], &[3]));
+        let loss = x.square().unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(g.grad(&x).unwrap().data(), &[2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let g = Graph::new();
+        let x = g.leaf(t(&[2.0], &[1]));
+        let c = g.constant(t(&[3.0], &[1]));
+        let loss = x.mul(&c).unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(g.grad(&x).unwrap().data(), &[3.0]);
+        assert!(g.grad(&c).is_none());
+    }
+
+    #[test]
+    fn broadcast_add_reduces_grad() {
+        // loss = sum(x + b) with x: [2,3], b: [3] -> db = [2, 2, 2]
+        let g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[2, 3]));
+        let b = g.leaf(Tensor::zeros(&[3]));
+        let loss = x.add(&b).unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(g.grad(&b).unwrap().data(), &[2.0, 2.0, 2.0]);
+        assert_eq!(g.grad(&x).unwrap().shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        // loss = sum(A @ B); dA = 1 @ B^T (row sums of B broadcast), etc.
+        let g = Graph::new();
+        let a = g.leaf(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.leaf(t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]));
+        let loss = a.matmul(&b).unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        // dA[i, p] = sum_j B[p, j]
+        assert_eq!(g.grad(&a).unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        // dB[p, j] = sum_i A[i, p]
+        assert_eq!(g.grad(&b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_reuse() {
+        // loss = sum(x * x_detached + x) uses x twice: grads add.
+        let g = Graph::new();
+        let x = g.leaf(t(&[3.0], &[1]));
+        let y = x.add(&x).unwrap(); // dy/dx = 2
+        let loss = y.sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(g.grad(&x).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn leaf_loss_gradient_accumulates_across_backwards() {
+        // Degenerate but contract-bearing: backward on a leaf directly.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::scalar(2.0));
+        g.backward(&x).unwrap();
+        g.backward(&x).unwrap();
+        assert_eq!(g.grad(&x).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn backward_requires_single_element_loss() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[2]));
+        assert!(g.backward(&x).is_err());
+    }
+
+    #[test]
+    fn mean_all_scales_gradient() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[4]));
+        let loss = x.mean_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(g.grad(&x).unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn softmax_grad_sums_to_zero() {
+        // For loss = sum(w * softmax(x)), sum of dx over the softmax axis
+        // is 0 because softmax output sums to a constant.
+        let g = Graph::new();
+        let x = g.leaf(t(&[0.5, -1.0, 2.0], &[1, 3]));
+        let w = g.constant(t(&[1.0, 2.0, 3.0], &[1, 3]));
+        let loss = x.softmax(1).unwrap().mul(&w).unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        let dx = g.grad(&x).unwrap();
+        let s: f32 = dx.data().iter().sum();
+        assert!(s.abs() < 1e-6, "softmax grad should sum to ~0, got {s}");
+    }
+
+    #[test]
+    fn narrow_grad_scatters() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[4]));
+        let loss = x.narrow(0, 1, 2).unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(g.grad(&x).unwrap().data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn index_select_grad_accumulates_repeats() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[3]));
+        let loss = x.index_select(0, &[1, 1, 2]).unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(g.grad(&x).unwrap().data(), &[0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_grad_splits() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::zeros(&[2]));
+        let b = g.leaf(Tensor::zeros(&[3]));
+        let c = crate::ops::concat(&[&a, &b], 0).unwrap();
+        let w = g.constant(t(&[1.0, 2.0, 3.0, 4.0, 5.0], &[5]));
+        let loss = c.mul(&w).unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(g.grad(&a).unwrap().data(), &[1.0, 2.0]);
+        assert_eq!(g.grad(&b).unwrap().data(), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn where_mask_routes_gradients() {
+        let g = Graph::new();
+        let a = g.leaf(t(&[1.0, 1.0], &[2]));
+        let b = g.leaf(t(&[2.0, 2.0], &[2]));
+        let mask = t(&[1.0, 0.0], &[2]);
+        let out = a.where_mask(&mask, &b).unwrap();
+        assert_eq!(out.value().data(), &[1.0, 2.0]);
+        let loss = out.sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(g.grad(&a).unwrap().data(), &[1.0, 0.0]);
+        assert_eq!(g.grad(&b).unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn permute_grad_inverts() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_fn(&[2, 3], |i| (i[0] * 3 + i[1]) as f32));
+        let w = g.constant(Tensor::from_fn(&[3, 2], |i| (i[0] * 2 + i[1]) as f32));
+        let loss = x
+            .permute(&[1, 0])
+            .unwrap()
+            .mul(&w)
+            .unwrap()
+            .sum_all()
+            .unwrap();
+        g.backward(&loss).unwrap();
+        // Gradient of x[i,j] is w[j,i].
+        let dx = g.grad(&x).unwrap();
+        assert_eq!(dx.at(&[0, 1]), w.value().at(&[1, 0]));
+        assert_eq!(dx.at(&[1, 2]), w.value().at(&[2, 1]));
+    }
+
+    #[test]
+    fn detach_stops_gradient_flow() {
+        let g = Graph::new();
+        let x = g.leaf(t(&[2.0], &[1]));
+        let d = x.detach();
+        let loss = x.mul(&d).unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        // Through the detached branch the value acts as constant 2.0.
+        assert_eq!(g.grad(&x).unwrap().data(), &[2.0]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Finite-difference gradient verification.
+//!
+//! Every layer and every autograd op in the workspace is validated against
+//! central differences through this utility. Tolerances are loose-ish
+//! because everything is `f32`.
+
+use crate::graph::{Graph, Var};
+use stwa_tensor::{Result, Tensor};
+
+/// Outcome of a gradient check for a single input tensor.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric partials.
+    pub max_abs_err: f32,
+    /// Largest relative difference (scaled by `max(1, |numeric|)`).
+    pub max_rel_err: f32,
+    /// Number of partials compared.
+    pub count: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the analytic gradient matched within `tol` (relative).
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_err <= tol
+    }
+}
+
+/// Check the analytic gradient of `f` at `input` against central
+/// differences with step `eps`.
+///
+/// `f` must build a scalar loss from a gradient-requiring leaf on the
+/// provided graph. Typical usage:
+///
+/// ```
+/// use stwa_autograd::check_gradient;
+/// use stwa_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[3]).unwrap();
+/// let report = check_gradient(&x, 1e-3, |v| {
+///     v.tanh().square()?.sum_all()
+/// })
+/// .unwrap();
+/// assert!(report.passes(1e-2), "{report:?}");
+/// ```
+pub fn check_gradient(
+    input: &Tensor,
+    eps: f32,
+    f: impl Fn(&Var) -> Result<Var>,
+) -> Result<GradCheckReport> {
+    // Analytic gradient.
+    let graph = Graph::new();
+    let x = graph.leaf(input.clone());
+    let loss = f(&x)?;
+    graph.backward(&loss)?;
+    let analytic = graph
+        .grad(&x)
+        .unwrap_or_else(|| Tensor::zeros(input.shape()));
+
+    // Numeric gradient by central differences, one coordinate at a time.
+    let eval = |t: &Tensor| -> Result<f32> {
+        let g = Graph::new();
+        let v = g.constant(t.clone());
+        f(&v)?.value().item()
+    };
+    let mut max_abs_err = 0.0f32;
+    let mut max_rel_err = 0.0f32;
+    let n = input.len();
+    for i in 0..n {
+        let mut plus = input.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = input.clone();
+        minus.data_mut()[i] -= eps;
+        let numeric = (eval(&plus)? - eval(&minus)?) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let abs = (a - numeric).abs();
+        let rel = abs / numeric.abs().max(1.0);
+        max_abs_err = max_abs_err.max(abs);
+        max_rel_err = max_rel_err.max(rel);
+    }
+    Ok(GradCheckReport {
+        max_abs_err,
+        max_rel_err,
+        count: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f32 = 1e-2;
+    const TOL: f32 = 2e-2;
+
+    fn input(shape: &[usize], seed: u64) -> Tensor {
+        // Keep away from 0 so abs/relu/ln kinks and division are safe.
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::rand_uniform(shape, 0.3, 1.5, &mut rng)
+    }
+
+    fn signed_input(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(shape, 0.2, 1.2, &mut rng);
+        // Flip alternate signs to exercise negative regions, still away
+        // from the origin.
+        let mut v = t.into_vec();
+        for (i, x) in v.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *x = -*x;
+            }
+        }
+        Tensor::from_vec(v, shape).unwrap()
+    }
+
+    macro_rules! grad_test {
+        ($name:ident, $input:expr, $build:expr) => {
+            #[test]
+            fn $name() {
+                let x = $input;
+                let report = check_gradient(&x, EPS, $build).unwrap();
+                assert!(report.passes(TOL), "{}: {report:?}", stringify!($name));
+            }
+        };
+    }
+
+    grad_test!(gc_exp, signed_input(&[6], 1), |v| v.exp().sum_all());
+    grad_test!(gc_ln, input(&[6], 2), |v| v.ln().sum_all());
+    grad_test!(gc_sqrt, input(&[6], 3), |v| v.sqrt().sum_all());
+    grad_test!(gc_tanh, signed_input(&[6], 4), |v| v.tanh().sum_all());
+    grad_test!(gc_sigmoid, signed_input(&[6], 5), |v| v.sigmoid().sum_all());
+    grad_test!(gc_relu, signed_input(&[6], 6), |v| v.relu().sum_all());
+    grad_test!(gc_abs, signed_input(&[6], 7), |v| v.abs().sum_all());
+    grad_test!(gc_square, signed_input(&[6], 8), |v| v.square()?.sum_all());
+    grad_test!(gc_neg, signed_input(&[6], 9), |v| v.neg().sum_all());
+    grad_test!(gc_scalar_ops, signed_input(&[6], 10), |v| {
+        v.mul_scalar(3.0).add_scalar(1.0).square()?.sum_all()
+    });
+
+    grad_test!(gc_mean_all, signed_input(&[8], 11), |v| {
+        v.square()?.mean_all()
+    });
+
+    grad_test!(gc_sum_axis, signed_input(&[3, 4], 12), |v| {
+        v.sum_axis(1, false)?.square()?.sum_all()
+    });
+
+    grad_test!(gc_mean_axis_keepdim, signed_input(&[3, 4], 13), |v| {
+        v.mean_axis(0, true)?.square()?.sum_all()
+    });
+
+    grad_test!(gc_softmax, signed_input(&[2, 5], 14), |v| {
+        // Weighted sum of softmax keeps the loss sensitive to x.
+        let w = v
+            .graph()
+            .constant(Tensor::from_fn(&[2, 5], |i| (i[1] + 1) as f32));
+        v.softmax(1)?.mul(&w)?.sum_all()
+    });
+
+    grad_test!(gc_matmul_chain, input(&[2, 3], 15), |v| {
+        let w = v.graph().constant(Tensor::from_fn(&[3, 2], |i| {
+            0.3 * (i[0] as f32) - 0.2 * (i[1] as f32)
+        }));
+        v.matmul(&w)?.tanh().sum_all()
+    });
+
+    grad_test!(gc_div, input(&[6], 16), |v| {
+        let c = v
+            .graph()
+            .constant(Tensor::from_fn(&[6], |i| 1.0 + i[0] as f32));
+        // both numerator and denominator depend on v: v / (v + c)
+        let denom = v.add(&c.mul_scalar(0.5))?;
+        v.div(&denom)?.sum_all()
+    });
+
+    grad_test!(gc_broadcast_mul, input(&[3], 17), |v| {
+        let m = v
+            .graph()
+            .constant(Tensor::from_fn(&[2, 3], |i| (i[0] + i[1]) as f32));
+        // v broadcasts over rows of m.
+        m.mul(v)?.square()?.sum_all()
+    });
+
+    grad_test!(gc_reshape_permute, signed_input(&[2, 6], 18), |v| {
+        v.reshape(&[3, 4])?.permute(&[1, 0])?.square()?.sum_all()
+    });
+
+    grad_test!(gc_narrow_concat, signed_input(&[5], 19), |v| {
+        let head = v.narrow(0, 0, 2)?;
+        let tail = v.narrow(0, 2, 3)?;
+        let swapped = crate::ops::concat(&[&tail, &head], 0)?;
+        swapped.square()?.sum_all()
+    });
+
+    grad_test!(gc_index_select, signed_input(&[4, 2], 20), |v| {
+        v.index_select(0, &[3, 0, 0, 2])?.square()?.sum_all()
+    });
+
+    grad_test!(gc_broadcast_to, signed_input(&[1, 3], 21), |v| {
+        v.broadcast_to(&[4, 3])?.square()?.sum_all()
+    });
+
+    grad_test!(gc_batched_matmul, input(&[2, 2, 3], 22), |v| {
+        let w = v.graph().constant(Tensor::from_fn(&[2, 3, 2], |i| {
+            0.1 * (i[0] as f32 + 1.0) * (i[1] as f32 - i[2] as f32)
+        }));
+        v.matmul(&w)?.square()?.sum_all()
+    });
+
+    grad_test!(gc_huber_like, signed_input(&[6], 23), |v| {
+        // Same structure as the Huber loss in stwa-nn: mask from values,
+        // quadratic inside, linear outside.
+        let delta = 0.5;
+        let absd = v.abs();
+        let mask = absd.value().map(|x| if x <= delta { 1.0 } else { 0.0 });
+        let quad = v.square()?.mul_scalar(0.5);
+        let lin = absd.mul_scalar(delta).add_scalar(-0.5 * delta * delta);
+        quad.where_mask(&mask, &lin)?.sum_all()
+    });
+
+    #[test]
+    fn report_counts_partials() {
+        let x = input(&[7], 30);
+        let r = check_gradient(&x, EPS, |v| v.square()?.sum_all()).unwrap();
+        assert_eq!(r.count, 7);
+    }
+}

@@ -1,0 +1,286 @@
+//! The tape: graph storage, nodes, and `Var` handles.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use stwa_tensor::{Result, Tensor, TensorError};
+
+/// Node id within a graph. Ids increase in creation order, which is a
+/// valid topological order of the dataflow DAG.
+pub(crate) type Id = usize;
+
+/// The recorded operation that produced a node.
+///
+/// Each variant stores the input ids plus whatever metadata the backward
+/// pass needs. Output values are available from the node itself, so ops
+/// like `Exp` or `Softmax` don't duplicate saved tensors.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Input tensor; `Leaf` nodes are where gradients are read out.
+    Leaf,
+    Add(Id, Id),
+    Sub(Id, Id),
+    Mul(Id, Id),
+    Div(Id, Id),
+    Neg(Id),
+    Exp(Id),
+    Ln(Id),
+    Sqrt(Id),
+    Tanh(Id),
+    Sigmoid(Id),
+    Relu(Id),
+    Abs(Id),
+    Square(Id),
+    AddScalar(Id),
+    MulScalar(Id, f32),
+    Matmul(Id, Id),
+    SumAxis {
+        x: Id,
+        axis: usize,
+        keepdim: bool,
+    },
+    MeanAxis {
+        x: Id,
+        axis: usize,
+        keepdim: bool,
+    },
+    SumAll(Id),
+    MeanAll(Id),
+    Softmax {
+        x: Id,
+        axis: usize,
+    },
+    Reshape(Id),
+    Permute {
+        x: Id,
+        perm: Vec<usize>,
+    },
+    Concat {
+        xs: Vec<Id>,
+        axis: usize,
+    },
+    Narrow {
+        x: Id,
+        axis: usize,
+        start: usize,
+    },
+    IndexSelect {
+        x: Id,
+        axis: usize,
+        indices: Vec<usize>,
+    },
+    BroadcastTo(Id),
+    /// `mask * a + (1 - mask) * b` with the mask treated as a constant.
+    WhereMask {
+        mask: Rc<Tensor>,
+        a: Id,
+        b: Id,
+    },
+}
+
+pub(crate) struct Node {
+    pub value: Rc<Tensor>,
+    pub grad: Option<Tensor>,
+    pub requires_grad: bool,
+    pub op: Op,
+}
+
+/// A reverse-mode autodiff tape.
+///
+/// Cloning a `Graph` is cheap (it is an `Rc` handle); all clones append
+/// to the same tape. Graphs are single-threaded by design — a training
+/// step builds and consumes one graph on one thread, while data-level
+/// parallelism lives inside the tensor kernels.
+#[derive(Clone)]
+pub struct Graph {
+    pub(crate) inner: Rc<RefCell<Vec<Node>>>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Graph {
+        Graph {
+            inner: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a gradient-requiring leaf (a parameter or an input we want
+    /// gradients for).
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Insert a constant leaf (no gradient tracked).
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    pub(crate) fn push(&self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        let mut nodes = self.inner.borrow_mut();
+        let id = nodes.len();
+        nodes.push(Node {
+            value: Rc::new(value),
+            grad: None,
+            requires_grad,
+            op,
+        });
+        Var {
+            graph: self.clone(),
+            id,
+        }
+    }
+
+    pub(crate) fn value_of(&self, id: Id) -> Rc<Tensor> {
+        Rc::clone(&self.inner.borrow()[id].value)
+    }
+
+    pub(crate) fn requires_grad_of(&self, id: Id) -> bool {
+        self.inner.borrow()[id].requires_grad
+    }
+
+    /// The accumulated gradient of `var` after [`Graph::backward`], if
+    /// any path from the loss reached it.
+    pub fn grad(&self, var: &Var) -> Option<Tensor> {
+        assert!(
+            Rc::ptr_eq(&self.inner, &var.graph.inner),
+            "grad: Var belongs to a different graph"
+        );
+        self.inner.borrow()[var.id].grad.clone()
+    }
+
+    /// Squared L2 norm of `var`'s gradient, computed in place — the
+    /// gradient-clipping measurement without cloning the tensor.
+    pub fn grad_sq_norm(&self, var: &Var) -> Option<f32> {
+        assert!(
+            Rc::ptr_eq(&self.inner, &var.graph.inner),
+            "grad_sq_norm: Var belongs to a different graph"
+        );
+        self.inner.borrow()[var.id]
+            .grad
+            .as_ref()
+            .map(|g| g.data().iter().map(|x| x * x).sum())
+    }
+
+    /// Drop all recorded gradients (e.g. between gradient checks on a
+    /// shared tape).
+    pub fn zero_grads(&self) {
+        for node in self.inner.borrow_mut().iter_mut() {
+            node.grad = None;
+        }
+    }
+}
+
+/// A handle to one node of a [`Graph`].
+///
+/// All forward operations live on `Var` (see the `ops` module); each call
+/// appends a node to the owning graph and returns a handle to it.
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) graph: Graph,
+    pub(crate) id: Id,
+}
+
+impl Var {
+    /// The node's value. Cheap: values are behind `Rc`.
+    pub fn value(&self) -> Rc<Tensor> {
+        self.graph.value_of(self.id)
+    }
+
+    /// Shape of the node's value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.value().shape().to_vec()
+    }
+
+    /// Whether gradients flow into this node.
+    pub fn requires_grad(&self) -> bool {
+        self.graph.requires_grad_of(self.id)
+    }
+
+    /// A constant copy of this value on the same graph: gradients do not
+    /// flow through the returned `Var`.
+    pub fn detach(&self) -> Var {
+        self.graph.constant(self.value().as_ref().clone())
+    }
+
+    /// The owning graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Whether this `Var` lives on `graph` (same tape identity).
+    pub fn belongs_to(&self, graph: &Graph) -> bool {
+        Rc::ptr_eq(&self.graph.inner, &graph.inner)
+    }
+
+    pub(crate) fn same_graph(&self, other: &Var, op: &'static str) -> Result<()> {
+        if Rc::ptr_eq(&self.graph.inner, &other.graph.inner) {
+            Ok(())
+        } else {
+            Err(TensorError::Invalid(format!(
+                "{op}: operands belong to different graphs"
+            )))
+        }
+    }
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Var(id={}, shape={:?})", self.id, self.value().shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_and_constant_flags() {
+        let g = Graph::new();
+        let p = g.leaf(Tensor::ones(&[2]));
+        let c = g.constant(Tensor::ones(&[2]));
+        assert!(p.requires_grad());
+        assert!(!c.requires_grad());
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_creation_order() {
+        let g = Graph::new();
+        let a = g.constant(Tensor::zeros(&[1]));
+        let b = g.constant(Tensor::zeros(&[1]));
+        assert!(a.id < b.id);
+    }
+
+    #[test]
+    fn detach_blocks_grad() {
+        let g = Graph::new();
+        let p = g.leaf(Tensor::ones(&[2]));
+        let d = p.detach();
+        assert!(!d.requires_grad());
+        assert_eq!(d.value().data(), p.value().data());
+    }
+
+    #[test]
+    fn cross_graph_ops_rejected() {
+        let g1 = Graph::new();
+        let g2 = Graph::new();
+        let a = g1.leaf(Tensor::ones(&[2]));
+        let b = g2.leaf(Tensor::ones(&[2]));
+        assert!(a.add(&b).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Forward operations on [`Var`]: each computes its value eagerly and
+//! records the op on the tape for the backward sweep.
+
+use crate::graph::{Op, Var};
+use std::rc::Rc;
+use stwa_tensor::{linalg, manip, Result, Tensor, TensorError};
+
+impl Var {
+    fn unary(&self, value: Tensor, op: Op) -> Var {
+        self.graph.push(value, op, self.requires_grad())
+    }
+
+    fn binary(&self, rhs: &Var, value: Tensor, op: Op) -> Var {
+        self.graph
+            .push(value, op, self.requires_grad() || rhs.requires_grad())
+    }
+
+    // ---------------------------------------------------------------
+    // Elementwise binary (broadcasting)
+    // ---------------------------------------------------------------
+
+    pub fn add(&self, rhs: &Var) -> Result<Var> {
+        self.same_graph(rhs, "add")?;
+        let v = self.value().add(&rhs.value())?;
+        Ok(self.binary(rhs, v, Op::Add(self.id, rhs.id)))
+    }
+
+    pub fn sub(&self, rhs: &Var) -> Result<Var> {
+        self.same_graph(rhs, "sub")?;
+        let v = self.value().sub(&rhs.value())?;
+        Ok(self.binary(rhs, v, Op::Sub(self.id, rhs.id)))
+    }
+
+    pub fn mul(&self, rhs: &Var) -> Result<Var> {
+        self.same_graph(rhs, "mul")?;
+        let v = self.value().mul(&rhs.value())?;
+        Ok(self.binary(rhs, v, Op::Mul(self.id, rhs.id)))
+    }
+
+    pub fn div(&self, rhs: &Var) -> Result<Var> {
+        self.same_graph(rhs, "div")?;
+        let v = self.value().div(&rhs.value())?;
+        Ok(self.binary(rhs, v, Op::Div(self.id, rhs.id)))
+    }
+
+    // ---------------------------------------------------------------
+    // Elementwise unary
+    // ---------------------------------------------------------------
+
+    pub fn neg(&self) -> Var {
+        self.unary(self.value().neg(), Op::Neg(self.id))
+    }
+
+    pub fn exp(&self) -> Var {
+        self.unary(self.value().exp(), Op::Exp(self.id))
+    }
+
+    /// Natural log. The caller is responsible for keeping inputs positive
+    /// (e.g. via [`Var::add_scalar`] with an epsilon).
+    pub fn ln(&self) -> Var {
+        self.unary(self.value().ln(), Op::Ln(self.id))
+    }
+
+    pub fn sqrt(&self) -> Var {
+        self.unary(self.value().sqrt(), Op::Sqrt(self.id))
+    }
+
+    pub fn tanh(&self) -> Var {
+        self.unary(self.value().tanh(), Op::Tanh(self.id))
+    }
+
+    pub fn sigmoid(&self) -> Var {
+        self.unary(self.value().sigmoid(), Op::Sigmoid(self.id))
+    }
+
+    pub fn relu(&self) -> Var {
+        self.unary(self.value().relu(), Op::Relu(self.id))
+    }
+
+    pub fn abs(&self) -> Var {
+        self.unary(self.value().abs(), Op::Abs(self.id))
+    }
+
+    pub fn square(&self) -> Result<Var> {
+        Ok(self.unary(self.value().square(), Op::Square(self.id)))
+    }
+
+    pub fn add_scalar(&self, s: f32) -> Var {
+        self.unary(self.value().add_scalar(s), Op::AddScalar(self.id))
+    }
+
+    pub fn mul_scalar(&self, s: f32) -> Var {
+        self.unary(self.value().mul_scalar(s), Op::MulScalar(self.id, s))
+    }
+
+    // ---------------------------------------------------------------
+    // Linear algebra
+    // ---------------------------------------------------------------
+
+    /// Batched matrix product; see [`stwa_tensor::linalg::matmul`] for
+    /// the shape rules.
+    pub fn matmul(&self, rhs: &Var) -> Result<Var> {
+        self.same_graph(rhs, "matmul")?;
+        let v = linalg::matmul(&self.value(), &rhs.value())?;
+        Ok(self.binary(rhs, v, Op::Matmul(self.id, rhs.id)))
+    }
+
+    // ---------------------------------------------------------------
+    // Reductions
+    // ---------------------------------------------------------------
+
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Result<Var> {
+        let v = self.value().sum_axis(axis, keepdim)?;
+        Ok(self.unary(
+            v,
+            Op::SumAxis {
+                x: self.id,
+                axis,
+                keepdim,
+            },
+        ))
+    }
+
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Result<Var> {
+        let v = self.value().mean_axis(axis, keepdim)?;
+        Ok(self.unary(
+            v,
+            Op::MeanAxis {
+                x: self.id,
+                axis,
+                keepdim,
+            },
+        ))
+    }
+
+    pub fn sum_all(&self) -> Result<Var> {
+        if self.value().is_empty() {
+            return Err(TensorError::Invalid(
+                "sum_all: cannot reduce an empty tensor into a loss".into(),
+            ));
+        }
+        Ok(self.unary(self.value().sum_all(), Op::SumAll(self.id)))
+    }
+
+    pub fn mean_all(&self) -> Result<Var> {
+        if self.value().is_empty() {
+            return Err(TensorError::Invalid(
+                "mean_all: cannot reduce an empty tensor into a loss".into(),
+            ));
+        }
+        Ok(self.unary(self.value().mean_all(), Op::MeanAll(self.id)))
+    }
+
+    /// Numerically stable softmax along `axis`.
+    pub fn softmax(&self, axis: usize) -> Result<Var> {
+        let v = self.value().softmax(axis)?;
+        Ok(self.unary(v, Op::Softmax { x: self.id, axis }))
+    }
+
+    // ---------------------------------------------------------------
+    // Shape manipulation
+    // ---------------------------------------------------------------
+
+    pub fn reshape(&self, shape: &[usize]) -> Result<Var> {
+        let v = self.value().reshape(shape)?;
+        Ok(self.unary(v, Op::Reshape(self.id)))
+    }
+
+    pub fn unsqueeze(&self, axis: usize) -> Result<Var> {
+        let v = self.value().unsqueeze(axis)?;
+        Ok(self.unary(v, Op::Reshape(self.id)))
+    }
+
+    pub fn squeeze(&self, axis: usize) -> Result<Var> {
+        let v = self.value().squeeze(axis)?;
+        Ok(self.unary(v, Op::Reshape(self.id)))
+    }
+
+    pub fn permute(&self, perm: &[usize]) -> Result<Var> {
+        let v = self.value().permute(perm)?;
+        Ok(self.unary(
+            v,
+            Op::Permute {
+                x: self.id,
+                perm: perm.to_vec(),
+            },
+        ))
+    }
+
+    pub fn swap_axes(&self, a: usize, b: usize) -> Result<Var> {
+        let rank = self.value().rank();
+        let mut perm: Vec<usize> = (0..rank).collect();
+        if a >= rank || b >= rank {
+            return Err(TensorError::InvalidAxis {
+                op: "swap_axes",
+                axis: a.max(b),
+                rank,
+            });
+        }
+        perm.swap(a, b);
+        self.permute(&perm)
+    }
+
+    /// Transpose the last two axes.
+    pub fn transpose_last2(&self) -> Result<Var> {
+        let rank = self.value().rank();
+        if rank < 2 {
+            return Err(TensorError::RankTooSmall {
+                op: "transpose_last2",
+                required: 2,
+                actual: rank,
+            });
+        }
+        self.swap_axes(rank - 2, rank - 1)
+    }
+
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Result<Var> {
+        let v = self.value().narrow(axis, start, len)?;
+        Ok(self.unary(
+            v,
+            Op::Narrow {
+                x: self.id,
+                axis,
+                start,
+            },
+        ))
+    }
+
+    pub fn index_select(&self, axis: usize, indices: &[usize]) -> Result<Var> {
+        let v = self.value().index_select(axis, indices)?;
+        Ok(self.unary(
+            v,
+            Op::IndexSelect {
+                x: self.id,
+                axis,
+                indices: indices.to_vec(),
+            },
+        ))
+    }
+
+    pub fn broadcast_to(&self, shape: &[usize]) -> Result<Var> {
+        let v = self.value().broadcast_to(shape)?;
+        Ok(self.unary(v, Op::BroadcastTo(self.id)))
+    }
+
+    /// `mask * self + (1 - mask) * other`, with `mask` a constant tensor
+    /// of zeros and ones. This is the differentiable branch selector used
+    /// by the Huber loss (the mask itself gets no gradient, which matches
+    /// the loss being non-differentiable only on a measure-zero set).
+    pub fn where_mask(&self, mask: &Tensor, other: &Var) -> Result<Var> {
+        self.same_graph(other, "where_mask")?;
+        let a = self.value();
+        let b = other.value();
+        let picked_a = a.mul(mask)?;
+        let inv = mask.affine(-1.0, 1.0);
+        let picked_b = b.mul(&inv)?;
+        let v = picked_a.add(&picked_b)?;
+        Ok(self.binary(
+            other,
+            v,
+            Op::WhereMask {
+                mask: Rc::new(mask.clone()),
+                a: self.id,
+                b: other.id,
+            },
+        ))
+    }
+}
+
+/// Concatenate variables along `axis`.
+pub fn concat(vars: &[&Var], axis: usize) -> Result<Var> {
+    let first = vars
+        .first()
+        .ok_or_else(|| TensorError::Invalid("concat: need at least one Var".into()))?;
+    for v in vars.iter().skip(1) {
+        first.same_graph(v, "concat")?;
+    }
+    let values: Vec<Rc<Tensor>> = vars.iter().map(|v| v.value()).collect();
+    let refs: Vec<&Tensor> = values.iter().map(|v| v.as_ref()).collect();
+    let out = manip::concat(&refs, axis)?;
+    let requires = vars.iter().any(|v| v.requires_grad());
+    Ok(first.graph.push(
+        out,
+        Op::Concat {
+            xs: vars.iter().map(|v| v.id).collect(),
+            axis,
+        },
+        requires,
+    ))
+}
+
+/// Stack equal-shape variables along a new axis.
+pub fn stack(vars: &[&Var], axis: usize) -> Result<Var> {
+    let unsqueezed: Vec<Var> = vars
+        .iter()
+        .map(|v| v.unsqueeze(axis))
+        .collect::<Result<_>>()?;
+    let refs: Vec<&Var> = unsqueezed.iter().collect();
+    concat(&refs, axis)
+}

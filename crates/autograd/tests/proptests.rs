@@ -1,0 +1,119 @@
+//! Property-based verification of the autodiff engine: every public op
+//! composition must match central differences on arbitrary inputs, and
+//! the tape must obey basic calculus identities.
+
+use proptest::prelude::*;
+use stwa_autograd::{check_gradient, Graph};
+use stwa_tensor::Tensor;
+
+fn bounded(len: usize, lo: f32, hi: f32) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(lo..hi, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chain_rule_matches_numeric(data in bounded(6, -1.0, 1.0)) {
+        let x = Tensor::from_vec(data, &[6]).unwrap();
+        let r = check_gradient(&x, 1e-2, |v| {
+            v.mul_scalar(1.5).tanh().exp().mean_all()
+        }).unwrap();
+        prop_assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn product_rule_matches_numeric(data in bounded(4, 0.2, 1.5)) {
+        let x = Tensor::from_vec(data, &[4]).unwrap();
+        let r = check_gradient(&x, 1e-2, |v| {
+            // f = x * ln(x) — both factors depend on x.
+            v.mul(&v.ln())?.sum_all()
+        }).unwrap();
+        prop_assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn matmul_grad_matches_numeric(data in bounded(6, -1.0, 1.0)) {
+        let x = Tensor::from_vec(data, &[2, 3]).unwrap();
+        let r = check_gradient(&x, 1e-2, |v| {
+            let w = v.graph().constant(Tensor::from_fn(&[3, 3], |i| {
+                0.2 * (i[0] as f32) - 0.3 * (i[1] as f32) + 0.1
+            }));
+            v.matmul(&w)?.square()?.mean_all()
+        }).unwrap();
+        prop_assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn softmax_composite_grad(data in bounded(8, -2.0, 2.0)) {
+        let x = Tensor::from_vec(data, &[2, 4]).unwrap();
+        let r = check_gradient(&x, 1e-2, |v| {
+            let w = v.graph().constant(Tensor::from_fn(&[2, 4], |i| (i[1] + 1) as f32));
+            v.softmax(1)?.mul(&w)?.sum_all()
+        }).unwrap();
+        prop_assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn gradient_of_constant_branch_is_exact_value(data in bounded(3, -2.0, 2.0), c in -3.0f32..3.0) {
+        // d/dx sum(c * x) = c exactly, independent of x.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(data, &[3]).unwrap());
+        let cv = g.constant(Tensor::full(&[3], c));
+        let loss = x.mul(&cv).unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        let dx = g.grad(&x).unwrap();
+        prop_assert!(dx.approx_eq(&Tensor::full(&[3], c), 1e-6));
+    }
+
+    #[test]
+    fn backward_twice_accumulates(data in bounded(3, -2.0, 2.0)) {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(data.clone(), &[3]).unwrap());
+        let loss = x.square().unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        let once = g.grad(&x).unwrap();
+        g.backward(&loss).unwrap();
+        let twice = g.grad(&x).unwrap();
+        prop_assert!(twice.approx_eq(&once.mul_scalar(2.0), 1e-5));
+        // zero_grads resets the accumulation.
+        g.zero_grads();
+        prop_assert!(g.grad(&x).is_none());
+    }
+
+    #[test]
+    fn sum_then_grad_is_ones_everywhere(shape_rows in 1usize..4, shape_cols in 1usize..4) {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[shape_rows, shape_cols]));
+        let loss = x.sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        prop_assert!(g.grad(&x).unwrap().approx_eq(&Tensor::ones(&[shape_rows, shape_cols]), 0.0));
+    }
+
+    #[test]
+    fn concat_then_split_grad_is_partition(a_len in 1usize..4, b_len in 1usize..4) {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::zeros(&[a_len]));
+        let b = g.leaf(Tensor::zeros(&[b_len]));
+        let joined = stwa_autograd::concat(&[&a, &b], 0).unwrap();
+        let loss = joined.mul_scalar(2.0).sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        prop_assert!(g.grad(&a).unwrap().approx_eq(&Tensor::full(&[a_len], 2.0), 0.0));
+        prop_assert!(g.grad(&b).unwrap().approx_eq(&Tensor::full(&[b_len], 2.0), 0.0));
+    }
+
+    #[test]
+    fn broadcast_grad_counts_uses(rows in 1usize..5, data in bounded(3, -1.0, 1.0)) {
+        // x: [3] broadcast over `rows` rows; each element used `rows`
+        // times, so d sum / dx = rows.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(data, &[3]).unwrap());
+        let big = x.broadcast_to(&[rows, 3]).unwrap();
+        let loss = big.sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        prop_assert!(g
+            .grad(&x)
+            .unwrap()
+            .approx_eq(&Tensor::full(&[3], rows as f32), 1e-6));
+    }
+}

@@ -1,0 +1,170 @@
+//! EnhanceNet \[44\]: a deterministic per-node *memory* generates
+//! node-specific recurrent weights. The paper positions it as a special
+//! case of ST-WA — a spatial-aware-only generator with zero-variance
+//! latents and no temporal adaption — which is exactly how it is built
+//! here (a plain memory matrix instead of a Gaussian latent).
+
+use crate::gru_combine;
+use crate::rnn_models::check_input;
+use rand::rngs::StdRng;
+use rand::Rng;
+use stwa_autograd::{Graph, Var};
+use stwa_core::{ForecastModel, ForwardOutput};
+use stwa_nn::layers::{Activation, Linear, Mlp};
+use stwa_nn::{init, Param, ParamStore};
+use stwa_tensor::{Result, Tensor};
+
+/// GRU forecaster whose per-node input weights come from a deterministic
+/// memory decoded by a shared MLP.
+pub struct EnhanceNetLite {
+    /// The per-node memory `M in R^{N x k}` (deterministic — no
+    /// variance, no sampling, no KL).
+    memory: Param,
+    /// Shared decoder turning a memory row into that node's input
+    /// weights `Wx^(i) in R^{F x 3d}`.
+    decoder: Mlp,
+    /// Shared recurrent weights and bias.
+    wh: Param,
+    bias: Param,
+    readout: Linear,
+    store: ParamStore,
+    n: usize,
+    h: usize,
+    u: usize,
+    f: usize,
+    d: usize,
+}
+
+impl EnhanceNetLite {
+    pub fn new(
+        n: usize,
+        h: usize,
+        u: usize,
+        f: usize,
+        d: usize,
+        k: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let store = ParamStore::new();
+        let memory = store.param("memory", init::normal(&[n, k], 0.3, rng));
+        let decoder = Mlp::new(
+            &store,
+            "decoder",
+            &[k, 2 * k, f * 3 * d],
+            &[Activation::Relu, Activation::Identity],
+            rng,
+        );
+        let wh = store.param("wh", init::lecun_uniform(&[d, 3 * d], d, rng));
+        let bias = store.param("bias", init::zeros(&[3 * d]));
+        let readout = Linear::new(&store, "readout", d, u * f, rng);
+        EnhanceNetLite {
+            memory,
+            decoder,
+            wh,
+            bias,
+            readout,
+            store,
+            n,
+            h,
+            u,
+            f,
+            d,
+        }
+    }
+
+    /// The learned memory rows (for latent-space comparisons).
+    pub fn memory_rows(&self) -> Tensor {
+        self.memory.value()
+    }
+}
+
+impl ForecastModel for EnhanceNetLite {
+    fn name(&self) -> String {
+        "EnhanceNet".to_string()
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward(
+        &self,
+        graph: &Graph,
+        x: &Var,
+        _rng: &mut StdRng,
+        _training: bool,
+    ) -> Result<ForwardOutput> {
+        check_input(x, self.n, self.h, self.f)?;
+        let b = x.shape()[0];
+        let d = self.d;
+        // Decode per-node input weights once per pass.
+        let mem = self.memory.leaf(graph); // [N, k]
+        let wx = self
+            .decoder
+            .forward(graph, &mem)? // [N, F*3d]
+            .reshape(&[self.n, self.f, 3 * d])?;
+        let wh = self.wh.leaf(graph);
+        let bias = self.bias.leaf(graph);
+
+        let mut hdn = graph.constant(Tensor::zeros(&[b, self.n, d]));
+        for t in 0..self.h {
+            let xt = x.narrow(2, t, 1)?; // [B, N, 1, F]
+                                         // Per-node projection: [B, N, 1, F] @ [N, F, 3d] -> [B, N, 1, 3d].
+            let gx = xt.matmul(&wx)?.squeeze(2)?.add(&bias)?; // [B, N, 3d]
+            let gh = hdn.matmul(&wh)?; // [B, N, 3d]
+            hdn = gru_combine(&gx, &gh, &hdn, d)?;
+        }
+        let out = self.readout.forward(graph, &hdn)?;
+        let pred = out.reshape(&[b, self.n, self.u, self.f])?;
+        Ok(ForwardOutput::plain(pred))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_grads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = EnhanceNetLite::new(3, 6, 2, 1, 8, 4, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[2, 3, 6, 1], &mut rng));
+        let out = m.forward(&g, &x, &mut rng, true).unwrap();
+        assert_eq!(out.pred.shape(), vec![2, 3, 2, 1]);
+        assert!(out.regularizer.is_none(), "deterministic memory has no KL");
+        let loss = out.pred.square().unwrap().mean_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert!(m.store().params().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn is_spatial_aware() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = EnhanceNetLite::new(2, 6, 2, 1, 8, 4, &mut rng);
+        let g = Graph::new();
+        let one = Tensor::randn(&[1, 1, 6, 1], &mut StdRng::seed_from_u64(2));
+        let x = g.constant(one.broadcast_to(&[1, 2, 6, 1]).unwrap());
+        let out = m.forward(&g, &x, &mut rng, true).unwrap();
+        let p0 = out.pred.value().narrow(1, 0, 1).unwrap();
+        let p1 = out.pred.value().narrow(1, 1, 1).unwrap();
+        assert!(
+            !p0.approx_eq(&p1, 1e-6),
+            "memory rows must differentiate nodes"
+        );
+    }
+
+    #[test]
+    fn is_temporal_agnostic() {
+        // Same parameters regardless of the time content: two forwards
+        // on the same input are bit-identical (no sampling involved).
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = EnhanceNetLite::new(2, 6, 2, 1, 8, 4, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[1, 2, 6, 1], &mut rng));
+        let a = m.forward(&g, &x, &mut rng, true).unwrap();
+        let b = m.forward(&g, &x, &mut rng, true).unwrap();
+        assert!(a.pred.value().approx_eq(&b.pred.value(), 0.0));
+    }
+}

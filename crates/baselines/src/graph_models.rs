@@ -1,0 +1,820 @@
+//! Graph-neural-network baselines: the DCRNN / STGCN / STG2Seq /
+//! Graph WaveNet / STSGCN / AGCRN / STFGNN mechanism families, each
+//! built from the `stwa-nn` graph-conv and temporal-conv layers.
+
+use crate::rnn_models::check_input;
+use rand::rngs::StdRng;
+use rand::Rng;
+use stwa_autograd::{concat, Graph, Var};
+use stwa_core::{ForecastModel, ForwardOutput};
+use stwa_nn::layers::{
+    Activation, AdaptiveGraphConv, ChebGraphConv, DenseGraphConv, DiffusionGraphConv, Linear, Mlp,
+    TemporalConv,
+};
+use stwa_nn::{init, Param, ParamStore};
+use stwa_tensor::{Result, Tensor, TensorError};
+
+/// DCRNN \[17\]: a GRU whose dense transforms are replaced by diffusion
+/// graph convolutions over the sensor graph (GCGRU).
+pub struct DcrnnLite {
+    gc_z: DiffusionGraphConv,
+    gc_r: DiffusionGraphConv,
+    gc_n: DiffusionGraphConv,
+    readout: Linear,
+    store: ParamStore,
+    n: usize,
+    h: usize,
+    u: usize,
+    f: usize,
+    d: usize,
+}
+
+impl DcrnnLite {
+    pub fn new(
+        n: usize,
+        h: usize,
+        u: usize,
+        f: usize,
+        d: usize,
+        adj: &Tensor,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        let store = ParamStore::new();
+        let gc_z = DiffusionGraphConv::new(&store, "z", adj, 2, f + d, d, rng)?;
+        let gc_r = DiffusionGraphConv::new(&store, "r", adj, 2, f + d, d, rng)?;
+        let gc_n = DiffusionGraphConv::new(&store, "n", adj, 2, f + d, d, rng)?;
+        let readout = Linear::new(&store, "readout", d, u * f, rng);
+        Ok(DcrnnLite {
+            gc_z,
+            gc_r,
+            gc_n,
+            readout,
+            store,
+            n,
+            h,
+            u,
+            f,
+            d,
+        })
+    }
+}
+
+impl ForecastModel for DcrnnLite {
+    fn name(&self) -> String {
+        "DCRNN".to_string()
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward(
+        &self,
+        graph: &Graph,
+        x: &Var,
+        _rng: &mut StdRng,
+        _training: bool,
+    ) -> Result<ForwardOutput> {
+        check_input(x, self.n, self.h, self.f)?;
+        let b = x.shape()[0];
+        let mut hdn = graph.constant(Tensor::zeros(&[b, self.n, self.d]));
+        for t in 0..self.h {
+            let xt = x.narrow(2, t, 1)?.squeeze(2)?; // [B, N, F]
+            let cat = concat(&[&xt, &hdn], 2)?; // [B, N, F+d]
+            let z = self.gc_z.forward(graph, &cat)?.sigmoid();
+            let r = self.gc_r.forward(graph, &cat)?.sigmoid();
+            let cat_r = concat(&[&xt, &r.mul(&hdn)?], 2)?;
+            let cand = self.gc_n.forward(graph, &cat_r)?.tanh();
+            let one_minus_z = z.neg().add_scalar(1.0);
+            hdn = one_minus_z.mul(&cand)?.add(&z.mul(&hdn)?)?;
+        }
+        let out = self.readout.forward(graph, &hdn)?;
+        let pred = out.reshape(&[b, self.n, self.u, self.f])?;
+        Ok(ForwardOutput::plain(pred))
+    }
+}
+
+/// STGCN \[29\]: "sandwich" blocks of gated temporal convolution →
+/// Chebyshev graph convolution → temporal convolution.
+pub struct StgcnLite {
+    blocks: Vec<StgcnBlock>,
+    predictor: Mlp,
+    store: ParamStore,
+    n: usize,
+    h: usize,
+    u: usize,
+    f: usize,
+    t_final: usize,
+    d: usize,
+}
+
+struct StgcnBlock {
+    tc1_filter: TemporalConv,
+    tc1_gate: TemporalConv,
+    gc: ChebGraphConv,
+    tc2: TemporalConv,
+}
+
+impl StgcnLite {
+    pub fn new(
+        n: usize,
+        h: usize,
+        u: usize,
+        f: usize,
+        d: usize,
+        adj: &Tensor,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        // Two blocks, each shrinking time by 4 (two kernel-3 convs).
+        if h < 9 {
+            return Err(TensorError::Invalid(format!(
+                "StgcnLite: H={h} too short for two kernel-3 blocks"
+            )));
+        }
+        let store = ParamStore::new();
+        let mut blocks = Vec::new();
+        let mut c_in = f;
+        for bi in 0..2 {
+            blocks.push(StgcnBlock {
+                tc1_filter: TemporalConv::new(&store, &format!("b{bi}.tcf"), c_in, d, 3, 1, rng),
+                tc1_gate: TemporalConv::new(&store, &format!("b{bi}.tcg"), c_in, d, 3, 1, rng),
+                gc: ChebGraphConv::new(&store, &format!("b{bi}.gc"), adj, 2, d, d, rng)?,
+                tc2: TemporalConv::new(&store, &format!("b{bi}.tc2"), d, d, 3, 1, rng),
+            });
+            c_in = d;
+        }
+        let t_final = h - 8;
+        let predictor = Mlp::new(
+            &store,
+            "pred",
+            &[t_final * d, 4 * d, u * f],
+            &[Activation::Relu, Activation::Identity],
+            rng,
+        );
+        Ok(StgcnLite {
+            blocks,
+            predictor,
+            store,
+            n,
+            h,
+            u,
+            f,
+            t_final,
+            d,
+        })
+    }
+}
+
+impl ForecastModel for StgcnLite {
+    fn name(&self) -> String {
+        "STGCN".to_string()
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward(
+        &self,
+        graph: &Graph,
+        x: &Var,
+        _rng: &mut StdRng,
+        _training: bool,
+    ) -> Result<ForwardOutput> {
+        check_input(x, self.n, self.h, self.f)?;
+        let b = x.shape()[0];
+        let mut hdn = x.clone(); // [B, N, T, C]
+        for block in &self.blocks {
+            let gated =
+                TemporalConv::gated_forward(&block.tc1_filter, &block.tc1_gate, graph, &hdn)?;
+            // Graph conv runs per timestep: [B, N, T', d] -> [B, T', N, d].
+            let per_step = gated.swap_axes(1, 2)?;
+            let mixed = block.gc.forward(graph, &per_step)?.relu();
+            let back = mixed.swap_axes(1, 2)?;
+            hdn = block.tc2.forward(graph, &back)?;
+        }
+        let flat = hdn.reshape(&[b, self.n, self.t_final * self.d])?;
+        let out = self.predictor.forward(graph, &flat)?;
+        let pred = out.reshape(&[b, self.n, self.u, self.f])?;
+        Ok(ForwardOutput::plain(pred))
+    }
+}
+
+/// STG2Seq \[41\]: stacked gated residual blocks where the spatial mixing
+/// is a dense graph convolution over the whole (flattened) history.
+pub struct Stg2SeqLite {
+    input_proj: Linear,
+    gates: Vec<Linear>,
+    convs: Vec<DenseGraphConv>,
+    predictor: Mlp,
+    store: ParamStore,
+    n: usize,
+    h: usize,
+    u: usize,
+    f: usize,
+}
+
+impl Stg2SeqLite {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n: usize,
+        h: usize,
+        u: usize,
+        f: usize,
+        d: usize,
+        depth: usize,
+        adj: &Tensor,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        let store = ParamStore::new();
+        let input_proj = Linear::new(&store, "in", h * f, d, rng);
+        let mut gates = Vec::new();
+        let mut convs = Vec::new();
+        for l in 0..depth {
+            gates.push(Linear::new(&store, &format!("gate{l}"), d, d, rng));
+            convs.push(DenseGraphConv::new(
+                &store,
+                &format!("gc{l}"),
+                adj,
+                d,
+                d,
+                rng,
+            )?);
+        }
+        let predictor = crate::predictor_mlp(&store, d, u, f, rng);
+        Ok(Stg2SeqLite {
+            input_proj,
+            gates,
+            convs,
+            predictor,
+            store,
+            n,
+            h,
+            u,
+            f,
+        })
+    }
+}
+
+impl ForecastModel for Stg2SeqLite {
+    fn name(&self) -> String {
+        "STG2Seq".to_string()
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward(
+        &self,
+        graph: &Graph,
+        x: &Var,
+        _rng: &mut StdRng,
+        _training: bool,
+    ) -> Result<ForwardOutput> {
+        check_input(x, self.n, self.h, self.f)?;
+        let b = x.shape()[0];
+        let flat = x.reshape(&[b, self.n, self.h * self.f])?;
+        let mut hdn = self.input_proj.forward(graph, &flat)?; // [B, N, d]
+        for (gate, conv) in self.gates.iter().zip(&self.convs) {
+            let g_val = gate.forward(graph, &hdn)?.sigmoid();
+            let mixed = conv.forward(graph, &hdn)?.relu();
+            // Gated residual: g * conv + (1 - g) * identity.
+            let one_minus = g_val.neg().add_scalar(1.0);
+            hdn = g_val.mul(&mixed)?.add(&one_minus.mul(&hdn)?)?;
+        }
+        let out = self.predictor.forward(graph, &hdn)?;
+        let pred = out.reshape(&[b, self.n, self.u, self.f])?;
+        Ok(ForwardOutput::plain(pred))
+    }
+}
+
+/// Graph WaveNet \[22\]: gated dilated temporal convolutions interleaved
+/// with graph mixing over both the given and a learned (adaptive)
+/// adjacency, with skip connections into the predictor.
+pub struct GwnLite {
+    input_proj: Linear,
+    blocks: Vec<GwnBlock>,
+    skips: Vec<Linear>,
+    predictor: Mlp,
+    store: ParamStore,
+    n: usize,
+    h: usize,
+    u: usize,
+    f: usize,
+}
+
+struct GwnBlock {
+    tc_filter: TemporalConv,
+    tc_gate: TemporalConv,
+    gc_fixed: DenseGraphConv,
+    gc_adaptive: AdaptiveGraphConv,
+}
+
+impl GwnLite {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n: usize,
+        h: usize,
+        u: usize,
+        f: usize,
+        d: usize,
+        adj: &Tensor,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        // Dilations 1 and 2 with kernel 2: receptive field 4, T shrinks by 3.
+        if h < 4 {
+            return Err(TensorError::Invalid(format!("GwnLite: H={h} too short")));
+        }
+        let store = ParamStore::new();
+        let input_proj = Linear::new(&store, "in", f, d, rng);
+        let mut blocks = Vec::new();
+        let mut skips = Vec::new();
+        for (bi, dil) in [1usize, 2].into_iter().enumerate() {
+            blocks.push(GwnBlock {
+                tc_filter: TemporalConv::new(&store, &format!("b{bi}.tcf"), d, d, 2, dil, rng),
+                tc_gate: TemporalConv::new(&store, &format!("b{bi}.tcg"), d, d, 2, dil, rng),
+                gc_fixed: DenseGraphConv::new(&store, &format!("b{bi}.gc"), adj, d, d, rng)?,
+                gc_adaptive: AdaptiveGraphConv::new(&store, &format!("b{bi}.agc"), n, 8, d, d, rng),
+            });
+            skips.push(Linear::new(&store, &format!("skip{bi}"), d, d, rng));
+        }
+        let predictor = crate::predictor_mlp(&store, d, u, f, rng);
+        Ok(GwnLite {
+            input_proj,
+            blocks,
+            skips,
+            predictor,
+            store,
+            n,
+            h,
+            u,
+            f,
+        })
+    }
+}
+
+impl ForecastModel for GwnLite {
+    fn name(&self) -> String {
+        "GWN".to_string()
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward(
+        &self,
+        graph: &Graph,
+        x: &Var,
+        _rng: &mut StdRng,
+        _training: bool,
+    ) -> Result<ForwardOutput> {
+        check_input(x, self.n, self.h, self.f)?;
+        let b = x.shape()[0];
+        let mut hdn = self.input_proj.forward(graph, x)?; // [B, N, T, d]
+        let mut skip_sum: Option<Var> = None;
+        for (block, skip) in self.blocks.iter().zip(&self.skips) {
+            let gated = TemporalConv::gated_forward(&block.tc_filter, &block.tc_gate, graph, &hdn)?;
+            // Spatial mixing per timestep over both adjacencies.
+            let per_step = gated.swap_axes(1, 2)?; // [B, T', N, d]
+            let fixed = block.gc_fixed.forward(graph, &per_step)?;
+            let adaptive = block.gc_adaptive.forward(graph, &per_step)?;
+            let mixed = fixed
+                .add(&adaptive)?
+                .mul_scalar(0.5)
+                .relu()
+                .swap_axes(1, 2)?;
+            // Residual: align the input's time axis to the block output.
+            let t_out = mixed.shape()[2];
+            let t_in = hdn.shape()[2];
+            let res = hdn.narrow(2, t_in - t_out, t_out)?;
+            hdn = mixed.add(&res)?;
+            // Skip: pool over time then project.
+            let pooled = hdn.mean_axis(2, false)?; // [B, N, d]
+            let s = skip.forward(graph, &pooled)?;
+            skip_sum = Some(match skip_sum {
+                None => s,
+                Some(acc) => acc.add(&s)?,
+            });
+        }
+        let out = self.predictor.forward(graph, &skip_sum.expect("blocks"))?;
+        let pred = out.reshape(&[b, self.n, self.u, self.f])?;
+        Ok(ForwardOutput::plain(pred))
+    }
+}
+
+/// STSGCN \[30\]: localized spatial-temporal *synchronous* convolution —
+/// each sliding 3-step block is mixed jointly across time and the graph.
+pub struct StsgcnLite {
+    input_proj: Linear,
+    sync_conv: DenseGraphConv,
+    predictor: Mlp,
+    store: ParamStore,
+    n: usize,
+    h: usize,
+    u: usize,
+    f: usize,
+}
+
+impl StsgcnLite {
+    pub fn new(
+        n: usize,
+        h: usize,
+        u: usize,
+        f: usize,
+        d: usize,
+        adj: &Tensor,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if h < 3 {
+            return Err(TensorError::Invalid(format!("StsgcnLite: H={h} too short")));
+        }
+        let store = ParamStore::new();
+        let input_proj = Linear::new(&store, "in", f, d, rng);
+        // Joint conv over a 3-step concatenated neighborhood.
+        let sync_conv = DenseGraphConv::new(&store, "sync", adj, 3 * d, d, rng)?;
+        let predictor = crate::predictor_mlp(&store, d, u, f, rng);
+        Ok(StsgcnLite {
+            input_proj,
+            sync_conv,
+            predictor,
+            store,
+            n,
+            h,
+            u,
+            f,
+        })
+    }
+}
+
+impl ForecastModel for StsgcnLite {
+    fn name(&self) -> String {
+        "STSGCN".to_string()
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward(
+        &self,
+        graph: &Graph,
+        x: &Var,
+        _rng: &mut StdRng,
+        _training: bool,
+    ) -> Result<ForwardOutput> {
+        check_input(x, self.n, self.h, self.f)?;
+        let b = x.shape()[0];
+        let hdn = self.input_proj.forward(graph, x)?; // [B, N, H, d]
+        let mut steps = Vec::with_capacity(self.h - 2);
+        for t in 0..self.h - 2 {
+            // Concatenate the 3-step local block along features, then mix
+            // across the graph: joint (synchronous) ST convolution.
+            let s0 = hdn.narrow(2, t, 1)?.squeeze(2)?;
+            let s1 = hdn.narrow(2, t + 1, 1)?.squeeze(2)?;
+            let s2 = hdn.narrow(2, t + 2, 1)?.squeeze(2)?;
+            let block = concat(&[&s0, &s1, &s2], 2)?; // [B, N, 3d]
+            let mixed = self.sync_conv.forward(graph, &block)?.relu();
+            steps.push(mixed.unsqueeze(2)?);
+        }
+        let refs: Vec<&Var> = steps.iter().collect();
+        let seq = concat(&refs, 2)?; // [B, N, H-2, d]
+        let pooled = seq.mean_axis(2, false)?;
+        let out = self.predictor.forward(graph, &pooled)?;
+        let pred = out.reshape(&[b, self.n, self.u, self.f])?;
+        Ok(ForwardOutput::plain(pred))
+    }
+}
+
+/// AGCRN \[18\]: Node-Adaptive Parameter Learning — per-node GRU weights
+/// are generated from learnable node embeddings through a shared weight
+/// pool, and the adjacency itself is learned (`softmax(relu(E E^T))`).
+/// This is the strongest *spatial-aware* baseline in the paper.
+pub struct AgcrnLite {
+    embeddings: Param,
+    pools: Vec<Param>,  // [e, (f+d) * d] per gate
+    biases: Vec<Param>, // [e, d] per gate
+    readout: Linear,
+    store: ParamStore,
+    n: usize,
+    h: usize,
+    u: usize,
+    f: usize,
+    d: usize,
+}
+
+impl AgcrnLite {
+    pub fn new(
+        n: usize,
+        h: usize,
+        u: usize,
+        f: usize,
+        d: usize,
+        e: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let store = ParamStore::new();
+        let embeddings = store.param("E", init::normal(&[n, e], 0.3, rng));
+        let mut pools = Vec::new();
+        let mut biases = Vec::new();
+        for gate in ["z", "r", "n"] {
+            pools.push(store.param(
+                format!("pool.{gate}"),
+                init::xavier_uniform(&[e, (f + d) * d], e, (f + d) * d, rng),
+            ));
+            biases.push(store.param(format!("bias.{gate}"), init::zeros(&[e, d])));
+        }
+        let readout = Linear::new(&store, "readout", d, u * f, rng);
+        AgcrnLite {
+            embeddings,
+            pools,
+            biases,
+            readout,
+            store,
+            n,
+            h,
+            u,
+            f,
+            d,
+        }
+    }
+
+    /// Per-node gate transform: `A @ cat` then per-node weights from the
+    /// embedding pool.
+    fn napl_gate(
+        &self,
+        _graph: &Graph,
+        adj: &Var,
+        embed: &Var,
+        cat: &Var, // [B, N, f+d]
+        pool: &Var,
+        bias: &Var,
+    ) -> Result<Var> {
+        let mixed = adj.matmul(cat)?; // [B, N, f+d]
+                                      // W^(i) = E_i @ pool -> [N, f+d, d]; b^(i) = E_i @ bias -> [N, d].
+        let w = embed
+            .matmul(pool)?
+            .reshape(&[self.n, self.f + self.d, self.d])?;
+        let b_node = embed.matmul(bias)?; // [N, d]
+        let row = mixed.unsqueeze(2)?; // [B, N, 1, f+d]
+        let out = row.matmul(&w)?.squeeze(2)?; // [B, N, d]
+        out.add(&b_node)
+    }
+}
+
+impl ForecastModel for AgcrnLite {
+    fn name(&self) -> String {
+        "AGCRN".to_string()
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward(
+        &self,
+        graph: &Graph,
+        x: &Var,
+        _rng: &mut StdRng,
+        _training: bool,
+    ) -> Result<ForwardOutput> {
+        check_input(x, self.n, self.h, self.f)?;
+        let b = x.shape()[0];
+        let embed = self.embeddings.leaf(graph); // [N, e]
+        let adj = embed.matmul(&embed.transpose_last2()?)?.relu().softmax(1)?; // [N, N]
+        let pools: Vec<Var> = self.pools.iter().map(|p| p.leaf(graph)).collect();
+        let biases: Vec<Var> = self.biases.iter().map(|p| p.leaf(graph)).collect();
+        let mut hdn = graph.constant(Tensor::zeros(&[b, self.n, self.d]));
+        for t in 0..self.h {
+            let xt = x.narrow(2, t, 1)?.squeeze(2)?;
+            let cat = concat(&[&xt, &hdn], 2)?;
+            let z = self
+                .napl_gate(graph, &adj, &embed, &cat, &pools[0], &biases[0])?
+                .sigmoid();
+            let r = self
+                .napl_gate(graph, &adj, &embed, &cat, &pools[1], &biases[1])?
+                .sigmoid();
+            let cat_r = concat(&[&xt, &r.mul(&hdn)?], 2)?;
+            let cand = self
+                .napl_gate(graph, &adj, &embed, &cat_r, &pools[2], &biases[2])?
+                .tanh();
+            let one_minus_z = z.neg().add_scalar(1.0);
+            hdn = one_minus_z.mul(&cand)?.add(&z.mul(&hdn)?)?;
+        }
+        let out = self.readout.forward(graph, &hdn)?;
+        let pred = out.reshape(&[b, self.n, self.u, self.f])?;
+        Ok(ForwardOutput::plain(pred))
+    }
+}
+
+/// STFGNN \[28\]: parallel gated temporal convolution and per-step graph
+/// convolution fused multiplicatively ("spatial-temporal fusion").
+pub struct StfgnnLite {
+    input_proj: Linear,
+    tc_filter: TemporalConv,
+    tc_gate: TemporalConv,
+    gc: DenseGraphConv,
+    predictor: Mlp,
+    store: ParamStore,
+    n: usize,
+    h: usize,
+    u: usize,
+    f: usize,
+}
+
+impl StfgnnLite {
+    pub fn new(
+        n: usize,
+        h: usize,
+        u: usize,
+        f: usize,
+        d: usize,
+        adj: &Tensor,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if h < 3 {
+            return Err(TensorError::Invalid(format!("StfgnnLite: H={h} too short")));
+        }
+        let store = ParamStore::new();
+        let input_proj = Linear::new(&store, "in", f, d, rng);
+        let tc_filter = TemporalConv::new(&store, "tcf", d, d, 3, 1, rng);
+        let tc_gate = TemporalConv::new(&store, "tcg", d, d, 3, 1, rng);
+        let gc = DenseGraphConv::new(&store, "gc", adj, d, d, rng)?;
+        let predictor = crate::predictor_mlp(&store, d, u, f, rng);
+        Ok(StfgnnLite {
+            input_proj,
+            tc_filter,
+            tc_gate,
+            gc,
+            predictor,
+            store,
+            n,
+            h,
+            u,
+            f,
+        })
+    }
+}
+
+impl ForecastModel for StfgnnLite {
+    fn name(&self) -> String {
+        "STFGNN".to_string()
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward(
+        &self,
+        graph: &Graph,
+        x: &Var,
+        _rng: &mut StdRng,
+        _training: bool,
+    ) -> Result<ForwardOutput> {
+        check_input(x, self.n, self.h, self.f)?;
+        let b = x.shape()[0];
+        let hdn = self.input_proj.forward(graph, x)?; // [B, N, H, d]
+        let temporal = TemporalConv::gated_forward(&self.tc_filter, &self.tc_gate, graph, &hdn)?;
+        let t_out = temporal.shape()[2];
+        // Per-step spatial branch, aligned to the shrunk time axis.
+        let aligned = hdn.narrow(2, self.h - t_out, t_out)?;
+        let spatial = self
+            .gc
+            .forward(graph, &aligned.swap_axes(1, 2)?)?
+            .sigmoid()
+            .swap_axes(1, 2)?;
+        let fused = temporal.mul(&spatial)?;
+        let pooled = fused.mean_axis(2, false)?;
+        let out = self.predictor.forward(graph, &pooled)?;
+        let pred = out.reshape(&[b, self.n, self.u, self.f])?;
+        Ok(ForwardOutput::plain(pred))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn line_adj(n: usize) -> Tensor {
+        Tensor::from_fn(
+            &[n, n],
+            |i| if i[0].abs_diff(i[1]) == 1 { 1.0 } else { 0.0 },
+        )
+    }
+
+    fn input(b: usize, n: usize, h: usize, seed: u64) -> Tensor {
+        Tensor::randn(&[b, n, h, 1], &mut StdRng::seed_from_u64(seed))
+    }
+
+    /// Every graph baseline: shape check + full gradient coverage.
+    fn smoke(model: &dyn ForecastModel, n: usize, h: usize, u: usize) {
+        let g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let x = g.constant(input(2, n, h, 11));
+        let out = model.forward(&g, &x, &mut rng, true).unwrap();
+        assert_eq!(out.pred.shape(), vec![2, n, u, 1], "{}", model.name());
+        assert!(!out.pred.value().has_non_finite(), "{}", model.name());
+        let loss = out.pred.square().unwrap().mean_all().unwrap();
+        g.backward(&loss).unwrap();
+        let missing: Vec<String> = model
+            .store()
+            .params()
+            .iter()
+            .filter(|p| p.grad().is_none())
+            .map(|p| p.name().to_string())
+            .collect();
+        assert!(
+            missing.is_empty(),
+            "{}: no grad for {missing:?}",
+            model.name()
+        );
+    }
+
+    #[test]
+    fn dcrnn_smoke() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = DcrnnLite::new(4, 6, 3, 1, 8, &line_adj(4), &mut rng).unwrap();
+        smoke(&m, 4, 6, 3);
+    }
+
+    #[test]
+    fn stgcn_smoke_and_min_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = StgcnLite::new(4, 12, 3, 1, 8, &line_adj(4), &mut rng).unwrap();
+        smoke(&m, 4, 12, 3);
+        assert!(StgcnLite::new(4, 8, 3, 1, 8, &line_adj(4), &mut rng).is_err());
+    }
+
+    #[test]
+    fn stg2seq_smoke() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Stg2SeqLite::new(3, 6, 2, 1, 8, 2, &line_adj(3), &mut rng).unwrap();
+        smoke(&m, 3, 6, 2);
+    }
+
+    #[test]
+    fn gwn_smoke() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = GwnLite::new(3, 12, 4, 1, 8, &line_adj(3), &mut rng).unwrap();
+        smoke(&m, 3, 12, 4);
+    }
+
+    #[test]
+    fn stsgcn_smoke() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = StsgcnLite::new(3, 6, 2, 1, 8, &line_adj(3), &mut rng).unwrap();
+        smoke(&m, 3, 6, 2);
+    }
+
+    #[test]
+    fn agcrn_smoke() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = AgcrnLite::new(4, 6, 3, 1, 8, 4, &mut rng);
+        smoke(&m, 4, 6, 3);
+    }
+
+    #[test]
+    fn stfgnn_smoke() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = StfgnnLite::new(3, 6, 2, 1, 8, &line_adj(3), &mut rng).unwrap();
+        smoke(&m, 3, 6, 2);
+    }
+
+    #[test]
+    fn agcrn_is_spatial_aware() {
+        // Identical series on two sensors -> *different* predictions,
+        // because node embeddings generate per-node weights.
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = AgcrnLite::new(2, 6, 2, 1, 8, 4, &mut rng);
+        let g = Graph::new();
+        let one = Tensor::randn(&[1, 1, 6, 1], &mut StdRng::seed_from_u64(8));
+        let x = g.constant(one.broadcast_to(&[1, 2, 6, 1]).unwrap());
+        let out = m.forward(&g, &x, &mut rng, true).unwrap();
+        let p0 = out.pred.value().narrow(1, 0, 1).unwrap();
+        let p1 = out.pred.value().narrow(1, 1, 1).unwrap();
+        assert!(!p0.approx_eq(&p1, 1e-6), "AGCRN must be spatial-aware");
+    }
+
+    #[test]
+    fn dcrnn_uses_graph_structure() {
+        // Changing a neighbor's series changes a node's prediction.
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = DcrnnLite::new(3, 6, 2, 1, 8, &line_adj(3), &mut rng).unwrap();
+        let g = Graph::new();
+        let base = input(1, 3, 6, 10);
+        let mut bumped = base.clone();
+        // Perturb sensor 2's series; check sensor 1 (its neighbor).
+        for t in 0..6 {
+            let idx = 2 * 6 + t;
+            bumped.data_mut()[idx] += 3.0;
+        }
+        let pa = m.forward(&g, &g.constant(base), &mut rng, true).unwrap();
+        let pb = m.forward(&g, &g.constant(bumped), &mut rng, true).unwrap();
+        let a1 = pa.pred.value().narrow(1, 1, 1).unwrap();
+        let b1 = pb.pred.value().narrow(1, 1, 1).unwrap();
+        assert!(!a1.approx_eq(&b1, 1e-7), "graph diffusion must propagate");
+    }
+}

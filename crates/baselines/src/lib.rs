@@ -1,0 +1,109 @@
+//! # stwa-baselines
+//!
+//! Re-implementations of the paper's comparison models (Section V-A) on
+//! the shared `stwa-nn`/`stwa-autograd` substrate, all exposed through
+//! the same [`stwa_core::ForecastModel`] trait the trainer consumes.
+//!
+//! Each model reproduces the *mechanism* its paper contributes, at a
+//! scale that trains on CPU:
+//!
+//! | Model | Family | Awareness |
+//! |---|---|---|
+//! | [`GruModel`] | RNN | ST-agnostic |
+//! | [`SaTransformer`] (ATT/SA) | canonical attention | ST-agnostic |
+//! | [`LongFormerLite`] | sliding-window attention \[35\] | ST-agnostic |
+//! | [`DcrnnLite`] | diffusion-conv GRU \[17\] | ST-agnostic |
+//! | [`StgcnLite`] | Cheb graph conv + temporal conv \[29\] | ST-agnostic |
+//! | [`Stg2SeqLite`] | gated graph conv \[41\] | ST-agnostic |
+//! | [`GwnLite`] | gated dilated TCN + graph conv \[22\] | ST-agnostic |
+//! | [`StsgcnLite`] | synchronous local graph conv \[30\] | ST-agnostic |
+//! | [`AstgnnLite`] | conv-augmented self-attention \[33\] | ST-agnostic |
+//! | [`StfgnnLite`] | spatial-temporal fusion conv \[28\] | ST-agnostic |
+//! | [`EnhanceNetLite`] | per-node memory weight generation \[44\] | S-aware |
+//! | [`AgcrnLite`] | node-adaptive parameter learning \[18\] | S-aware |
+//! | [`MetaLstm`] | LSTM generating LSTM weights \[42\] | T-aware |
+//! | [`EnhancedGru`]/[`EnhancedAtt`] (+S/+ST) | paper's generator applied to GRU/ATT | S/ST-aware |
+//!
+//! The `+S`/`+ST` variants (Table VII) reuse `stwa-core`'s latent
+//! machinery, demonstrating the generator's model-agnosticism.
+
+pub mod attention_models;
+pub mod classical;
+pub mod enhanced;
+pub mod enhancenet;
+pub mod graph_models;
+pub mod registry;
+pub mod rnn_models;
+
+pub use attention_models::{AstgnnLite, LongFormerLite, SaTransformer};
+pub use classical::{ArModel, VarModel};
+pub use enhanced::{EnhancedAtt, EnhancedGru};
+pub use enhancenet::EnhanceNetLite;
+pub use graph_models::{
+    AgcrnLite, DcrnnLite, GwnLite, StfgnnLite, Stg2SeqLite, StgcnLite, StsgcnLite,
+};
+pub use registry::{build_model, model_names};
+pub use rnn_models::{GruModel, MetaLstm};
+
+use stwa_autograd::Var;
+use stwa_tensor::Result;
+
+/// Reshape `[B, N, ...]` leading axes into `[B*N, ...]` — most baselines
+/// treat sensors as independent batch entries for their temporal module.
+pub(crate) fn merge_sensors(x: &Var) -> Result<(Var, usize, usize)> {
+    let shape = x.shape();
+    let (b, n) = (shape[0], shape[1]);
+    let mut merged = vec![b * n];
+    merged.extend_from_slice(&shape[2..]);
+    Ok((x.reshape(&merged)?, b, n))
+}
+
+/// Inverse of [`merge_sensors`] for a `[B*N, ...]` tensor.
+pub(crate) fn split_sensors(x: &Var, b: usize, n: usize) -> Result<Var> {
+    let shape = x.shape();
+    let mut split = vec![b, n];
+    split.extend_from_slice(&shape[1..]);
+    x.reshape(&split)
+}
+
+/// The standard 2-layer readout head (`d -> 4d -> U*F`, ReLU) shared by
+/// every attention/conv baseline — the "predictor" of the paper's
+/// Eq. 19 at baseline scale.
+pub(crate) fn predictor_mlp(
+    store: &stwa_nn::ParamStore,
+    d: usize,
+    u: usize,
+    f: usize,
+    rng: &mut impl rand::Rng,
+) -> stwa_nn::layers::Mlp {
+    use stwa_nn::layers::Activation;
+    stwa_nn::layers::Mlp::new(
+        store,
+        "pred",
+        &[d, 4 * d, u * f],
+        &[Activation::Relu, Activation::Identity],
+        rng,
+    )
+}
+
+/// Fused-gate GRU state update shared by the per-node weight-generating
+/// models (EnhanceNet, GRU+S/+ST): given input-path gates `gx` and
+/// hidden-path gates `gh` (both `[..., 3d]`, layout `[z | r | n]`) and
+/// the previous state `h` (`[..., d]`), produce the next state.
+pub(crate) fn gru_combine(gx: &Var, gh: &Var, h: &Var, d: usize) -> Result<Var> {
+    let axis = gx.shape().len() - 1;
+    let z = gx
+        .narrow(axis, 0, d)?
+        .add(&gh.narrow(axis, 0, d)?)?
+        .sigmoid();
+    let r = gx
+        .narrow(axis, d, d)?
+        .add(&gh.narrow(axis, d, d)?)?
+        .sigmoid();
+    let cand = gx
+        .narrow(axis, 2 * d, d)?
+        .add(&r.mul(&gh.narrow(axis, 2 * d, d)?)?)?
+        .tanh();
+    let one_minus_z = z.neg().add_scalar(1.0);
+    one_minus_z.mul(&cand)?.add(&z.mul(h)?)
+}

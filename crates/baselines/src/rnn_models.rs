@@ -1,0 +1,264 @@
+//! RNN-family baselines: the plain GRU and the temporal-aware meta-LSTM
+//! of Chen et al. \[42\].
+
+use crate::{merge_sensors, split_sensors};
+use rand::rngs::StdRng;
+use rand::Rng;
+use stwa_autograd::{Graph, Var};
+use stwa_core::{ForecastModel, ForwardOutput};
+use stwa_nn::layers::{Gru, Linear, LstmCell};
+use stwa_nn::ParamStore;
+use stwa_tensor::{Result, Tensor, TensorError};
+
+/// Shared-parameter GRU forecaster: every sensor runs through the same
+/// GRU (spatio-temporal agnostic — the "GRU" column of Table VII).
+pub struct GruModel {
+    gru: Gru,
+    readout: Linear,
+    store: ParamStore,
+    n: usize,
+    h: usize,
+    u: usize,
+    f: usize,
+}
+
+impl GruModel {
+    pub fn new(n: usize, h: usize, u: usize, f: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        let store = ParamStore::new();
+        let gru = Gru::new(&store, "gru", f, hidden, rng);
+        let readout = Linear::new(&store, "readout", hidden, u * f, rng);
+        GruModel {
+            gru,
+            readout,
+            store,
+            n,
+            h,
+            u,
+            f,
+        }
+    }
+}
+
+impl ForecastModel for GruModel {
+    fn name(&self) -> String {
+        "GRU".to_string()
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward(
+        &self,
+        graph: &Graph,
+        x: &Var,
+        _rng: &mut StdRng,
+        _training: bool,
+    ) -> Result<ForwardOutput> {
+        check_input(x, self.n, self.h, self.f)?;
+        let (merged, b, n) = merge_sensors(x)?; // [B*N, H, F]
+        let hidden = self.gru.forward_last(graph, &merged)?; // [B*N, d]
+        let out = self.readout.forward(graph, &hidden)?; // [B*N, U*F]
+        let pred = split_sensors(&out, b, n)?.reshape(&[b, n, self.u, self.f])?;
+        Ok(ForwardOutput::plain(pred))
+    }
+}
+
+/// Meta-LSTM \[42\]: a small "meta" LSTM runs alongside the main LSTM and
+/// *generates the main cell's input weights at every timestep*, making
+/// the model temporal-aware (but spatial-agnostic — all sensors share
+/// the generated weights' generator, and sensor correlations are not
+/// modeled, which is why it trails every graph baseline in Table IV).
+pub struct MetaLstm {
+    meta: LstmCell,
+    /// Maps the meta hidden state to the main cell's input weights
+    /// `Wx in R^{F x 4d}`.
+    weight_head: Linear,
+    main: LstmCell,
+    readout: Linear,
+    store: ParamStore,
+    n: usize,
+    h: usize,
+    u: usize,
+    f: usize,
+    hidden: usize,
+}
+
+impl MetaLstm {
+    pub fn new(
+        n: usize,
+        h: usize,
+        u: usize,
+        f: usize,
+        hidden: usize,
+        meta_hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let store = ParamStore::new();
+        let meta = LstmCell::new(&store, "meta", f, meta_hidden, rng);
+        let weight_head = Linear::new(&store, "wgen", meta_hidden, f * 4 * hidden, rng);
+        let main = LstmCell::new(&store, "main", f, hidden, rng);
+        let readout = Linear::new(&store, "readout", hidden, u * f, rng);
+        MetaLstm {
+            meta,
+            weight_head,
+            main,
+            readout,
+            store,
+            n,
+            h,
+            u,
+            f,
+            hidden,
+        }
+    }
+}
+
+impl ForecastModel for MetaLstm {
+    fn name(&self) -> String {
+        "meta-LSTM".to_string()
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward(
+        &self,
+        graph: &Graph,
+        x: &Var,
+        _rng: &mut StdRng,
+        _training: bool,
+    ) -> Result<ForwardOutput> {
+        check_input(x, self.n, self.h, self.f)?;
+        let (merged, b, n) = merge_sensors(x)?; // [B*N, H, F]
+        let bn = b * n;
+        let d = self.hidden;
+
+        let (meta_wx, meta_wh, meta_b) = self.meta.bind(graph);
+        let (main_wx_own, main_wh, main_b) = self.main.bind(graph);
+        // The meta-generated weights replace the main cell's own input
+        // weights; keep the static ones as a residual base so early
+        // training is stable.
+        let mut mh = graph.constant(Tensor::zeros(&[bn, self.meta.hidden_dim()]));
+        let mut mc = graph.constant(Tensor::zeros(&[bn, self.meta.hidden_dim()]));
+        let mut hh = graph.constant(Tensor::zeros(&[bn, d]));
+        let mut hc = graph.constant(Tensor::zeros(&[bn, d]));
+        for t in 0..self.h {
+            let xt = merged.narrow(1, t, 1)?.squeeze(1)?; // [B*N, F]
+            let (mh2, mc2) = self
+                .meta
+                .step_with(&xt, &mh, &mc, &meta_wx, &meta_wh, &meta_b)?;
+            mh = mh2;
+            mc = mc2;
+            // Generate time-varying input weights from the meta state.
+            let wx_t = self
+                .weight_head
+                .forward(graph, &mh)? // [B*N, F*4d]
+                .reshape(&[bn, self.f, 4 * d])?;
+            let wx = wx_t.add(&main_wx_own.broadcast_to(&[bn, self.f, 4 * d])?)?;
+            // Batched per-sample weights: x_t [B*N, 1, F] @ wx -> [B*N, 1, 4d].
+            let xt_row = xt.unsqueeze(1)?;
+            let gates_x = xt_row.matmul(&wx)?.squeeze(1)?; // [B*N, 4d]
+                                                           // Reuse the main cell's recurrence with the generated input
+                                                           // contribution: emulate step_with by adding h Wh + b.
+            let gates = gates_x.add(&hh.matmul(&main_wh)?)?.add(&main_b)?;
+            let i = gates.narrow(1, 0, d)?.sigmoid();
+            let fgate = gates.narrow(1, d, d)?.sigmoid();
+            let gcell = gates.narrow(1, 2 * d, d)?.tanh();
+            let o = gates.narrow(1, 3 * d, d)?.sigmoid();
+            hc = fgate.mul(&hc)?.add(&i.mul(&gcell)?)?;
+            hh = o.mul(&hc.tanh())?;
+        }
+        let out = self.readout.forward(graph, &hh)?;
+        let pred = split_sensors(&out, b, n)?.reshape(&[b, n, self.u, self.f])?;
+        Ok(ForwardOutput::plain(pred))
+    }
+}
+
+pub(crate) fn check_input(x: &Var, n: usize, h: usize, f: usize) -> Result<()> {
+    let shape = x.shape();
+    if shape.len() != 4 || shape[1] != n || shape[2] != h || shape[3] != f {
+        return Err(TensorError::Invalid(format!(
+            "expected [B, {n}, {h}, {f}] input, got {shape:?}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn input(b: usize, n: usize, h: usize, seed: u64) -> Tensor {
+        Tensor::randn(&[b, n, h, 1], &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn gru_model_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = GruModel::new(3, 6, 4, 1, 8, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(input(2, 3, 6, 1));
+        let out = m.forward(&g, &x, &mut rng, true).unwrap();
+        assert_eq!(out.pred.shape(), vec![2, 3, 4, 1]);
+        assert!(out.regularizer.is_none());
+        assert!(!out.pred.value().has_non_finite());
+    }
+
+    #[test]
+    fn gru_model_is_spatial_agnostic() {
+        // Identical series on two sensors -> identical predictions: the
+        // defining property of a shared-parameter model.
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = GruModel::new(2, 6, 3, 1, 8, &mut rng);
+        let g = Graph::new();
+        let one = Tensor::randn(&[1, 1, 6, 1], &mut StdRng::seed_from_u64(5));
+        let x = g.constant(one.broadcast_to(&[1, 2, 6, 1]).unwrap());
+        let out = m.forward(&g, &x, &mut rng, true).unwrap();
+        let p0 = out.pred.value().narrow(1, 0, 1).unwrap();
+        let p1 = out.pred.value().narrow(1, 1, 1).unwrap();
+        assert!(p0.approx_eq(&p1, 1e-6));
+    }
+
+    #[test]
+    fn gru_rejects_wrong_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = GruModel::new(3, 6, 4, 1, 8, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::zeros(&[2, 3, 5, 1]));
+        assert!(m.forward(&g, &x, &mut rng, true).is_err());
+    }
+
+    #[test]
+    fn meta_lstm_shapes_and_grads() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = MetaLstm::new(2, 5, 3, 1, 6, 4, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(input(2, 2, 5, 4));
+        let out = m.forward(&g, &x, &mut rng, true).unwrap();
+        assert_eq!(out.pred.shape(), vec![2, 2, 3, 1]);
+        let loss = out.pred.square().unwrap().mean_all().unwrap();
+        g.backward(&loss).unwrap();
+        // Every parameter, including the meta weight generator, learns.
+        assert!(m.store().params().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn meta_lstm_weights_vary_across_time() {
+        // Temporal awareness: two inputs identical except in early
+        // timestamps produce different *late-step* generated weights, so
+        // predictions differ even though the final timestep matches.
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = MetaLstm::new(1, 6, 2, 1, 6, 4, &mut rng);
+        let g = Graph::new();
+        let mut a = Tensor::zeros(&[1, 1, 6, 1]);
+        let mut b = Tensor::zeros(&[1, 1, 6, 1]);
+        a.data_mut()[0] = 1.0; // differ at t=0 only
+        b.data_mut()[0] = -1.0;
+        let pa = m.forward(&g, &g.constant(a), &mut rng, true).unwrap();
+        let pb = m.forward(&g, &g.constant(b), &mut rng, true).unwrap();
+        assert!(!pa.pred.value().approx_eq(&pb.pred.value(), 1e-7));
+    }
+}

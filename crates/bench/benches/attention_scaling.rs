@@ -1,0 +1,70 @@
+//! Complexity claim (paper Section IV-B, Figure 6): canonical
+//! self-attention is O(H^2) in the input length while window attention is
+//! O(H). This bench sweeps H and times one forward pass of each.
+//!
+//! Expected shape: the SA curve grows quadratically, the WA curve
+//! roughly linearly, with a crossover at small H.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_autograd::Graph;
+use stwa_core::{AggregatorKind, WindowAttentionLayer};
+use stwa_nn::layers::MultiHeadSelfAttention;
+use stwa_nn::ParamStore;
+use stwa_tensor::Tensor;
+
+const N: usize = 8;
+const B: usize = 4;
+const D: usize = 16;
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_forward_vs_H");
+    group.sample_size(10);
+    for h in [12usize, 24, 48, 96, 192] {
+        // Canonical self-attention over the full window.
+        group.bench_with_input(BenchmarkId::new("canonical_SA", h), &h, |bench, &h| {
+            let store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let att = MultiHeadSelfAttention::new(&store, "sa", 1, D, 4, &mut rng);
+            let x = Tensor::randn(&[B, N, h, 1], &mut rng);
+            bench.iter(|| {
+                let g = Graph::new();
+                let xv = g.constant(x.clone());
+                std::hint::black_box(att.forward(&g, &xv).unwrap());
+            });
+        });
+        // Window attention with S=6, p=2 (the paper's long-horizon
+        // setting), ST-agnostic shared projections.
+        group.bench_with_input(BenchmarkId::new("window_WA", h), &h, |bench, &h| {
+            let store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let wa = WindowAttentionLayer::new(
+                &store,
+                "wa",
+                N,
+                h,
+                6,
+                2,
+                1,
+                D,
+                4,
+                AggregatorKind::Learned,
+                true,
+                true,
+                &mut rng,
+            )
+            .unwrap();
+            let x = Tensor::randn(&[B, N, h, 1], &mut rng);
+            bench.iter(|| {
+                let g = Graph::new();
+                let xv = g.constant(x.clone());
+                std::hint::black_box(wa.forward(&g, &xv, None).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

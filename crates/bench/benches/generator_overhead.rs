@@ -1,0 +1,72 @@
+//! Ablation bench: what does spatio-temporal aware parameter generation
+//! cost per forward pass?
+//!
+//! Times (1) the WA model (no generator), (2) S-WA (spatial latent +
+//! decoder), (3) ST-WA (+ variational encoder) — the overhead the
+//! paper's linear window attention is designed to leave room for
+//! (Table VIII's training-time column tells the same story end-to-end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_autograd::Graph;
+use stwa_core::{ForecastModel, StwaConfig, StwaModel};
+use stwa_tensor::Tensor;
+
+const N: usize = 16;
+const H: usize = 12;
+const U: usize = 12;
+const B: usize = 8;
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stwa_variant_forward");
+    group.sample_size(20);
+    let configs: Vec<(&str, StwaConfig)> = vec![
+        ("WA", StwaConfig::wa(N, H, U)),
+        ("S-WA", StwaConfig::s_wa(N, H, U)),
+        ("ST-WA", StwaConfig::st_wa(N, H, U)),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |bench| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let model = StwaModel::new(config.clone(), &mut rng).unwrap();
+            let x = Tensor::randn(&[B, N, H, 1], &mut rng);
+            bench.iter(|| {
+                let g = Graph::new();
+                let xv = g.constant(x.clone());
+                std::hint::black_box(model.forward(&g, &xv, &mut rng, true).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stwa_variant_train_step");
+    group.sample_size(10);
+    for (name, config) in [
+        ("WA", StwaConfig::wa(N, H, U)),
+        ("ST-WA", StwaConfig::st_wa(N, H, U)),
+    ] {
+        group.bench_function(name, |bench| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let model = StwaModel::new(config.clone(), &mut rng).unwrap();
+            let x = Tensor::randn(&[B, N, H, 1], &mut rng);
+            bench.iter(|| {
+                let g = Graph::new();
+                let xv = g.constant(x.clone());
+                let out = model.forward(&g, &xv, &mut rng, true).unwrap();
+                let mut loss = out.pred.square().unwrap().mean_all().unwrap();
+                if let Some(reg) = out.regularizer {
+                    loss = loss.add(&reg).unwrap();
+                }
+                g.backward(&loss).unwrap();
+                std::hint::black_box(());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_backward);
+criterion_main!(benches);

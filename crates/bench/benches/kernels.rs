@@ -1,0 +1,84 @@
+//! Substrate micro-benchmarks: the batched matmul and softmax kernels
+//! that dominate every model's runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_tensor::{linalg, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for size in [32usize, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("square", size), &size, |bench, &s| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let a = Tensor::randn(&[s, s], &mut rng);
+            let b = Tensor::randn(&[s, s], &mut rng);
+            bench.iter(|| std::hint::black_box(linalg::matmul(&a, &b).unwrap()));
+        });
+    }
+    // The batched shape window attention actually produces.
+    group.bench_function("batched_attention_shape", |bench| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Tensor::randn(&[32, 16, 2, 16], &mut rng); // proxies
+        let b = Tensor::randn(&[32, 16, 16, 6], &mut rng); // keys^T
+        bench.iter(|| std::hint::black_box(linalg::matmul(&a, &b).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    group.sample_size(30);
+    for rows in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("rows", rows), &rows, |bench, &r| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let x = Tensor::randn(&[r, 64], &mut rng);
+            bench.iter(|| std::hint::black_box(x.softmax(1).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_binary");
+    group.sample_size(30);
+    // Bias-add fast path vs general odometer path.
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = Tensor::randn(&[64, 128, 16], &mut rng);
+    let suffix_bias = Tensor::randn(&[16], &mut rng);
+    let middle = Tensor::randn(&[1, 128, 1], &mut rng);
+    group.bench_function("suffix_fast_path", |bench| {
+        bench.iter(|| std::hint::black_box(x.add(&suffix_bias).unwrap()));
+    });
+    group.bench_function("general_odometer", |bench| {
+        bench.iter(|| std::hint::black_box(x.add(&middle).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_tsne(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsne");
+    group.sample_size(10);
+    // The Fig. 9(b) workload: one 2-D point per sensor.
+    group.bench_function("64_points_100_iters", |bench| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = Tensor::randn(&[64, 16], &mut rng);
+        let config = stwa_tsne::TsneConfig {
+            iterations: 100,
+            perplexity: 8.0,
+            ..Default::default()
+        };
+        bench.iter(|| std::hint::black_box(stwa_tsne::tsne(&data, &config).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_softmax,
+    bench_broadcast,
+    bench_tsne
+);
+criterion_main!(benches);

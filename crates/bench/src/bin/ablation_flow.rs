@@ -1,0 +1,37 @@
+//! Extension experiments, PEMS04 at H = U = 12:
+//!
+//! 1. Gaussian latents (the paper's model) vs. planar-normalizing-flow
+//!    latents (the paper's stated future work, Section VI). The flow
+//!    replaces the analytic KL with a Monte-Carlo estimate and lets the
+//!    posterior over `Theta_t^(i)` leave the Gaussian family.
+//! 2. Generated per-sensor sensor-correlation transforms (the option
+//!    the paper sketches at the end of Section IV-C) vs. the default
+//!    shared transforms.
+
+use stwa_bench::harness::{metric_cells, ResultTable};
+use stwa_bench::{dataset_for, run_named_model, Args};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let (h, u) = (12, 12);
+    let dataset = dataset_for("PEMS04", &args);
+    let mut table = ResultTable::new(
+        "Extensions: flow latents and generated SCA, PEMS04",
+        &["variant", "MAE", "MAPE%", "RMSE"],
+    );
+    for (label, name) in [
+        ("ST-WA (paper)", "ST-WA"),
+        ("+ planar flow x2", "ST-WA(flow)"),
+        ("+ generated SCA", "ST-WA(gen-sca)"),
+    ] {
+        let report = run_named_model(name, &dataset, h, u, &args)?;
+        let r = &report;
+        {
+            let mut row = vec![label.to_string()];
+            row.extend(metric_cells(&r.test));
+            table.push(row);
+        }
+    }
+    table.emit(&args.out_dir, "ablation_flow")?;
+    Ok(())
+}

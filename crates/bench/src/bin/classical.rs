@@ -1,0 +1,77 @@
+//! Supplementary experiment — classical vs. deep forecasting.
+//!
+//! The paper's related work (Section II) dismisses ARIMA/VAR because
+//! they "cannot capture nonlinear patterns". This binary measures that
+//! claim on the synthetic PEMS-like data: AR(p) per sensor, VAR(p)
+//! jointly, a naive persistence forecaster, and ST-WA, on the default
+//! H=12 → U=12 task.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_baselines::{ArModel, VarModel};
+use stwa_bench::harness::{metric_cells, run_model, ResultTable};
+use stwa_bench::{dataset_for, Args};
+use stwa_core::{StwaConfig, StwaModel};
+use stwa_tensor::Tensor;
+use stwa_traffic::Metrics;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let (h, u) = (12, 12);
+    let dataset = dataset_for("PEMS04", &args);
+    let train = dataset.train(h, u, args.train_stride)?;
+    let test = dataset.test(h, u, args.eval_stride)?;
+    let scaler = dataset.scaler();
+
+    let mut table = ResultTable::new(
+        "Supplementary: classical vs deep, PEMS04 (H=12, U=12)",
+        &["model", "MAE", "MAPE%", "RMSE"],
+    );
+
+    // Persistence: repeat the last observed value.
+    let persistence = {
+        let samples = test.x.shape()[0];
+        let n = test.x.shape()[1];
+        Tensor::from_fn(&[samples, n, u, 1], |idx| {
+            test.x.at(&[idx[0], idx[1], h - 1, 0]) * scaler.std + scaler.mean
+        })
+    };
+    let m = Metrics::compute(&persistence, &test.y);
+    {
+        let mut row = vec!["Persistence".into()];
+        row.extend(metric_cells(&m));
+        table.push(row);
+    }
+
+    // AR(6) per sensor.
+    let ar = ArModel::fit(&train, 6, 1e-3)?;
+    let m = Metrics::compute(&ar.predict(&test.x, u, &scaler)?, &test.y);
+    {
+        let mut row = vec!["AR(6)".into()];
+        row.extend(metric_cells(&m));
+        table.push(row);
+    }
+
+    // VAR(3) jointly over sensors.
+    let var = VarModel::fit(&train, 3, 1e-2)?;
+    let m = Metrics::compute(&var.predict(&test.x, u, &scaler)?, &test.y);
+    {
+        let mut row = vec!["VAR(3)".into()];
+        row.extend(metric_cells(&m));
+        table.push(row);
+    }
+
+    // ST-WA, trained with the shared harness.
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let model = StwaModel::new(StwaConfig::st_wa(dataset.num_sensors(), h, u), &mut rng)?;
+    let report = run_model(&model, &dataset, h, u, &args)?;
+    let r = report.test;
+    {
+        let mut row = vec!["ST-WA".into()];
+        row.extend(metric_cells(&r));
+        table.push(row);
+    }
+
+    table.emit(&args.out_dir, "classical")?;
+    Ok(())
+}

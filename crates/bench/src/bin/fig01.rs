@@ -1,0 +1,102 @@
+//! Figure 1 — Example sensors and their time series.
+//!
+//! Exports one week of flow from four sensors: two on a commuter
+//! corridor (the paper's sensors 1/2, double weekday peak) and two on an
+//! arterial corridor (sensors 3/4, midday hump with gradual decline),
+//! plus the sensor map coordinates.
+//!
+//! Output: `results/fig01_series.csv` (step, s1..s4) and
+//! `results/fig01_sensors.csv` (id, corridor, kind, direction, x, y).
+
+use stwa_bench::{dataset_for, Args};
+use stwa_tensor::Tensor;
+use stwa_traffic::{export, CorridorKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let dataset = dataset_for("PEMS03", &args);
+    let network = dataset.network();
+
+    // Pick two commuter and two arterial sensors, adjacent on their
+    // corridors like the paper's Figure 1.
+    let pick = |kind: CorridorKind| -> Vec<usize> {
+        network
+            .sensors()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == kind && s.position < 2)
+            .map(|(i, _)| i)
+            .take(2)
+            .collect()
+    };
+    let commuter = pick(CorridorKind::Commuter);
+    let arterial = pick(CorridorKind::Arterial);
+    let chosen: Vec<usize> = commuter.iter().chain(arterial.iter()).copied().collect();
+    assert_eq!(chosen.len(), 4, "expected 2 commuter + 2 arterial sensors");
+
+    // One week starting on the first Monday (day 0).
+    let steps = 7 * 288;
+    let series = Tensor::from_fn(&[steps, 5], |idx| {
+        if idx[1] == 0 {
+            idx[0] as f32
+        } else {
+            dataset.raw().at(&[chosen[idx[1] - 1], idx[0], 0])
+        }
+    });
+    std::fs::create_dir_all(&args.out_dir)?;
+    let series_path = std::path::Path::new(&args.out_dir).join("fig01_series.csv");
+    export::write_matrix_csv(
+        &series_path,
+        &["step", "sensor1", "sensor2", "sensor3", "sensor4"],
+        &series,
+    )?;
+
+    let rows: Vec<Vec<String>> = chosen
+        .iter()
+        .map(|&i| {
+            let s = &network.sensors()[i];
+            vec![
+                i.to_string(),
+                s.corridor.to_string(),
+                format!("{:?}", s.kind),
+                format!("{:?}", s.direction),
+                format!("{:.3}", s.x),
+                format!("{:.3}", s.y),
+            ]
+        })
+        .collect();
+    let sensors_path = std::path::Path::new(&args.out_dir).join("fig01_sensors.csv");
+    export::write_records_csv(
+        &sensors_path,
+        &["sensor", "corridor", "kind", "direction", "x", "y"],
+        &rows,
+    )?;
+
+    println!(
+        "Figure 1 data: 1 week of flow from sensors {chosen:?} -> {} and {}",
+        series_path.display(),
+        sensors_path.display()
+    );
+    // Quick textual sanity print: weekday peaks of each sensor.
+    for (slot, &i) in chosen.iter().enumerate() {
+        let day = 1; // Tuesday
+        let mut peak_step = 0;
+        let mut peak = 0.0;
+        for t in day * 288..(day + 1) * 288 {
+            let v = dataset.raw().at(&[i, t, 0]);
+            if v > peak {
+                peak = v;
+                peak_step = t % 288;
+            }
+        }
+        println!(
+            "sensor{} (id {i}, {:?}): Tuesday peak {:.0} veh/5min at {:02}:{:02}",
+            slot + 1,
+            network.sensors()[i].kind,
+            peak,
+            peak_step / 12,
+            (peak_step % 12) * 5
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,220 @@
+//! Figure 9 — Visualizing the learned stochastic variables with t-SNE.
+//!
+//! (a) 2-D embedding of the generated projection matrices `phi_t^(i)`
+//!     across different time windows of a single sensor, labeled by
+//!     time-of-day and by the window's trend (up/down) — the paper shows
+//!     point clusters specializing in up/down trends.
+//! (b) 2-D embedding of every sensor's spatial latent mean `z^(i)`,
+//!     labeled by corridor — the paper shows same-street sensors
+//!     clustering together and opposite directions separating.
+//! (c) The physical sensor map (corridor + coordinates) to read (b)
+//!     against.
+//!
+//! Outputs: `results/fig09a_phi.csv`, `fig09b_z.csv`, `fig09c_map.csv`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_bench::harness::{run_model, ResultTable};
+use stwa_bench::{dataset_for, Args};
+use stwa_core::{StwaConfig, StwaModel};
+use stwa_tensor::{manip, Tensor};
+use stwa_traffic::export;
+use stwa_tsne::{tsne, TsneConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let (h, u) = (12, 12);
+    let dataset = dataset_for("PEMS08", &args);
+    let n = dataset.num_sensors();
+
+    // Train the full model so the latents carry signal.
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let model = StwaModel::new(StwaConfig::st_wa(n, h, u), &mut rng)?;
+    run_model(&model, &dataset, h, u, &args)?;
+
+    std::fs::create_dir_all(&args.out_dir)?;
+    let dir = std::path::Path::new(&args.out_dir);
+
+    // ---------------------------------------------------------------
+    // (a) phi_t^(i) across time windows of one sensor.
+    // ---------------------------------------------------------------
+    let sensor = 0usize;
+    let test = dataset.test(h, u, 1)?;
+    // Sample windows spread across the test range (covering all hours).
+    let num_samples = test.x.shape()[0];
+    let take = 144.min(num_samples);
+    let step = num_samples / take;
+    let indices: Vec<usize> = (0..take).map(|i| i * step).collect();
+    let xsel = test.x.index_select(0, &indices)?;
+    let phi = model
+        .generated_projections(&xsel, &mut rng)?
+        .expect("ST-WA generates projections");
+    // [take, N, F*d] -> this sensor's row per window.
+    let rows: Vec<Tensor> = (0..take)
+        .map(|i| {
+            phi.narrow(0, i, 1)
+                .and_then(|t| t.narrow(1, sensor, 1))
+                .and_then(|t| t.reshape(&[1, phi.shape()[2]]))
+                .expect("phi slicing")
+        })
+        .collect();
+    let refs: Vec<&Tensor> = rows.iter().collect();
+    let phi_mat = manip::concat(&refs, 0)?;
+    let embedded = tsne(
+        &phi_mat,
+        &TsneConfig {
+            perplexity: 10.0,
+            seed: args.seed,
+            ..TsneConfig::default()
+        },
+    )?;
+    // Label each window by its time-of-day and its trend (up/down) —
+    // the qualitative structure Figure 9(a) highlights.
+    let steps_per_day = 288;
+    let test_origin = dataset.num_timestamps() * 8 / 10;
+    let mut rows = Vec::with_capacity(take);
+    for (row, &sample_idx) in indices.iter().enumerate() {
+        let origin = test_origin + sample_idx;
+        let tod = (origin + h) % steps_per_day;
+        let first = xsel.at(&[row, sensor, 0, 0]);
+        let last = xsel.at(&[row, sensor, h - 1, 0]);
+        let trend = if last > first { "up" } else { "down" };
+        rows.push(vec![
+            format!("{:.4}", embedded.at(&[row, 0])),
+            format!("{:.4}", embedded.at(&[row, 1])),
+            format!("{:02}:{:02}", tod / 12, (tod % 12) * 5),
+            trend.to_string(),
+        ]);
+    }
+    export::write_records_csv(
+        &dir.join("fig09a_phi.csv"),
+        &["x", "y", "time", "trend"],
+        &rows,
+    )?;
+
+    // Shape check the paper's claim: up-trend and down-trend windows
+    // should form separable regions. Report the centroid distance.
+    let sep = trend_separation(&embedded, &rows);
+    println!("fig09(a): up/down trend centroid separation = {sep:.2} (higher = clearer clusters)");
+
+    // ---------------------------------------------------------------
+    // (b) z^(i) per sensor.
+    // ---------------------------------------------------------------
+    let z = model.spatial_latent_means().expect("spatial latents");
+    let zy = tsne(
+        &z,
+        &TsneConfig {
+            perplexity: 6.0,
+            seed: args.seed,
+            ..TsneConfig::default()
+        },
+    )?;
+    let network = dataset.network();
+    let rows_b: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let s = &network.sensors()[i];
+            vec![
+                format!("{:.4}", zy.at(&[i, 0])),
+                format!("{:.4}", zy.at(&[i, 1])),
+                s.corridor.to_string(),
+                format!("{:?}", s.kind),
+                format!("{:?}", s.direction),
+            ]
+        })
+        .collect();
+    export::write_records_csv(
+        &dir.join("fig09b_z.csv"),
+        &["x", "y", "corridor", "kind", "direction"],
+        &rows_b,
+    )?;
+
+    // Same-corridor compactness: mean within-corridor distance vs. the
+    // global mean pairwise distance (paper: corridors cluster).
+    let (within, global) = corridor_compactness(&zy, network);
+    println!(
+        "fig09(b): mean within-corridor distance {within:.2} vs global {global:.2} \
+         (within < global ⇒ same-street sensors cluster)"
+    );
+
+    // ---------------------------------------------------------------
+    // (c) sensor map.
+    // ---------------------------------------------------------------
+    let rows_c: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let s = &network.sensors()[i];
+            vec![
+                i.to_string(),
+                format!("{:.3}", s.x),
+                format!("{:.3}", s.y),
+                s.corridor.to_string(),
+                format!("{:?}", s.kind),
+                format!("{:?}", s.direction),
+            ]
+        })
+        .collect();
+    export::write_records_csv(
+        &dir.join("fig09c_map.csv"),
+        &["sensor", "x", "y", "corridor", "kind", "direction"],
+        &rows_c,
+    )?;
+
+    let mut summary = ResultTable::new("Figure 9 summary statistics", &["quantity", "value"]);
+    summary.push(vec!["phi up/down separation".into(), format!("{sep:.3}")]);
+    summary.push(vec![
+        "z within-corridor dist".into(),
+        format!("{within:.3}"),
+    ]);
+    summary.push(vec!["z global mean dist".into(), format!("{global:.3}")]);
+    summary.emit(&args.out_dir, "fig09_summary")?;
+    Ok(())
+}
+
+/// Distance between the centroids of up-trend and down-trend points,
+/// normalized by the mean point spread.
+fn trend_separation(embedded: &Tensor, rows: &[Vec<String>]) -> f32 {
+    let mut up = ([0f32; 2], 0usize);
+    let mut down = ([0f32; 2], 0usize);
+    for (i, row) in rows.iter().enumerate() {
+        let target = if row[3] == "up" { &mut up } else { &mut down };
+        target.0[0] += embedded.at(&[i, 0]);
+        target.0[1] += embedded.at(&[i, 1]);
+        target.1 += 1;
+    }
+    if up.1 == 0 || down.1 == 0 {
+        return 0.0;
+    }
+    let uc = [up.0[0] / up.1 as f32, up.0[1] / up.1 as f32];
+    let dc = [down.0[0] / down.1 as f32, down.0[1] / down.1 as f32];
+    let spread: f32 = (0..rows.len())
+        .map(|i| (embedded.at(&[i, 0]).powi(2) + embedded.at(&[i, 1]).powi(2)).sqrt())
+        .sum::<f32>()
+        / rows.len() as f32;
+    ((uc[0] - dc[0]).powi(2) + (uc[1] - dc[1]).powi(2)).sqrt() / spread.max(1e-6)
+}
+
+/// Mean within-corridor pairwise distance vs. global mean pairwise
+/// distance in the 2-D embedding.
+fn corridor_compactness(zy: &Tensor, network: &stwa_traffic::RoadNetwork) -> (f32, f32) {
+    let n = zy.shape()[0];
+    let dist = |i: usize, j: usize| -> f32 {
+        ((zy.at(&[i, 0]) - zy.at(&[j, 0])).powi(2) + (zy.at(&[i, 1]) - zy.at(&[j, 1])).powi(2))
+            .sqrt()
+    };
+    let mut within = (0f32, 0usize);
+    let mut global = (0f32, 0usize);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(i, j);
+            global.0 += d;
+            global.1 += 1;
+            if network.sensors()[i].corridor == network.sensors()[j].corridor {
+                within.0 += d;
+                within.1 += 1;
+            }
+        }
+    }
+    (
+        within.0 / within.1.max(1) as f32,
+        global.0 / global.1.max(1) as f32,
+    )
+}

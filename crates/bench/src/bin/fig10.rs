@@ -1,0 +1,44 @@
+//! Figure 10 — Training runtime (seconds/epoch) vs. the historical
+//! window H ∈ {12, 36, 120}, PEMS04, for STFGNN, EnhanceNet, AGCRN and
+//! ST-WA.
+//!
+//! Paper shape: the baselines' per-epoch time grows steeply with H while
+//! ST-WA grows gently (linear window attention) — at H=120 ST-WA is the
+//! cheapest by a wide margin.
+//!
+//! Each model trains `--epochs` epochs (default here: 2 — runtime is the
+//! quantity of interest) and the mean s/epoch is reported.
+
+use stwa_bench::harness::ResultTable;
+use stwa_bench::{dataset_for, run_named_model, Args};
+
+const MODELS: [&str; 4] = ["STFGNN", "EnhanceNet", "AGCRN", "ST-WA"];
+const HISTORIES: [usize; 3] = [12, 36, 120];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = Args::parse();
+    // Runtime measurement does not need many epochs; honor an explicit
+    // --epochs but default to a quick pass.
+    if std::env::args().all(|a| a != "--epochs") {
+        args.epochs = 2;
+    }
+    let u = 12;
+    let dataset = dataset_for("PEMS04", &args);
+    let mut table = ResultTable::new(
+        "Figure 10: Training runtime (s/epoch) vs H, PEMS04",
+        &["model", "H=12", "H=36", "H=120"],
+    );
+    for model in MODELS {
+        if !args.wants_model(model) {
+            continue;
+        }
+        let mut cells = vec![model.to_string()];
+        for h in HISTORIES {
+            let report = run_named_model(model, &dataset, h, u, &args)?;
+            cells.push(format!("{:.2}", report.epoch_seconds));
+        }
+        table.push(cells);
+    }
+    table.emit(&args.out_dir, "fig10")?;
+    Ok(())
+}

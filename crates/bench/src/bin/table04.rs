@@ -1,0 +1,60 @@
+//! Table IV — Overall accuracy, H = 12, U = 12.
+//!
+//! Trains the paper's 12 Table-IV models on all four PEMS-like datasets
+//! and prints MAE / MAPE / RMSE per (dataset, model), in the paper's
+//! column order.
+//!
+//! Paper shape to check (see EXPERIMENTS.md): ST-WA best on most
+//! metrics; the spatial-aware models (EnhanceNet, AGCRN) ahead of the
+//! ST-agnostic pack; meta-LSTM worst (no sensor correlations).
+
+use stwa_bench::harness::{metric_cells, ResultTable};
+use stwa_bench::{dataset_for, run_named_model, Args};
+
+const MODELS: [&str; 12] = [
+    "LongFormer",
+    "DCRNN",
+    "STGCN",
+    "STG2Seq",
+    "GWN",
+    "STSGCN",
+    "ASTGNN",
+    "STFGNN",
+    "EnhanceNet",
+    "AGCRN",
+    "meta-LSTM",
+    "ST-WA",
+];
+const DATASETS: [&str; 4] = ["PEMS03", "PEMS04", "PEMS07", "PEMS08"];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let (h, u) = (12, 12);
+    let mut table = ResultTable::new(
+        "Table IV: Overall accuracy, H=12, U=12",
+        &[
+            "dataset", "model", "MAE", "MAPE%", "RMSE", "s/epoch", "params",
+        ],
+    );
+    for ds_name in DATASETS {
+        if !args.wants_dataset(ds_name) {
+            continue;
+        }
+        let dataset = dataset_for(ds_name, &args);
+        for model in MODELS {
+            if !args.wants_model(model) {
+                continue;
+            }
+            let report = run_named_model(model, &dataset, h, u, &args)?;
+            let r = &report;
+            {
+                let mut row = vec![ds_name.to_string(), model.to_string()];
+                row.extend(metric_cells(&r.test));
+                row.extend([format!("{:.2}", r.epoch_seconds), r.param_count.to_string()]);
+                table.push(row);
+            }
+        }
+    }
+    table.emit(&args.out_dir, "table04")?;
+    Ok(())
+}

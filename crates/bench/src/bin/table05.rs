@@ -1,0 +1,39 @@
+//! Table V — Impact of the historical window H ∈ {12, 36, 120} on
+//! PEMS04, U = 12, for the top baselines (STFGNN, EnhanceNet, AGCRN) and
+//! ST-WA.
+//!
+//! Paper shape: ST-WA improves (or holds) as H grows while the baselines
+//! stagnate or lose accuracy — the window attention exploits long
+//! history without drowning in it.
+
+use stwa_bench::harness::{metric_cells, ResultTable};
+use stwa_bench::{dataset_for, run_named_model, Args};
+
+const MODELS: [&str; 4] = ["STFGNN", "EnhanceNet", "AGCRN", "ST-WA"];
+const HISTORIES: [usize; 3] = [12, 36, 120];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let u = 12;
+    let dataset = dataset_for("PEMS04", &args);
+    let mut table = ResultTable::new(
+        "Table V: Impact of H, PEMS04 (U=12)",
+        &["H", "model", "MAE", "MAPE%", "RMSE"],
+    );
+    for h in HISTORIES {
+        for model in MODELS {
+            if !args.wants_model(model) {
+                continue;
+            }
+            let report = run_named_model(model, &dataset, h, u, &args)?;
+            let r = &report;
+            {
+                let mut row = vec![h.to_string(), model.to_string()];
+                row.extend(metric_cells(&r.test));
+                table.push(row);
+            }
+        }
+    }
+    table.emit(&args.out_dir, "table05")?;
+    Ok(())
+}

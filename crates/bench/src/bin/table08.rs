@@ -1,0 +1,45 @@
+//! Table VIII — Ablation on PEMS04: SA (canonical attention), WA-1
+//! (single window-attention layer), WA (stacked), S-WA (spatial-aware
+//! generation), ST-WA (full model); reporting accuracy plus training
+//! seconds/epoch, peak memory, and parameter count.
+//!
+//! Paper shape: WA-1 much faster and lighter than SA at similar-or-better
+//! accuracy; accuracy improves monotonically WA-1 → WA → S-WA → ST-WA
+//! while cost grows moderately.
+
+use stwa_bench::harness::{metric_cells, ResultTable};
+use stwa_bench::{dataset_for, run_named_model, Args};
+use stwa_tensor::memory;
+
+const MODELS: [&str; 5] = ["SA", "WA-1", "WA", "S-WA", "ST-WA"];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let (h, u) = (12, 12);
+    let dataset = dataset_for("PEMS04", &args);
+    let mut table = ResultTable::new(
+        "Table VIII: Ablation study on PEMS04",
+        &[
+            "model", "MAE", "MAPE%", "RMSE", "s/epoch", "peak mem", "params",
+        ],
+    );
+    for model in MODELS {
+        if !args.wants_model(model) {
+            continue;
+        }
+        let report = run_named_model(model, &dataset, h, u, &args)?;
+        let r = &report;
+        {
+            let mut row = vec![model.to_string()];
+            row.extend(metric_cells(&r.test));
+            row.extend([
+                format!("{:.2}", r.epoch_seconds),
+                memory::format_bytes(r.peak_bytes),
+                r.param_count.to_string(),
+            ]);
+            table.push(row);
+        }
+    }
+    table.emit(&args.out_dir, "table08")?;
+    Ok(())
+}

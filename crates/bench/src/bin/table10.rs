@@ -1,0 +1,28 @@
+//! Table X — Effect of the KL regularization term (Eq. 20) on PEMS04.
+//!
+//! Paper shape: removing the regularizer costs a small but consistent
+//! amount of accuracy.
+
+use stwa_bench::harness::{metric_cells, ResultTable};
+use stwa_bench::{dataset_for, run_named_model, Args};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let (h, u) = (12, 12);
+    let dataset = dataset_for("PEMS04", &args);
+    let mut table = ResultTable::new(
+        "Table X: Effect of the KL regularizer, PEMS04",
+        &["variant", "MAE", "MAPE%", "RMSE"],
+    );
+    for (label, name) in [("With", "ST-WA"), ("Without", "ST-WA(no-KL)")] {
+        let report = run_named_model(name, &dataset, h, u, &args)?;
+        let r = &report;
+        {
+            let mut row = vec![label.to_string()];
+            row.extend(metric_cells(&r.test));
+            table.push(row);
+        }
+    }
+    table.emit(&args.out_dir, "table10")?;
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Table XI — Stochastic vs. deterministic latent variables on PEMS04.
+//!
+//! The deterministic variant replaces `z^(i)` and `z_t^(i)` with plain
+//! vectors (no sampling, no KL) — the paper's claim is that the
+//! stochastic version consistently wins.
+
+use stwa_bench::harness::{metric_cells, ResultTable};
+use stwa_bench::{dataset_for, run_named_model, Args};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let (h, u) = (12, 12);
+    let dataset = dataset_for("PEMS04", &args);
+    let mut table = ResultTable::new(
+        "Table XI: Stochastic vs deterministic latents, PEMS04",
+        &["variant", "MAE", "MAPE%", "RMSE"],
+    );
+    for (label, name) in [("ST-WA", "ST-WA"), ("Deterministic ST-WA", "ST-WA(det)")] {
+        let report = run_named_model(name, &dataset, h, u, &args)?;
+        let r = &report;
+        {
+            let mut row = vec![label.to_string()];
+            row.extend(metric_cells(&r.test));
+            table.push(row);
+        }
+    }
+    table.emit(&args.out_dir, "table11")?;
+    Ok(())
+}

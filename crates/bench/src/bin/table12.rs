@@ -1,0 +1,34 @@
+//! Table XII — Effect of the latent size k ∈ {4, 8, 16, 32} on PEMS04.
+//!
+//! Paper shape: too-small k underfits the per-location dynamics,
+//! too-large k overfits; the sweet spot sits in the middle (paper: 16).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_bench::harness::{metric_cells, run_model, ResultTable};
+use stwa_bench::{dataset_for, Args};
+use stwa_core::{StwaConfig, StwaModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let (h, u) = (12, 12);
+    let dataset = dataset_for("PEMS04", &args);
+    let mut table = ResultTable::new(
+        "Table XII: Effect of latent size k, PEMS04",
+        &["k", "MAE", "MAPE%", "RMSE"],
+    );
+    for k in [4usize, 8, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let config = StwaConfig::st_wa(dataset.num_sensors(), h, u).with_k(k);
+        let model = StwaModel::new(config, &mut rng)?;
+        let report = run_model(&model, &dataset, h, u, &args)?;
+        let r = &report;
+        {
+            let mut row = vec![k.to_string()];
+            row.extend(metric_cells(&r.test));
+            table.push(row);
+        }
+    }
+    table.emit(&args.out_dir, "table12")?;
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Table XIII — Effect of the number of proxies p ∈ {1, 2, 3} at the
+//! long-horizon setting (H = 72, U = 72, PEMS04), with training time and
+//! parameter counts.
+//!
+//! Paper shape: more proxies buy a little accuracy at a roughly linear
+//! cost in time and parameters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_bench::harness::{metric_cells, run_model, ResultTable};
+use stwa_bench::{dataset_for, Args};
+use stwa_core::{StwaConfig, StwaModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = Args::parse();
+    args.train_stride = args.train_stride.max(6);
+    args.eval_stride = args.eval_stride.max(6);
+    let (h, u) = (72, 72);
+    let dataset = dataset_for("PEMS04", &args);
+    let mut table = ResultTable::new(
+        "Table XIII: Effect of number of proxies p, PEMS04 (H=72, U=72)",
+        &["p", "MAE", "MAPE%", "RMSE", "s/epoch", "params"],
+    );
+    for p in [1usize, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let config = StwaConfig::st_wa(dataset.num_sensors(), h, u)
+            .with_windows(&[6, 6, 2])
+            .with_proxies(p);
+        let model = StwaModel::new(config, &mut rng)?;
+        let report = run_model(&model, &dataset, h, u, &args)?;
+        let r = &report;
+        {
+            let mut row = vec![p.to_string()];
+            row.extend(metric_cells(&r.test));
+            row.extend([format!("{:.2}", r.epoch_seconds), r.param_count.to_string()]);
+            table.push(row);
+        }
+    }
+    table.emit(&args.out_dir, "table13")?;
+    Ok(())
+}

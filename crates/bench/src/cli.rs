@@ -1,0 +1,198 @@
+//! Minimal flag parsing shared by every experiment binary (keeps the
+//! workspace off heavyweight CLI dependencies).
+
+/// Flags understood by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Training epochs per model.
+    pub epochs: usize,
+    /// Window-origin stride for training samples (1 = paper protocol).
+    pub train_stride: usize,
+    /// Window-origin stride for validation/test samples.
+    pub eval_stride: usize,
+    /// Batch size.
+    pub batch_size: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Use the paper's full-scale dataset dimensions (slow on CPU).
+    pub full_scale: bool,
+    /// Optional subset of model names to run.
+    pub models: Option<Vec<String>>,
+    /// Optional subset of dataset names to run (e.g. PEMS04).
+    pub datasets: Option<Vec<String>>,
+    /// Output directory for CSVs.
+    pub out_dir: String,
+    /// Print per-epoch progress.
+    pub verbose: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            epochs: 20,
+            train_stride: 3,
+            eval_stride: 4,
+            batch_size: 32,
+            seed: 1,
+            full_scale: false,
+            models: None,
+            datasets: None,
+            out_dir: "results".to_string(),
+            verbose: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parse from `std::env::args`, exiting with usage text on error.
+    pub fn parse() -> Args {
+        match Args::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{}", Args::usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an iterator of argument strings.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+            match flag.as_str() {
+                "--epochs" => out.epochs = parse_num(&value("--epochs")?)?,
+                "--train-stride" => out.train_stride = parse_num(&value("--train-stride")?)?,
+                "--eval-stride" => out.eval_stride = parse_num(&value("--eval-stride")?)?,
+                "--batch-size" => out.batch_size = parse_num(&value("--batch-size")?)?,
+                "--seed" => out.seed = parse_num(&value("--seed")?)? as u64,
+                "--full-scale" => out.full_scale = true,
+                "--models" => {
+                    out.models = Some(
+                        value("--models")?
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                    )
+                }
+                "--datasets" => {
+                    out.datasets = Some(
+                        value("--datasets")?
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                    )
+                }
+                "--out-dir" => out.out_dir = value("--out-dir")?,
+                "--verbose" | "-v" => out.verbose = true,
+                "--help" | "-h" => {
+                    println!("{}", Args::usage());
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        if out.epochs == 0 || out.train_stride == 0 || out.eval_stride == 0 || out.batch_size == 0 {
+            return Err("numeric flags must be positive".to_string());
+        }
+        Ok(out)
+    }
+
+    /// Usage text.
+    pub fn usage() -> String {
+        "usage: <experiment> [--epochs N] [--train-stride N] [--eval-stride N] \
+         [--batch-size N] [--seed N] [--full-scale] [--models a,b,c] \
+         [--datasets PEMS04,PEMS08] [--out-dir DIR] [--verbose]"
+            .to_string()
+    }
+
+    /// Whether `model` should run under the `--models` filter.
+    pub fn wants_model(&self, model: &str) -> bool {
+        match &self.models {
+            None => true,
+            Some(list) => list.iter().any(|m| m == model),
+        }
+    }
+
+    /// Whether `dataset` should run under the `--datasets` filter.
+    pub fn wants_dataset(&self, dataset: &str) -> bool {
+        match &self.datasets {
+            None => true,
+            Some(list) => list.iter().any(|d| d == dataset),
+        }
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("'{s}' is not a number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.epochs, 20);
+        assert!(!a.full_scale);
+        assert!(a.models.is_none());
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&[
+            "--epochs",
+            "5",
+            "--seed",
+            "9",
+            "--full-scale",
+            "--models",
+            "GRU,ST-WA",
+            "--out-dir",
+            "/tmp/x",
+            "--verbose",
+        ])
+        .unwrap();
+        assert_eq!(a.epochs, 5);
+        assert_eq!(a.seed, 9);
+        assert!(a.full_scale);
+        assert!(a.verbose);
+        assert_eq!(a.out_dir, "/tmp/x");
+        assert!(a.wants_model("GRU"));
+        assert!(a.wants_model("ST-WA"));
+        assert!(!a.wants_model("DCRNN"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--epochs"]).is_err());
+        assert!(parse(&["--epochs", "zero"]).is_err());
+        assert!(parse(&["--epochs", "0"]).is_err());
+        assert!(parse(&["--what"]).is_err());
+    }
+
+    #[test]
+    fn no_filter_accepts_everything() {
+        let a = parse(&[]).unwrap();
+        assert!(a.wants_model("anything"));
+        assert!(a.wants_dataset("PEMS99"));
+    }
+
+    #[test]
+    fn dataset_filter() {
+        let a = parse(&["--datasets", "PEMS04, PEMS08"]).unwrap();
+        assert!(a.wants_dataset("PEMS04"));
+        assert!(a.wants_dataset("PEMS08"));
+        assert!(!a.wants_dataset("PEMS03"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Shared experiment plumbing: dataset construction, single-model runs,
+//! and aligned table printing + CSV export.
+
+use crate::cli::Args;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use stwa_baselines::build_model;
+use stwa_core::{ForecastModel, TrainConfig, TrainReport, Trainer};
+use stwa_tensor::Result;
+use stwa_traffic::{export, DatasetConfig, TrafficDataset};
+
+/// Build (and cache-key by name) the dataset an experiment asks for.
+pub fn dataset_for(name: &str, args: &Args) -> TrafficDataset {
+    let config = match name {
+        "PEMS03" => DatasetConfig::pems03_like(),
+        "PEMS04" => DatasetConfig::pems04_like(),
+        "PEMS07" => DatasetConfig::pems07_like(),
+        "PEMS08" => DatasetConfig::pems08_like(),
+        other => panic!("unknown dataset '{other}'"),
+    };
+    let config = if args.full_scale {
+        config.full_scale()
+    } else {
+        config
+    };
+    TrafficDataset::generate(config)
+}
+
+/// The trainer an experiment's `Args` describe.
+pub fn trainer_for(args: &Args) -> Trainer {
+    Trainer::new(TrainConfig {
+        epochs: args.epochs,
+        batch_size: args.batch_size,
+        train_stride: args.train_stride,
+        eval_stride: args.eval_stride,
+        seed: args.seed,
+        verbose: args.verbose,
+        ..TrainConfig::default()
+    })
+}
+
+/// Train a registry model by name and report. Prints a progress line so
+/// long experiment runs stay observable.
+pub fn run_named_model(
+    name: &str,
+    dataset: &TrafficDataset,
+    h: usize,
+    u: usize,
+    args: &Args,
+) -> Result<TrainReport> {
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let n = dataset.num_sensors();
+    let adj = dataset.network().adjacency();
+    let model = build_model(name, n, h, u, &adj, &mut rng)?;
+    run_model(model.as_ref(), dataset, h, u, args)
+}
+
+/// Train an already-built model and report.
+pub fn run_model(
+    model: &dyn ForecastModel,
+    dataset: &TrafficDataset,
+    h: usize,
+    u: usize,
+    args: &Args,
+) -> Result<TrainReport> {
+    eprintln!(
+        "== training {} on {} (H={h}, U={u}, epochs={}) ...",
+        model.name(),
+        dataset.config().name,
+        args.epochs
+    );
+    let trainer = trainer_for(args);
+    let report = trainer.train(model, dataset, h, u)?;
+    eprintln!(
+        "   {}: test {}  ({:.2}s/epoch, {} params)",
+        model.name(),
+        report.test,
+        report.epoch_seconds,
+        report.param_count
+    );
+    Ok(report)
+}
+
+/// An aligned text table that doubles as a CSV writer — every experiment
+/// binary prints one of these in the paper's layout.
+pub struct ResultTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    pub fn new(title: &str, headers: &[&str]) -> ResultTable {
+        ResultTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout and write `<out_dir>/<file>.csv`.
+    pub fn emit(&self, out_dir: &str, file: &str) -> std::io::Result<()> {
+        if self.rows.is_empty() {
+            eprintln!(
+                "warning: '{}' produced no rows — check --models/--datasets filters",
+                self.title
+            );
+        }
+        println!("{}", self.render());
+        std::fs::create_dir_all(out_dir)?;
+        let path = Path::new(out_dir).join(format!("{file}.csv"));
+        let headers: Vec<&str> = self.headers.iter().map(|s| s.as_str()).collect();
+        export::write_records_csv(&path, &headers, &self.rows)?;
+        eprintln!("wrote {}", path.display());
+        Ok(())
+    }
+}
+
+/// Format a float metric cell.
+pub fn cell(v: f32) -> String {
+    format!("{v:.2}")
+}
+
+/// The MAE / MAPE / RMSE cell triple every accuracy table prints.
+pub fn metric_cells(m: &stwa_traffic::Metrics) -> [String; 3] {
+    [cell(m.mae), cell(m.mape), cell(m.rmse)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = ResultTable::new("Demo", &["model", "MAE"]);
+        t.push(vec!["ST-WA".into(), "19.06".into()]);
+        t.push(vec!["G".into(), "22.1".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("ST-WA"));
+        // Right-aligned columns: 'G' padded to the width of 'ST-WA'.
+        assert!(s.contains("    G"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_bad_rows() {
+        let mut t = ResultTable::new("Demo", &["a", "b"]);
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn dataset_for_names() {
+        let args = Args::default();
+        let ds = dataset_for("PEMS08", &args);
+        assert_eq!(ds.config().name, "PEMS08");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn dataset_for_unknown_panics() {
+        dataset_for("PEMS99", &Args::default());
+    }
+
+    #[test]
+    fn quick_end_to_end_run() {
+        // One tiny training run through the harness.
+        let args = Args {
+            epochs: 1,
+            train_stride: 24,
+            eval_stride: 24,
+            ..Args::default()
+        };
+        let ds = TrafficDataset::generate(DatasetConfig::small());
+        let report = run_named_model("GRU", &ds, 12, 3, &args).unwrap();
+        assert!(report.test.mae.is_finite());
+    }
+}

@@ -1,0 +1,200 @@
+//! Sensor Correlation Attention (paper Section IV-C, Eq. 15–16):
+//! embedded-Gaussian attention across the N sensors within a window.
+
+use rand::Rng;
+use stwa_autograd::{Graph, Var};
+use stwa_nn::layers::Linear;
+use stwa_nn::ParamStore;
+use stwa_tensor::{Result, TensorError};
+
+/// `B(h_i, h_j) = softmax_j( theta1(h_i)^T theta2(h_j) )`, followed by
+/// `h̄_i = sum_j B(h_i, h_j) * h_j` — i.e. each sensor re-weights the
+/// other sensors' window summaries by learned similarity.
+pub struct SensorCorrelationAttention {
+    /// Shared embedding transforms; absent when the layer always
+    /// receives generated per-sensor transforms (Section IV-C variant),
+    /// so no orphan parameters are registered.
+    theta1: Option<Linear>,
+    theta2: Option<Linear>,
+    d: usize,
+}
+
+impl SensorCorrelationAttention {
+    pub fn new(store: &ParamStore, name: &str, d: usize, rng: &mut impl Rng) -> Self {
+        SensorCorrelationAttention {
+            theta1: Some(Linear::new_no_bias(
+                store,
+                &format!("{name}.theta1"),
+                d,
+                d,
+                rng,
+            )),
+            theta2: Some(Linear::new_no_bias(
+                store,
+                &format!("{name}.theta2"),
+                d,
+                d,
+                rng,
+            )),
+            d,
+        }
+    }
+
+    /// A variant with no shared transforms — every forward pass must go
+    /// through [`SensorCorrelationAttention::forward_with`] with
+    /// generated `theta1`/`theta2`.
+    pub fn new_generated(d: usize) -> Self {
+        SensorCorrelationAttention {
+            theta1: None,
+            theta2: None,
+            d,
+        }
+    }
+
+    /// `h` is `[..., N, d]`; returns the correlated representation of the
+    /// same shape. The attention (softmax) axis is the *source sensor*
+    /// axis `j`.
+    pub fn forward(&self, graph: &Graph, h: &Var) -> Result<Var> {
+        let shape = h.shape();
+        let rank = shape.len();
+        if rank < 2 || shape[rank - 1] != self.d {
+            return Err(TensorError::Invalid(format!(
+                "SensorCorrelationAttention: expected [..., N, {}], got {shape:?}",
+                self.d
+            )));
+        }
+        let (Some(theta1), Some(theta2)) = (&self.theta1, &self.theta2) else {
+            return Err(TensorError::Invalid(
+                "SensorCorrelationAttention built for generated transforms \
+                 requires forward_with"
+                    .into(),
+            ));
+        };
+        let q = theta1.forward(graph, h)?; // [..., N, d]
+        let k = theta2.forward(graph, h)?;
+        let _ = rank;
+        self.attend(&q, &k, h)
+    }
+
+    /// Eq. 15–16 with *generated* per-sensor embedding transforms — the
+    /// option the paper sketches at the end of Section IV-C ("we can use
+    /// the model parameters generation process ... to generate a
+    /// distinct set of transformation matrices for each sensor").
+    ///
+    /// `h` is `[B, N, d]`; `t1`/`t2` are `[B, N, d, d]`.
+    pub fn forward_with(&self, _graph: &Graph, h: &Var, t1: &Var, t2: &Var) -> Result<Var> {
+        let shape = h.shape();
+        if shape.len() != 3 || shape[2] != self.d {
+            return Err(TensorError::Invalid(format!(
+                "SensorCorrelationAttention::forward_with: expected [B, N, {}], got {shape:?}",
+                self.d
+            )));
+        }
+        // Per-sensor projections: [B, N, 1, d] @ [B, N, d, d].
+        let rows = h.unsqueeze(2)?;
+        let q = rows.matmul(t1)?.squeeze(2)?; // [B, N, d]
+        let k = rows.matmul(t2)?.squeeze(2)?;
+        self.attend(&q, &k, h)
+    }
+
+    /// Eq. 15–16 core shared by both transform sources: softmax over the
+    /// source-sensor axis of `q k^T / sqrt(d)`, then mix the raw window
+    /// summaries. Scaling is a monotone logit rescaling that the softmax
+    /// normalization absorbs; it only adds numerical headroom.
+    fn attend(&self, q: &Var, k: &Var, h: &Var) -> Result<Var> {
+        let scores = q
+            .matmul(&k.transpose_last2()?)?
+            .mul_scalar(1.0 / (self.d as f32).sqrt()); // [..., N, N]
+        let weights = scores.softmax(scores.shape().len() - 1)?;
+        weights.matmul(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stwa_tensor::Tensor;
+
+    fn mk(d: usize) -> (ParamStore, SensorCorrelationAttention, StdRng) {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sca = SensorCorrelationAttention::new(&store, "sca", d, &mut rng);
+        (store, sca, rng)
+    }
+
+    #[test]
+    fn preserves_shape() {
+        let (_s, sca, mut rng) = mk(6);
+        let g = Graph::new();
+        let h = g.constant(Tensor::randn(&[3, 5, 6], &mut rng));
+        let out = sca.forward(&g, &h).unwrap();
+        assert_eq!(out.shape(), vec![3, 5, 6]);
+    }
+
+    #[test]
+    fn output_is_convex_combination_of_sensors() {
+        let (_s, sca, mut rng) = mk(4);
+        let g = Graph::new();
+        let h = g.constant(Tensor::randn(&[1, 6, 4], &mut rng));
+        let out = sca.forward(&g, &h).unwrap();
+        let hv = h.value();
+        let ov = out.value();
+        for c in 0..4 {
+            let lo = (0..6)
+                .map(|n| hv.at(&[0, n, c]))
+                .fold(f32::INFINITY, f32::min);
+            let hi = (0..6)
+                .map(|n| hv.at(&[0, n, c]))
+                .fold(f32::NEG_INFINITY, f32::max);
+            for n in 0..6 {
+                let v = ov.at(&[0, n, c]);
+                assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_sensors_map_to_identical_outputs() {
+        let (_s, sca, _rng) = mk(3);
+        let g = Graph::new();
+        let row = Tensor::from_vec(vec![1.0, -0.5, 2.0], &[3]).unwrap();
+        let h = g.constant(row.broadcast_to(&[1, 4, 3]).unwrap());
+        let out = sca.forward(&g, &h).unwrap();
+        let ov = out.value();
+        for n in 1..4 {
+            for c in 0..3 {
+                assert!((ov.at(&[0, n, c]) - ov.at(&[0, 0, c])).abs() < 1e-5);
+            }
+        }
+        // And each output equals the (uniform) average = the shared row.
+        for c in 0..3 {
+            assert!((ov.at(&[0, 0, c]) - row.data()[c]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_both_embeddings() {
+        let (store, sca, mut rng) = mk(4);
+        let g = Graph::new();
+        let h = g.constant(Tensor::randn(&[2, 3, 4], &mut rng));
+        let loss = sca
+            .forward(&g, &h)
+            .unwrap()
+            .square()
+            .unwrap()
+            .sum_all()
+            .unwrap();
+        g.backward(&loss).unwrap();
+        assert!(store.params().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn wrong_feature_dim_rejected() {
+        let (_s, sca, _r) = mk(4);
+        let g = Graph::new();
+        let h = g.constant(Tensor::zeros(&[1, 3, 5]));
+        assert!(sca.forward(&g, &h).is_err());
+    }
+}

@@ -1,0 +1,460 @@
+//! Training and evaluation harness shared by every model in the
+//! workspace (ST-WA, its ablations, and all baselines).
+//!
+//! Optimizes the paper's Eq. 20 objective — Huber prediction loss plus
+//! an optional (already `alpha`-weighted) regularizer the model returns —
+//! with Adam, early stopping on validation MAE, epoch timing (Table VIII,
+//! Fig. 10) and peak-memory tracking (Tables VI, VIII).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use stwa_autograd::{Graph, Var};
+use stwa_nn::batch::BatchIter;
+use stwa_nn::loss::huber;
+use stwa_nn::optim::{Adam, Optimizer};
+use stwa_nn::ParamStore;
+use stwa_tensor::{memory, Result, Tensor};
+use stwa_traffic::{Metrics, Scaler, SplitTensors, TrafficDataset};
+
+/// What a model forward pass returns.
+pub struct ForwardOutput {
+    /// Normalized-scale predictions `[B, N, U, F]`.
+    pub pred: Var,
+    /// Optional extra loss term (e.g. `alpha * KL`), already weighted.
+    pub regularizer: Option<Var>,
+}
+
+impl ForwardOutput {
+    /// Output with no extra loss term — what every non-variational model
+    /// returns.
+    pub fn plain(pred: Var) -> ForwardOutput {
+        ForwardOutput {
+            pred,
+            regularizer: None,
+        }
+    }
+}
+
+/// Anything the [`Trainer`] can optimize.
+pub trait ForecastModel {
+    /// Display name for tables.
+    fn name(&self) -> String;
+    /// The model's parameters.
+    fn store(&self) -> &ParamStore;
+    /// One forward pass over a normalized batch `[B, N, H, F]`.
+    ///
+    /// `training` distinguishes the stochastic training pass (latents
+    /// sampled via reparameterization) from evaluation (posterior means,
+    /// the standard variational-inference prediction rule). Models
+    /// without stochastic parts ignore it.
+    fn forward(
+        &self,
+        graph: &Graph,
+        x: &Var,
+        rng: &mut StdRng,
+        training: bool,
+    ) -> Result<ForwardOutput>;
+}
+
+/// Training hyperparameters (paper Section V-A defaults, scaled down in
+/// epoch count for the synthetic reruns).
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    pub grad_clip: Option<f32>,
+    /// Early-stopping patience in epochs (paper: 15).
+    pub patience: usize,
+    pub huber_delta: f32,
+    pub seed: u64,
+    /// Window-origin stride when building training samples (1 = paper
+    /// protocol; larger = faster reruns).
+    pub train_stride: usize,
+    /// Stride for validation/test samples.
+    pub eval_stride: usize,
+    /// Print progress lines.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 12,
+            batch_size: 32,
+            lr: 1e-3,
+            grad_clip: Some(5.0),
+            patience: 15,
+            huber_delta: 1.0,
+            seed: 1,
+            train_stride: 3,
+            eval_stride: 3,
+            verbose: false,
+        }
+    }
+}
+
+/// Everything a paper table needs about one training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    pub model: String,
+    pub dataset: String,
+    pub epochs_run: usize,
+    /// Mean wall-clock seconds per training epoch.
+    pub epoch_seconds: f64,
+    /// Peak live tensor bytes observed during training.
+    pub peak_bytes: usize,
+    /// Total scalar parameter count.
+    pub param_count: usize,
+    /// Best validation MAE seen (early-stopping criterion).
+    pub best_val_mae: f32,
+    /// Test metrics at the best validation epoch.
+    pub test: Metrics,
+    /// `(train_loss, val_mae)` per epoch.
+    pub history: Vec<(f32, f32)>,
+}
+
+/// Model-agnostic trainer.
+pub struct Trainer {
+    pub config: TrainConfig,
+}
+
+impl Trainer {
+    pub fn new(config: TrainConfig) -> Trainer {
+        Trainer { config }
+    }
+
+    /// Train `model` on `dataset` for horizon `(h, u)` and report the
+    /// paper's measurements.
+    pub fn train(
+        &self,
+        model: &dyn ForecastModel,
+        dataset: &TrafficDataset,
+        h: usize,
+        u: usize,
+    ) -> Result<TrainReport> {
+        let cfg = &self.config;
+        let train = dataset.train(h, u, cfg.train_stride)?;
+        let val = dataset.val(h, u, cfg.eval_stride)?;
+        let test = dataset.test(h, u, cfg.eval_stride)?;
+        let scaler = dataset.scaler();
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut opt = Adam::new(model.store(), cfg.lr);
+        if let Some(clip) = cfg.grad_clip {
+            opt = opt.with_clip(clip);
+        }
+
+        memory::reset_peak();
+        let mut best_val = f32::INFINITY;
+        let mut best_params: Option<Vec<Tensor>> = None;
+        let mut since_best = 0usize;
+        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut epoch_times = Vec::with_capacity(cfg.epochs);
+        let mut epochs_run = 0;
+
+        for epoch in 0..cfg.epochs {
+            let started = Instant::now();
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed ^ (epoch as u64 + 1));
+            for (bx, by) in
+                BatchIter::shuffled(&train.x, &train.y, cfg.batch_size, &mut shuffle_rng)?
+            {
+                let loss_val = self.train_step(model, &mut opt, &scaler, bx, by, &mut rng)?;
+                epoch_loss += loss_val as f64;
+                batches += 1;
+            }
+            epoch_times.push(started.elapsed().as_secs_f64());
+            epochs_run = epoch + 1;
+
+            let val_metrics = self.evaluate(model, &val, &scaler, &mut rng)?;
+            let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
+            history.push((train_loss, val_metrics.mae));
+            if cfg.verbose {
+                eprintln!(
+                    "[{}] epoch {epoch}: train loss {train_loss:.4}, val {val_metrics}",
+                    model.name()
+                );
+            }
+            if val_metrics.mae < best_val {
+                best_val = val_metrics.mae;
+                best_params = Some(model.store().params().iter().map(|p| p.value()).collect());
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= cfg.patience {
+                    break;
+                }
+            }
+        }
+
+        // Restore the best-validation weights before the test pass.
+        if let Some(best) = best_params {
+            for (p, v) in model.store().params().iter().zip(best) {
+                p.set_value(v);
+            }
+        }
+        let peak = memory::peak_bytes();
+        let test_metrics = self.evaluate(model, &test, &scaler, &mut rng)?;
+
+        Ok(TrainReport {
+            model: model.name(),
+            dataset: dataset.config().name.clone(),
+            epochs_run,
+            epoch_seconds: epoch_times.iter().sum::<f64>() / epoch_times.len().max(1) as f64,
+            peak_bytes: peak,
+            param_count: model.store().num_scalars(),
+            best_val_mae: best_val,
+            test: test_metrics,
+            history,
+        })
+    }
+
+    fn train_step(
+        &self,
+        model: &dyn ForecastModel,
+        opt: &mut Adam,
+        scaler: &Scaler,
+        bx: Tensor,
+        by: Tensor,
+        rng: &mut StdRng,
+    ) -> Result<f32> {
+        let graph = Graph::new();
+        let x = graph.constant(bx);
+        let out = model.forward(&graph, &x, rng, true)?;
+        // De-normalize predictions so the Huber loss lives in the raw
+        // flow scale, like the paper's reported metrics.
+        let pred_raw = out.pred.mul_scalar(scaler.std).add_scalar(scaler.mean);
+        let target = graph.constant(by);
+        let mut loss = huber(&pred_raw, &target, self.config.huber_delta)?;
+        if let Some(reg) = out.regularizer {
+            loss = loss.add(&reg)?;
+        }
+        let loss_val = loss.value().item()?;
+        graph.backward(&loss)?;
+        opt.step();
+        opt.finish_step();
+        Ok(loss_val)
+    }
+
+    /// Evaluate on a split: batched forward passes, de-normalized
+    /// predictions vs. raw targets.
+    pub fn evaluate(
+        &self,
+        model: &dyn ForecastModel,
+        split: &SplitTensors,
+        scaler: &Scaler,
+        rng: &mut StdRng,
+    ) -> Result<Metrics> {
+        let preds = self.predict(model, &split.x, scaler, rng)?;
+        Ok(Metrics::compute(&preds, &split.y))
+    }
+
+    /// Monte-Carlo predictive distribution from a stochastic model:
+    /// run `samples` sampling forward passes (training-mode latents) and
+    /// return the per-element mean and standard deviation of the
+    /// raw-scale predictions.
+    ///
+    /// For deterministic models every draw coincides, so the returned
+    /// std is ~0 — callers can use that as a capability probe. This is a
+    /// capability the paper's stochastic design enables but never
+    /// exercises: the latent `Theta_t^(i)` induces a distribution over
+    /// model parameters and therefore over forecasts.
+    pub fn predict_with_uncertainty(
+        &self,
+        model: &dyn ForecastModel,
+        x: &Tensor,
+        scaler: &Scaler,
+        rng: &mut StdRng,
+        samples: usize,
+    ) -> Result<(Tensor, Tensor)> {
+        if samples == 0 {
+            return Err(stwa_tensor::TensorError::Invalid(
+                "predict_with_uncertainty: need at least one sample".into(),
+            ));
+        }
+        let mut sum: Option<Tensor> = None;
+        let mut sum_sq: Option<Tensor> = None;
+        for _ in 0..samples {
+            // training = true: latents are *sampled*, which is the whole
+            // point here.
+            let draw = self.batched_forward(model, x, scaler, rng, true)?;
+            sum = Some(match sum {
+                None => draw.clone(),
+                Some(acc) => acc.add(&draw)?,
+            });
+            let sq = draw.square();
+            sum_sq = Some(match sum_sq {
+                None => sq,
+                Some(acc) => acc.add(&sq)?,
+            });
+        }
+        let mean = sum.expect("samples >= 1").mul_scalar(1.0 / samples as f32);
+        // Var = E[x^2] - E[x]^2, floored at 0 against float cancellation.
+        let var = sum_sq
+            .expect("samples >= 1")
+            .mul_scalar(1.0 / samples as f32)
+            .sub(&mean.square())?
+            .relu();
+        Ok((mean, var.sqrt()))
+    }
+
+    /// Raw-scale predictions for a whole normalized input tensor.
+    pub fn predict(
+        &self,
+        model: &dyn ForecastModel,
+        x: &Tensor,
+        scaler: &Scaler,
+        rng: &mut StdRng,
+    ) -> Result<Tensor> {
+        self.batched_forward(model, x, scaler, rng, false)
+    }
+
+    /// One full pass over `x` in batches of `batch_size`, de-normalized
+    /// and concatenated — the shared engine of [`Trainer::predict`] and
+    /// [`Trainer::predict_with_uncertainty`].
+    fn batched_forward(
+        &self,
+        model: &dyn ForecastModel,
+        x: &Tensor,
+        scaler: &Scaler,
+        rng: &mut StdRng,
+        training: bool,
+    ) -> Result<Tensor> {
+        let num = x.shape()[0];
+        let bs = self.config.batch_size;
+        let mut chunks: Vec<Tensor> = Vec::new();
+        let mut start = 0;
+        while start < num {
+            let take = bs.min(num - start);
+            let bx = x.narrow(0, start, take)?;
+            let graph = Graph::new();
+            let xv = graph.constant(bx);
+            let out = model.forward(&graph, &xv, rng, training)?;
+            chunks.push(scaler.inverse(&out.pred.value()));
+            start += take;
+        }
+        let refs: Vec<&Tensor> = chunks.iter().collect();
+        stwa_tensor::manip::concat(&refs, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{StwaConfig, StwaModel};
+    use stwa_traffic::DatasetConfig;
+
+    fn quick_trainer(epochs: usize) -> Trainer {
+        Trainer::new(TrainConfig {
+            epochs,
+            batch_size: 16,
+            train_stride: 6,
+            eval_stride: 6,
+            ..TrainConfig::default()
+        })
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reports() {
+        let dataset = TrafficDataset::generate(DatasetConfig::small());
+        let n = dataset.num_sensors();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = StwaModel::new(StwaConfig::wa(n, 12, 3), &mut rng).unwrap();
+        let report = quick_trainer(4).train(&model, &dataset, 12, 3).unwrap();
+        assert_eq!(report.model, "WA");
+        assert_eq!(report.dataset, "SMALL");
+        assert!(report.epochs_run >= 1 && report.epochs_run <= 4);
+        assert!(report.epoch_seconds > 0.0);
+        assert!(report.param_count > 0);
+        assert!(report.peak_bytes > 0);
+        let first = report.history.first().unwrap().0;
+        let last = report.history.last().unwrap().0;
+        assert!(last < first, "training loss should fall: {first} -> {last}");
+        assert!(report.test.mae.is_finite() && report.test.mae > 0.0);
+    }
+
+    #[test]
+    fn st_wa_trains_end_to_end() {
+        let dataset = TrafficDataset::generate(DatasetConfig::small());
+        let n = dataset.num_sensors();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+        let report = quick_trainer(3).train(&model, &dataset, 12, 3).unwrap();
+        assert!(report.test.mae.is_finite());
+        assert!(report
+            .history
+            .iter()
+            .all(|(l, v)| l.is_finite() && v.is_finite()));
+    }
+
+    #[test]
+    fn predictions_beat_naive_zero_after_training() {
+        // A trained model must at least outperform predicting 0 flow.
+        let dataset = TrafficDataset::generate(DatasetConfig::small());
+        let n = dataset.num_sensors();
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = StwaModel::new(StwaConfig::wa(n, 12, 3), &mut rng).unwrap();
+        let trainer = quick_trainer(5);
+        let report = trainer.train(&model, &dataset, 12, 3).unwrap();
+        let test = dataset.test(12, 3, 6).unwrap();
+        let zero = Tensor::zeros(&test.y.shape().to_vec());
+        let zero_mae = stwa_traffic::mae(&zero, &test.y);
+        assert!(
+            report.test.mae < zero_mae * 0.6,
+            "model MAE {} vs zero-predictor {zero_mae}",
+            report.test.mae
+        );
+    }
+
+    #[test]
+    fn uncertainty_zero_for_deterministic_positive_for_stochastic() {
+        let dataset = TrafficDataset::generate(DatasetConfig::small());
+        let n = dataset.num_sensors();
+        let trainer = quick_trainer(1);
+        let split = dataset.test(12, 3, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+
+        let det = StwaModel::new(StwaConfig::deterministic(n, 12, 3), &mut rng).unwrap();
+        let (mean_d, std_d) = trainer
+            .predict_with_uncertainty(&det, &split.x, &dataset.scaler(), &mut rng, 4)
+            .unwrap();
+        assert_eq!(mean_d.shape(), split.y.shape());
+        assert!(
+            std_d.max_all() < 1e-3,
+            "deterministic spread {}",
+            std_d.max_all()
+        );
+
+        let sto = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+        let (_, std_s) = trainer
+            .predict_with_uncertainty(&sto, &split.x, &dataset.scaler(), &mut rng, 4)
+            .unwrap();
+        assert!(
+            std_s.max_all() > 1e-3,
+            "stochastic spread {}",
+            std_s.max_all()
+        );
+        assert!(!std_s.has_non_finite());
+        // Zero samples rejected.
+        assert!(trainer
+            .predict_with_uncertainty(&sto, &split.x, &dataset.scaler(), &mut rng, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn predict_covers_all_samples() {
+        let dataset = TrafficDataset::generate(DatasetConfig::small());
+        let n = dataset.num_sensors();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = StwaModel::new(StwaConfig::wa(n, 12, 3), &mut rng).unwrap();
+        let trainer = quick_trainer(1);
+        let split = dataset.test(12, 3, 6).unwrap();
+        let preds = trainer
+            .predict(&model, &split.x, &dataset.scaler(), &mut rng)
+            .unwrap();
+        assert_eq!(preds.shape(), split.y.shape());
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration tests of the normalizing-flow extension: the flowed
+//! ST-WA must behave like a proper model (trainable, deterministic at
+//! eval, distinct from the Gaussian variant).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_autograd::Graph;
+use stwa_core::{ForecastModel, StwaConfig, StwaModel, TrainConfig, Trainer};
+use stwa_tensor::Tensor;
+use stwa_traffic::{DatasetConfig, TrafficDataset};
+
+#[test]
+fn flow_variant_builds_forwards_and_names_itself() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = StwaModel::new(StwaConfig::st_wa(3, 12, 4).with_flow(2), &mut rng).unwrap();
+    assert_eq!(model.name(), "ST-WA+NF");
+    let g = Graph::new();
+    let x = g.constant(Tensor::randn(&[2, 3, 12, 1], &mut rng));
+    let out = model.forward(&g, &x, &mut rng, true).unwrap();
+    assert_eq!(out.pred.shape(), vec![2, 3, 4, 1]);
+    assert!(
+        out.regularizer.is_some(),
+        "flowed stochastic latents still regularize (MC-KL)"
+    );
+    assert!(!out.pred.value().has_non_finite());
+}
+
+#[test]
+fn flow_adds_parameters_and_changes_outputs() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let plain = StwaModel::new(StwaConfig::deterministic(3, 12, 4), &mut rng).unwrap();
+    let mut rng2 = StdRng::seed_from_u64(1);
+    let flowed =
+        StwaModel::new(StwaConfig::deterministic(3, 12, 4).with_flow(2), &mut rng2).unwrap();
+    // 2 layers x (u[k] + w[k] + b[1]) with k = 16.
+    assert_eq!(
+        flowed.store().num_scalars() - plain.store().num_scalars(),
+        2 * (16 + 16 + 1)
+    );
+}
+
+#[test]
+fn flow_gradients_reach_flow_parameters() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = StwaModel::new(StwaConfig::st_wa(3, 12, 4).with_flow(2), &mut rng).unwrap();
+    let g = Graph::new();
+    let x = g.constant(Tensor::randn(&[2, 3, 12, 1], &mut rng));
+    let out = model.forward(&g, &x, &mut rng, true).unwrap();
+    let loss = out
+        .pred
+        .square()
+        .unwrap()
+        .mean_all()
+        .unwrap()
+        .add(&out.regularizer.unwrap())
+        .unwrap();
+    g.backward(&loss).unwrap();
+    let flow_params: Vec<_> = model
+        .store()
+        .params()
+        .into_iter()
+        .filter(|p| p.name().contains(".flow"))
+        .collect();
+    assert!(!flow_params.is_empty());
+    assert!(
+        flow_params.iter().all(|p| p.grad().is_some()),
+        "flow parameters must receive gradients"
+    );
+}
+
+#[test]
+fn flow_variant_trains_end_to_end() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3).with_flow(2), &mut rng).unwrap();
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        train_stride: 8,
+        eval_stride: 8,
+        ..TrainConfig::default()
+    });
+    let report = trainer.train(&model, &dataset, 12, 3).unwrap();
+    let first = report.history.first().unwrap().0;
+    let last = report.history.last().unwrap().0;
+    assert!(
+        last < first,
+        "flowed model failed to train: {first} -> {last}"
+    );
+    assert!(report.test.mae.is_finite());
+}

@@ -1,0 +1,164 @@
+//! Reference-implementation check of the window attention equations:
+//! a tiny configuration computed two ways — through
+//! `WindowAttentionLayer` and through plain scalar loops transcribing
+//! Eq. 10–13 directly from the paper — must agree.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_autograd::Graph;
+use stwa_core::{AggregatorKind, WindowAttentionLayer};
+use stwa_nn::ParamStore;
+use stwa_tensor::Tensor;
+
+/// One window (S = T), one sensor, one batch entry: output must equal
+/// the hand-computed Eq. 10 + Eq. 12–13 result.
+#[test]
+fn single_window_matches_hand_computed_equations() {
+    let (s_len, p, d) = (3usize, 2usize, 2usize);
+    let store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let layer = WindowAttentionLayer::new(
+        &store,
+        "wa",
+        1,     // N
+        s_len, // T = S: a single window, no fusion
+        s_len,
+        p,
+        1, // F
+        d,
+        1, // single head keeps the reference math simple
+        AggregatorKind::Learned,
+        false, // no sensor attention (N = 1 anyway)
+        true,
+        &mut rng,
+    )
+    .unwrap();
+
+    // Deterministic parameter values.
+    let find = |name: &str| -> Tensor {
+        store
+            .params()
+            .iter()
+            .find(|q| q.name().ends_with(name))
+            .unwrap_or_else(|| panic!("param {name}"))
+            .value()
+    };
+    let set = |name: &str, t: Tensor| {
+        store
+            .params()
+            .iter()
+            .find(|q| q.name().ends_with(name))
+            .unwrap()
+            .set_value(t);
+    };
+    set(
+        ".P",
+        Tensor::from_vec(vec![0.3, -0.2, 0.5, 0.1], &[1, 1, p, d]).unwrap(),
+    );
+    set("K.w", Tensor::from_vec(vec![0.7, -0.4], &[1, d]).unwrap());
+    set("V.w", Tensor::from_vec(vec![0.2, 0.9], &[1, d]).unwrap());
+    set(
+        "aggW1",
+        Tensor::from_vec(vec![0.5, -0.1, 0.3, 0.8], &[d, d]).unwrap(),
+    );
+    set(
+        "aggW2",
+        Tensor::from_vec(vec![-0.6, 0.4, 0.2, 0.7], &[d, d]).unwrap(),
+    );
+
+    let x_vals = [0.9f32, -0.5, 1.3];
+    let g = Graph::new();
+    let x = g.constant(Tensor::from_vec(x_vals.to_vec(), &[1, 1, s_len, 1]).unwrap());
+    let out = layer.forward(&g, &x, None).unwrap();
+    assert_eq!(out.shape(), vec![1, 1, 1, d]);
+
+    // ---- Reference computation, straight from the paper ----
+    let proxies = find(".P");
+    let kw = find("K.w");
+    let vw = find("V.w");
+    let w1 = find("aggW1");
+    let w2 = find("aggW2");
+
+    // Keys / values per timestamp: k_t = x_t * K, v_t = x_t * V (F = 1).
+    let key = |t: usize, c: usize| x_vals[t] * kw.at(&[0, c]);
+    let val = |t: usize, c: usize| x_vals[t] * vw.at(&[0, c]);
+
+    // Eq. 10: h_j = softmax_t(P_j . k_t / sqrt(d)) . v_t per proxy j.
+    let mut h = [[0f32; 2]; 2]; // [p][d]
+    for j in 0..p {
+        let mut scores = [0f32; 3];
+        for (t, s_out) in scores.iter_mut().enumerate() {
+            let mut dot = 0.0;
+            for c in 0..d {
+                dot += proxies.at(&[0, 0, j, c]) * key(t, c);
+            }
+            *s_out = dot / (d as f32).sqrt();
+        }
+        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = scores.iter().map(|v| (v - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        for c in 0..d {
+            h[j][c] = (0..s_len).map(|t| exps[t] / z * val(t, c)).sum();
+        }
+    }
+    // Eq. 12–13: A = sigmoid(W2 tanh(W1 h)); h_hat = sum_j A_j ⊙ h_j.
+    // (Row-vector convention: y = h W, matching the layer's matmul.)
+    let mut expected = [0f32; 2];
+    for j in 0..p {
+        let mut hidden = [0f32; 2];
+        for c in 0..d {
+            let mut acc = 0.0;
+            for i in 0..d {
+                acc += h[j][i] * w1.at(&[i, c]);
+            }
+            hidden[c] = acc.tanh();
+        }
+        for c in 0..d {
+            let mut acc = 0.0;
+            for i in 0..d {
+                acc += hidden[i] * w2.at(&[i, c]);
+            }
+            let gate = 1.0 / (1.0 + (-acc).exp());
+            expected[c] += gate * h[j][c];
+        }
+    }
+
+    for c in 0..d {
+        let got = out.value().at(&[0, 0, 0, c]);
+        assert!(
+            (got - expected[c]).abs() < 1e-5,
+            "coordinate {c}: layer {got} vs reference {}",
+            expected[c]
+        );
+    }
+}
+
+/// The stacked-layer time-axis contraction of Figure 8: T shrinks by
+/// exactly S per layer.
+#[test]
+fn window_count_contracts_like_figure_8() {
+    let store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut t = 12usize;
+    for (l, s) in [3usize, 2, 2].into_iter().enumerate() {
+        let layer = WindowAttentionLayer::new(
+            &store,
+            &format!("wa{l}"),
+            2,
+            t,
+            s,
+            1,
+            if l == 0 { 1 } else { 8 },
+            8,
+            1,
+            AggregatorKind::Learned,
+            true,
+            true,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(layer.num_windows(), t / s);
+        t /= s;
+    }
+    assert_eq!(t, 1, "12 -> 4 -> 2 -> 1 as in the paper's Figure 8");
+}

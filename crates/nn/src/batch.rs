@@ -1,0 +1,156 @@
+//! Mini-batch iteration over sample-major tensors.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use stwa_tensor::{Result, Tensor, TensorError};
+
+/// Yields `(inputs, targets)` mini-batches from two tensors whose first
+/// axis indexes samples.
+///
+/// The iterator owns a (possibly shuffled) index order and materializes
+/// each batch with `index_select`, so the source tensors are borrowed for
+/// the iterator's lifetime only.
+pub struct BatchIter<'a> {
+    x: &'a Tensor,
+    y: &'a Tensor,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+    drop_last: bool,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Sequential (unshuffled) batches — evaluation order.
+    pub fn new(x: &'a Tensor, y: &'a Tensor, batch_size: usize) -> Result<BatchIter<'a>> {
+        if x.rank() == 0 || y.rank() == 0 || x.shape()[0] != y.shape()[0] {
+            return Err(TensorError::ShapeMismatch {
+                op: "BatchIter",
+                lhs: x.shape().to_vec(),
+                rhs: y.shape().to_vec(),
+            });
+        }
+        if batch_size == 0 {
+            return Err(TensorError::Invalid(
+                "BatchIter: batch_size must be > 0".into(),
+            ));
+        }
+        Ok(BatchIter {
+            x,
+            y,
+            order: (0..x.shape()[0]).collect(),
+            batch_size,
+            cursor: 0,
+            drop_last: false,
+        })
+    }
+
+    /// Shuffled batches — training order. The RNG decides the epoch's
+    /// permutation; pass a per-epoch-seeded RNG for reproducibility.
+    pub fn shuffled(
+        x: &'a Tensor,
+        y: &'a Tensor,
+        batch_size: usize,
+        rng: &mut impl Rng,
+    ) -> Result<BatchIter<'a>> {
+        let mut it = BatchIter::new(x, y, batch_size)?;
+        it.order.shuffle(rng);
+        Ok(it)
+    }
+
+    /// Skip the final smaller-than-batch_size remainder batch.
+    pub fn drop_last(mut self) -> Self {
+        self.drop_last = true;
+        self
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn num_batches(&self) -> usize {
+        let n = self.order.len();
+        if self.drop_last {
+            n / self.batch_size
+        } else {
+            n.div_ceil(self.batch_size)
+        }
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Tensor);
+
+    fn next(&mut self) -> Option<(Tensor, Tensor)> {
+        let remaining = self.order.len() - self.cursor;
+        if remaining == 0 || (self.drop_last && remaining < self.batch_size) {
+            return None;
+        }
+        let take = remaining.min(self.batch_size);
+        let idx = &self.order[self.cursor..self.cursor + take];
+        self.cursor += take;
+        // Indices come from 0..shape[0], so selection cannot fail.
+        let bx = self.x.index_select(0, idx).expect("batch index in range");
+        let by = self.y.index_select(0, idx).expect("batch index in range");
+        Some((bx, by))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples(n: usize) -> (Tensor, Tensor) {
+        let x = Tensor::from_fn(&[n, 2], |i| i[0] as f32);
+        let y = Tensor::from_fn(&[n, 1], |i| i[0] as f32);
+        (x, y)
+    }
+
+    #[test]
+    fn sequential_covers_all_rows_in_order() {
+        let (x, y) = samples(5);
+        let batches: Vec<_> = BatchIter::new(&x, &y, 2).unwrap().collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.shape(), &[2, 2]);
+        assert_eq!(batches[2].0.shape(), &[1, 2]); // remainder
+        assert_eq!(batches[0].0.at(&[0, 0]), 0.0);
+        assert_eq!(batches[2].1.at(&[0, 0]), 4.0);
+    }
+
+    #[test]
+    fn drop_last_skips_remainder() {
+        let (x, y) = samples(5);
+        let it = BatchIter::new(&x, &y, 2).unwrap().drop_last();
+        assert_eq!(it.num_batches(), 2);
+        assert_eq!(it.count(), 2);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let (x, y) = samples(7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen: Vec<f32> = BatchIter::shuffled(&x, &y, 3, &mut rng)
+            .unwrap()
+            .flat_map(|(_, by)| by.data().to_vec())
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        assert_eq!(seen, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn x_and_y_stay_aligned_under_shuffle() {
+        let (x, y) = samples(10);
+        let mut rng = StdRng::seed_from_u64(9);
+        for (bx, by) in BatchIter::shuffled(&x, &y, 4, &mut rng).unwrap() {
+            for r in 0..bx.shape()[0] {
+                assert_eq!(bx.at(&[r, 0]), by.at(&[r, 0]));
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_sample_counts_rejected() {
+        let x = Tensor::zeros(&[4, 2]);
+        let y = Tensor::zeros(&[5, 1]);
+        assert!(BatchIter::new(&x, &y, 2).is_err());
+        assert!(BatchIter::new(&x, &x, 0).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Checkpointing: save and restore a model's parameters.
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic "STWA" | u32 version | u64 param_count |
+//!   per param: u64 name_len | name bytes |
+//!              u64 rank     | u64 dims...  | f32 data...
+//! ```
+//!
+//! Parameters are matched *by name*, so a checkpoint written by a model
+//! can be loaded into a freshly constructed model of the same
+//! architecture regardless of registration order.
+
+use crate::param::ParamStore;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use stwa_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"STWA";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint IO.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(io::Error),
+    /// Not a checkpoint file, or an unsupported version.
+    Format(String),
+    /// Parameter set doesn't match the model being restored.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Write every parameter of `store` to `path`.
+pub fn save(store: &ParamStore, path: &Path) -> Result<(), CheckpointError> {
+    let params = store.params();
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u64).to_le_bytes())?;
+    for p in &params {
+        let name = p.name().as_bytes();
+        w.write_all(&(name.len() as u64).to_le_bytes())?;
+        w.write_all(name)?;
+        let value = p.value();
+        w.write_all(&(value.rank() as u64).to_le_bytes())?;
+        for &d in value.shape() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Restore every parameter of `store` from `path`, matching by name.
+///
+/// Fails if any model parameter is missing from the file or has a
+/// different shape; extra entries in the file are an error too (they
+/// indicate an architecture mismatch).
+pub fn load(store: &ParamStore, path: &Path) -> Result<(), CheckpointError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let count = read_u64(&mut r)? as usize;
+    let mut loaded: HashMap<String, Tensor> = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u64(&mut r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| CheckpointError::Format("non-utf8 parameter name".into()))?;
+        let rank = read_u64(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u64(&mut r)? as usize);
+        }
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        let mut buf = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        let tensor =
+            Tensor::from_vec(data, &shape).map_err(|e| CheckpointError::Format(e.to_string()))?;
+        if loaded.insert(name.clone(), tensor).is_some() {
+            return Err(CheckpointError::Format(format!(
+                "duplicate parameter '{name}' in checkpoint"
+            )));
+        }
+    }
+
+    let params = store.params();
+    if params.len() != loaded.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "model has {} parameters, checkpoint has {}",
+            params.len(),
+            loaded.len()
+        )));
+    }
+    for p in &params {
+        let tensor = loaded.remove(p.name()).ok_or_else(|| {
+            CheckpointError::Mismatch(format!("parameter '{}' missing from checkpoint", p.name()))
+        })?;
+        if tensor.shape() != p.shape().as_slice() {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter '{}': model shape {:?} vs checkpoint {:?}",
+                p.name(),
+                p.shape(),
+                tensor.shape()
+            )));
+        }
+        p.set_value(tensor);
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("stwa_checkpoint_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn store_with(seed: u64) -> ParamStore {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        store.param("layer.w", Tensor::randn(&[3, 4], &mut rng));
+        store.param("layer.b", Tensor::randn(&[4], &mut rng));
+        store.param("head.w", Tensor::randn(&[4, 2], &mut rng));
+        store
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let src = store_with(1);
+        let path = tmp("roundtrip.stwa");
+        save(&src, &path).unwrap();
+        let dst = store_with(2); // different init
+        assert_ne!(src.params()[0].value(), dst.params()[0].value());
+        load(&dst, &path).unwrap();
+        for (a, b) in src.params().iter().zip(dst.params()) {
+            assert_eq!(a.value(), b.value(), "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let src = store_with(1);
+        let path = tmp("mismatch.stwa");
+        save(&src, &path).unwrap();
+        let dst = ParamStore::new();
+        dst.param("layer.w", Tensor::zeros(&[3, 5])); // wrong shape
+        dst.param("layer.b", Tensor::zeros(&[4]));
+        dst.param("head.w", Tensor::zeros(&[4, 2]));
+        assert!(matches!(
+            load(&dst, &path),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn missing_parameter_is_rejected() {
+        let src = store_with(1);
+        let path = tmp("missing.stwa");
+        save(&src, &path).unwrap();
+        let dst = ParamStore::new();
+        dst.param("layer.w", Tensor::zeros(&[3, 4]));
+        dst.param("layer.b", Tensor::zeros(&[4]));
+        dst.param("other.w", Tensor::zeros(&[4, 2])); // renamed
+        assert!(matches!(
+            load(&dst, &path),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let path = tmp("garbage.stwa");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        let dst = store_with(1);
+        assert!(matches!(load(&dst, &path), Err(CheckpointError::Format(_))));
+    }
+
+    #[test]
+    fn load_order_independent() {
+        // Same params registered in a different order still load.
+        let src = store_with(1);
+        let path = tmp("order.stwa");
+        save(&src, &path).unwrap();
+        let dst = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        dst.param("head.w", Tensor::randn(&[4, 2], &mut rng));
+        dst.param("layer.b", Tensor::randn(&[4], &mut rng));
+        dst.param("layer.w", Tensor::randn(&[3, 4], &mut rng));
+        load(&dst, &path).unwrap();
+        let by_name =
+            |s: &ParamStore, n: &str| s.params().iter().find(|p| p.name() == n).unwrap().value();
+        assert_eq!(by_name(&src, "layer.w"), by_name(&dst, "layer.w"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Weight initializers.
+//!
+//! All initializers take an explicit RNG so model construction is
+//! deterministic under a fixed seed.
+
+use rand::Rng;
+use stwa_tensor::Tensor;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// The default for dense projections and attention matrices.
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+/// He/Kaiming uniform: `U(-a, a)` with `a = sqrt(6 / fan_in)` — used in
+/// front of ReLU nonlinearities.
+pub fn he_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+/// Small-uniform init used for recurrent weights: `U(-1/sqrt(d), 1/sqrt(d))`.
+pub fn lecun_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (1.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+/// Gaussian init with explicit std (used by latent variables and proxies).
+pub fn normal(shape: &[usize], std: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::rand_normal(shape, 0.0, std, rng)
+}
+
+/// All-zero init (biases).
+pub fn zeros(shape: &[usize]) -> Tensor {
+    Tensor::zeros(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = xavier_uniform(&[64, 64], 64, 64, &mut rng);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+        // Not degenerate.
+        assert!(t.data().iter().any(|&x| x.abs() > bound * 0.5));
+    }
+
+    #[test]
+    fn he_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = he_uniform(&[100], 25, &mut rng);
+        assert!(t.data().iter().all(|&x| x.abs() <= (6.0f32 / 25.0).sqrt()));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = xavier_uniform(&[8], 8, 8, &mut StdRng::seed_from_u64(3));
+        let b = xavier_uniform(&[8], 8, 8, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,220 @@
+//! Temporal (1-D, time-axis) convolution, with dilation and an optional
+//! gated variant — the building block of the TCN-family baselines
+//! (Graph WaveNet, STGCN, STFGNN).
+
+use crate::init;
+use crate::param::{Param, ParamStore};
+use rand::Rng;
+use stwa_autograd::{Graph, Var};
+use stwa_tensor::{Result, TensorError};
+
+/// Convolution along the second-to-last (time) axis of a `[..., T, C]`
+/// tensor, implemented as a sum of shifted dense projections:
+///
+/// ```text
+/// y[t] = b + sum_k  x[t + k * dilation] W_k
+/// ```
+///
+/// Output length is `T - (kernel - 1) * dilation` ("valid" padding). The
+/// caller left-pads when causal same-length output is needed.
+pub struct TemporalConv {
+    /// One `[C_in, C_out]` projection per kernel tap.
+    taps: Vec<Param>,
+    b: Param,
+    in_dim: usize,
+    out_dim: usize,
+    kernel: usize,
+    dilation: usize,
+}
+
+impl TemporalConv {
+    pub fn new(
+        store: &ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        kernel: usize,
+        dilation: usize,
+        rng: &mut impl Rng,
+    ) -> TemporalConv {
+        assert!(
+            kernel >= 1 && dilation >= 1,
+            "TemporalConv: kernel and dilation must be >= 1"
+        );
+        let taps = (0..kernel)
+            .map(|k| {
+                store.param(
+                    format!("{name}.w{k}"),
+                    init::xavier_uniform(&[in_dim, out_dim], in_dim * kernel, out_dim, rng),
+                )
+            })
+            .collect();
+        TemporalConv {
+            taps,
+            b: store.param(format!("{name}.b"), init::zeros(&[out_dim])),
+            in_dim,
+            out_dim,
+            kernel,
+            dilation,
+        }
+    }
+
+    /// Output length for an input of time length `t_in`.
+    pub fn out_len(&self, t_in: usize) -> Option<usize> {
+        t_in.checked_sub((self.kernel - 1) * self.dilation)
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Apply to `x` of shape `[..., T, in_dim]`.
+    pub fn forward(&self, graph: &Graph, x: &Var) -> Result<Var> {
+        let shape = x.shape();
+        let rank = shape.len();
+        if rank < 2 || shape[rank - 1] != self.in_dim {
+            return Err(TensorError::Invalid(format!(
+                "TemporalConv: expected [..., T, {}], got {:?}",
+                self.in_dim, shape
+            )));
+        }
+        let t_in = shape[rank - 2];
+        let t_out = self.out_len(t_in).ok_or_else(|| {
+            TensorError::Invalid(format!(
+                "TemporalConv: input time length {t_in} shorter than receptive field {}",
+                (self.kernel - 1) * self.dilation + 1
+            ))
+        })?;
+        if t_out == 0 {
+            return Err(TensorError::Invalid(
+                "TemporalConv: output time length is zero".into(),
+            ));
+        }
+        let time_axis = rank - 2;
+        let mut acc: Option<Var> = None;
+        for (k, tap) in self.taps.iter().enumerate() {
+            let w = tap.leaf(graph);
+            let slice = x.narrow(time_axis, k * self.dilation, t_out)?;
+            // Flatten leading dims + time into rows for the projection.
+            let lead: usize = slice.shape()[..rank - 1].iter().product();
+            let y = slice.reshape(&[lead, self.in_dim])?.matmul(&w)?;
+            acc = Some(match acc {
+                None => y,
+                Some(a) => a.add(&y)?,
+            });
+        }
+        let mut out = acc.expect("kernel >= 1").add(&self.b.leaf(graph))?;
+        let mut out_shape = shape[..rank - 2].to_vec();
+        out_shape.push(t_out);
+        out_shape.push(self.out_dim);
+        out = out.reshape(&out_shape)?;
+        Ok(out)
+    }
+
+    /// Gated variant used by Graph WaveNet: `tanh(conv_a(x)) * sigmoid(conv_b(x))`.
+    pub fn gated_forward(
+        a: &TemporalConv,
+        b: &TemporalConv,
+        graph: &Graph,
+        x: &Var,
+    ) -> Result<Var> {
+        let filt = a.forward(graph, x)?.tanh();
+        let gate = b.forward(graph, x)?.sigmoid();
+        filt.mul(&gate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stwa_tensor::Tensor;
+
+    #[test]
+    fn output_length_valid_padding() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = TemporalConv::new(&store, "c", 2, 4, 3, 1, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::zeros(&[5, 10, 2]));
+        let y = conv.forward(&g, &x).unwrap();
+        assert_eq!(y.shape(), vec![5, 8, 4]);
+    }
+
+    #[test]
+    fn dilation_widens_receptive_field() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = TemporalConv::new(&store, "c", 1, 1, 2, 3, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::zeros(&[1, 10, 1]));
+        // receptive field = 1 + (2-1)*3 = 4, so T_out = 7
+        assert_eq!(conv.forward(&g, &x).unwrap().shape(), vec![1, 7, 1]);
+        let too_short = g.constant(Tensor::zeros(&[1, 3, 1]));
+        assert!(conv.forward(&g, &too_short).is_err());
+    }
+
+    #[test]
+    fn kernel_one_is_pointwise_projection() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = TemporalConv::new(&store, "c", 2, 2, 1, 1, &mut rng);
+        // Identity weights, zero bias -> output equals input.
+        store.params()[0].set_value(Tensor::eye(2));
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_fn(&[1, 4, 2], |i| (i[1] * 2 + i[2]) as f32));
+        let y = conv.forward(&g, &x).unwrap();
+        assert!(y.value().approx_eq(&x.value(), 1e-6));
+    }
+
+    #[test]
+    fn known_moving_average() {
+        // Kernel 2, both taps = identity * 0.5 -> output is the pairwise
+        // mean of consecutive timestamps.
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = TemporalConv::new(&store, "c", 1, 1, 2, 1, &mut rng);
+        store.params()[0].set_value(Tensor::full(&[1, 1], 0.5));
+        store.params()[1].set_value(Tensor::full(&[1, 1], 0.5));
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![0.0, 2.0, 4.0, 6.0], &[1, 4, 1]).unwrap());
+        let y = conv.forward(&g, &x).unwrap();
+        assert!(y.value().approx_eq(
+            &Tensor::from_vec(vec![1.0, 3.0, 5.0], &[1, 3, 1]).unwrap(),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn gated_forward_bounds() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = TemporalConv::new(&store, "a", 2, 3, 2, 1, &mut rng);
+        let b = TemporalConv::new(&store, "b", 2, 3, 2, 1, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[2, 6, 2], &mut rng));
+        let y = TemporalConv::gated_forward(&a, &b, &g, &x).unwrap();
+        assert_eq!(y.shape(), vec![2, 5, 3]);
+        // tanh * sigmoid is in (-1, 1).
+        assert!(y.value().data().iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn gradients_reach_every_tap() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let conv = TemporalConv::new(&store, "c", 2, 2, 3, 1, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[1, 6, 2], &mut rng));
+        let loss = conv
+            .forward(&g, &x)
+            .unwrap()
+            .square()
+            .unwrap()
+            .sum_all()
+            .unwrap();
+        g.backward(&loss).unwrap();
+        assert!(store.params().iter().all(|p| p.grad().is_some()));
+    }
+}

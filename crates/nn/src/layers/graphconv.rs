@@ -1,0 +1,451 @@
+//! Graph convolutions over the sensor graph.
+//!
+//! Four variants cover the mechanisms of the paper's GNN baselines:
+//!
+//! - [`DenseGraphConv`] — `A_hat X W` with a pre-normalized adjacency
+//!   (STGCN/STG2Seq-style spatial mixing).
+//! - [`ChebGraphConv`] — Chebyshev polynomial filters over the scaled
+//!   Laplacian (STGCN's spectral variant).
+//! - [`DiffusionGraphConv`] — forward/backward random-walk diffusion
+//!   steps (DCRNN, Graph WaveNet).
+//! - [`AdaptiveGraphConv`] — adjacency learned from node embeddings,
+//!   `softmax(relu(E E^T))`, no predefined graph (AGCRN, and Graph
+//!   WaveNet's adaptive adjacency).
+
+use crate::init;
+use crate::param::{Param, ParamStore};
+use rand::Rng;
+use stwa_autograd::{Graph, Var};
+use stwa_tensor::{linalg, Result, Tensor, TensorError};
+
+/// Row-normalize an adjacency: `D^-1 (A + I)` (random-walk transition
+/// matrix with self-loops). Rows with zero degree become pure self-loops.
+pub fn normalize_adjacency(adj: &Tensor) -> Result<Tensor> {
+    let n = square_side(adj)?;
+    let with_self = adj.add(&Tensor::eye(n))?;
+    let mut out = with_self.clone();
+    let data = out.data_mut();
+    for r in 0..n {
+        let row = &mut data[r * n..(r + 1) * n];
+        let deg: f32 = row.iter().sum();
+        if deg > 0.0 {
+            for v in row.iter_mut() {
+                *v /= deg;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Scaled graph Laplacian `2 L / lambda_max - I` with
+/// `L = I - D^-1/2 A D^-1/2`, using the bound `lambda_max <= 2`.
+pub fn scaled_laplacian(adj: &Tensor) -> Result<Tensor> {
+    let n = square_side(adj)?;
+    // Symmetric normalization.
+    let deg: Vec<f32> = (0..n)
+        .map(|r| adj.data()[r * n..(r + 1) * n].iter().sum())
+        .collect();
+    let mut l = Tensor::zeros(&[n, n]);
+    {
+        let data = l.data_mut();
+        for r in 0..n {
+            for c in 0..n {
+                let a = adj.data()[r * n + c];
+                let norm = if deg[r] > 0.0 && deg[c] > 0.0 {
+                    a / (deg[r].sqrt() * deg[c].sqrt())
+                } else {
+                    0.0
+                };
+                let identity = if r == c { 1.0 } else { 0.0 };
+                // L = I - A_sym ; scaled: 2L/2 - I = L - I = -A_sym
+                // (with lambda_max ~= 2, the common DCRNN/STGCN shortcut)
+                data[r * n + c] = (identity - norm) - identity;
+            }
+        }
+    }
+    Ok(l)
+}
+
+fn square_side(adj: &Tensor) -> Result<usize> {
+    if adj.rank() != 2 || adj.shape()[0] != adj.shape()[1] {
+        return Err(TensorError::Invalid(format!(
+            "adjacency must be square, got {:?}",
+            adj.shape()
+        )));
+    }
+    Ok(adj.shape()[0])
+}
+
+/// `y = A_hat x W + b` where `A_hat` is a fixed normalized adjacency and
+/// `x` is `[..., N, C]`.
+pub struct DenseGraphConv {
+    a_hat: Tensor,
+    w: Param,
+    b: Param,
+    in_dim: usize,
+}
+
+impl DenseGraphConv {
+    pub fn new(
+        store: &ParamStore,
+        name: &str,
+        adj: &Tensor,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Result<DenseGraphConv> {
+        Ok(DenseGraphConv {
+            a_hat: normalize_adjacency(adj)?,
+            w: store.param(
+                format!("{name}.w"),
+                init::xavier_uniform(&[in_dim, out_dim], in_dim, out_dim, rng),
+            ),
+            b: store.param(format!("{name}.b"), init::zeros(&[out_dim])),
+            in_dim,
+        })
+    }
+
+    pub fn forward(&self, graph: &Graph, x: &Var) -> Result<Var> {
+        check_node_feature_shape("DenseGraphConv", x, self.a_hat.shape()[0], self.in_dim)?;
+        let a = graph.constant(self.a_hat.clone());
+        let mixed = a.matmul(x)?; // [..., N, C] with A broadcast over batch
+        let w = self.w.leaf(graph);
+        mixed.matmul(&w)?.add(&self.b.leaf(graph))
+    }
+}
+
+/// Chebyshev graph convolution of order `k`:
+/// `y = sum_j T_j(L_scaled) x W_j + b`.
+pub struct ChebGraphConv {
+    l_scaled: Tensor,
+    weights: Vec<Param>,
+    b: Param,
+    in_dim: usize,
+}
+
+impl ChebGraphConv {
+    pub fn new(
+        store: &ParamStore,
+        name: &str,
+        adj: &Tensor,
+        order: usize,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Result<ChebGraphConv> {
+        assert!(order >= 1, "ChebGraphConv: order must be >= 1");
+        let weights = (0..order)
+            .map(|j| {
+                store.param(
+                    format!("{name}.w{j}"),
+                    init::xavier_uniform(&[in_dim, out_dim], in_dim * order, out_dim, rng),
+                )
+            })
+            .collect();
+        Ok(ChebGraphConv {
+            l_scaled: scaled_laplacian(adj)?,
+            weights,
+            b: store.param(format!("{name}.b"), init::zeros(&[out_dim])),
+            in_dim,
+        })
+    }
+
+    pub fn forward(&self, graph: &Graph, x: &Var) -> Result<Var> {
+        check_node_feature_shape("ChebGraphConv", x, self.l_scaled.shape()[0], self.in_dim)?;
+        let l = graph.constant(self.l_scaled.clone());
+        // T_0 = x, T_1 = L x, T_k = 2 L T_{k-1} - T_{k-2}
+        let mut terms: Vec<Var> = vec![x.clone()];
+        if self.weights.len() > 1 {
+            terms.push(l.matmul(x)?);
+        }
+        for _ in 2..self.weights.len() {
+            let prev = &terms[terms.len() - 1];
+            let prev2 = &terms[terms.len() - 2];
+            let t = l.matmul(prev)?.mul_scalar(2.0).sub(prev2)?;
+            terms.push(t);
+        }
+        let mut acc: Option<Var> = None;
+        for (t, w) in terms.iter().zip(&self.weights) {
+            let y = t.matmul(&w.leaf(graph))?;
+            acc = Some(match acc {
+                None => y,
+                Some(a) => a.add(&y)?,
+            });
+        }
+        acc.expect("order >= 1").add(&self.b.leaf(graph))
+    }
+}
+
+/// Diffusion convolution (DCRNN): random-walk transitions in both
+/// directions, `y = sum_s (P_f^s x W_fs + P_b^s x W_bs) + b`.
+pub struct DiffusionGraphConv {
+    p_forward: Tensor,
+    p_backward: Tensor,
+    w_f: Vec<Param>,
+    w_b: Vec<Param>,
+    b: Param,
+    in_dim: usize,
+}
+
+impl DiffusionGraphConv {
+    pub fn new(
+        store: &ParamStore,
+        name: &str,
+        adj: &Tensor,
+        steps: usize,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Result<DiffusionGraphConv> {
+        assert!(steps >= 1, "DiffusionGraphConv: steps must be >= 1");
+        let p_forward = normalize_adjacency(adj)?;
+        let p_backward = normalize_adjacency(&adj.transpose_last2()?)?;
+        let mk = |dir: &str, rng: &mut dyn rand::RngCore| -> Vec<Param> {
+            (0..steps)
+                .map(|s| {
+                    store.param(
+                        format!("{name}.{dir}{s}"),
+                        init::xavier_uniform(
+                            &[in_dim, out_dim],
+                            in_dim * steps * 2,
+                            out_dim,
+                            &mut &mut *rng,
+                        ),
+                    )
+                })
+                .collect()
+        };
+        Ok(DiffusionGraphConv {
+            p_forward,
+            p_backward,
+            w_f: mk("f", rng),
+            w_b: mk("b", rng),
+            b: store.param(format!("{name}.bias"), init::zeros(&[out_dim])),
+            in_dim,
+        })
+    }
+
+    pub fn forward(&self, graph: &Graph, x: &Var) -> Result<Var> {
+        check_node_feature_shape(
+            "DiffusionGraphConv",
+            x,
+            self.p_forward.shape()[0],
+            self.in_dim,
+        )?;
+        let pf = graph.constant(self.p_forward.clone());
+        let pb = graph.constant(self.p_backward.clone());
+        let mut acc: Option<Var> = None;
+        for (p, ws) in [(pf, &self.w_f), (pb, &self.w_b)] {
+            let mut diffused = x.clone();
+            for w in ws {
+                diffused = p.matmul(&diffused)?;
+                let y = diffused.matmul(&w.leaf(graph))?;
+                acc = Some(match acc {
+                    None => y,
+                    Some(a) => a.add(&y)?,
+                });
+            }
+        }
+        acc.expect("steps >= 1").add(&self.b.leaf(graph))
+    }
+}
+
+/// Adaptive graph convolution (AGCRN / Graph WaveNet adaptive adjacency):
+/// the adjacency is `softmax(relu(E E^T))` with learnable node embeddings
+/// `E`, discovered from data rather than road topology.
+pub struct AdaptiveGraphConv {
+    embeddings: Param,
+    w: Param,
+    b: Param,
+    n: usize,
+    in_dim: usize,
+}
+
+impl AdaptiveGraphConv {
+    pub fn new(
+        store: &ParamStore,
+        name: &str,
+        n: usize,
+        embed_dim: usize,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> AdaptiveGraphConv {
+        AdaptiveGraphConv {
+            embeddings: store.param(format!("{name}.e"), init::normal(&[n, embed_dim], 0.1, rng)),
+            w: store.param(
+                format!("{name}.w"),
+                init::xavier_uniform(&[in_dim, out_dim], in_dim, out_dim, rng),
+            ),
+            b: store.param(format!("{name}.b"), init::zeros(&[out_dim])),
+            n,
+            in_dim,
+        }
+    }
+
+    /// The learned adjacency (for inspection / the latent visualizations).
+    pub fn adjacency(&self) -> Result<Tensor> {
+        let e = self.embeddings.value();
+        let logits = linalg::matmul(&e, &e.transpose_last2()?)?.relu();
+        logits.softmax(1)
+    }
+
+    pub fn forward(&self, graph: &Graph, x: &Var) -> Result<Var> {
+        check_node_feature_shape("AdaptiveGraphConv", x, self.n, self.in_dim)?;
+        let e = self.embeddings.leaf(graph);
+        let logits = e.matmul(&e.transpose_last2()?)?.relu();
+        let a = logits.softmax(1)?;
+        let mixed = a.matmul(x)?;
+        mixed.matmul(&self.w.leaf(graph))?.add(&self.b.leaf(graph))
+    }
+}
+
+fn check_node_feature_shape(op: &str, x: &Var, n: usize, in_dim: usize) -> Result<()> {
+    let shape = x.shape();
+    let rank = shape.len();
+    if rank < 2 || shape[rank - 2] != n || shape[rank - 1] != in_dim {
+        return Err(TensorError::Invalid(format!(
+            "{op}: expected [..., {n}, {in_dim}], got {shape:?}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_graph(n: usize) -> Tensor {
+        // 0 - 1 - 2 - ... - (n-1), symmetric.
+        Tensor::from_fn(
+            &[n, n],
+            |i| {
+                if i[0].abs_diff(i[1]) == 1 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_sum_to_one() {
+        let a = normalize_adjacency(&line_graph(4)).unwrap();
+        for r in 0..4 {
+            let s: f32 = (0..4).map(|c| a.at(&[r, c])).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Self-loops present.
+        assert!(a.at(&[0, 0]) > 0.0);
+    }
+
+    #[test]
+    fn isolated_node_becomes_self_loop() {
+        let adj = Tensor::zeros(&[3, 3]);
+        let a = normalize_adjacency(&adj).unwrap();
+        assert_eq!(a.at(&[1, 1]), 1.0);
+        assert_eq!(a.at(&[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn dense_conv_shapes_with_batch() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = DenseGraphConv::new(&store, "g", &line_graph(5), 3, 4, &mut rng).unwrap();
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[2, 5, 3], &mut rng));
+        let y = conv.forward(&g, &x).unwrap();
+        assert_eq!(y.shape(), vec![2, 5, 4]);
+        let bad = g.constant(Tensor::zeros(&[2, 4, 3]));
+        assert!(conv.forward(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn dense_conv_mixes_neighbors() {
+        // With identity weights and zero bias, node 0's output is the
+        // average of node 0 and node 1 features.
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = DenseGraphConv::new(&store, "g", &line_graph(3), 1, 1, &mut rng).unwrap();
+        store.params()[0].set_value(Tensor::eye(1));
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![0.0, 2.0, 4.0], &[3, 1]).unwrap());
+        let y = conv.forward(&g, &x).unwrap();
+        assert!((y.value().at(&[0, 0]) - 1.0).abs() < 1e-6); // (0 + 2) / 2
+        assert!((y.value().at(&[1, 0]) - 2.0).abs() < 1e-6); // (0 + 2 + 4) / 3
+    }
+
+    #[test]
+    fn cheb_conv_order_one_is_pointwise() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = ChebGraphConv::new(&store, "g", &line_graph(3), 1, 2, 2, &mut rng).unwrap();
+        store.params()[0].set_value(Tensor::eye(2));
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[3, 2], &mut rng));
+        let y = conv.forward(&g, &x).unwrap();
+        assert!(y.value().approx_eq(&x.value(), 1e-6));
+    }
+
+    #[test]
+    fn cheb_conv_higher_order_shapes() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = ChebGraphConv::new(&store, "g", &line_graph(4), 3, 2, 5, &mut rng).unwrap();
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[2, 4, 2], &mut rng));
+        assert_eq!(conv.forward(&g, &x).unwrap().shape(), vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn diffusion_conv_uses_both_directions() {
+        // Directed edge 0 -> 1 only: forward diffusion moves mass from 1's
+        // perspective looking at 0; check output differs between nodes.
+        let mut adj = Tensor::zeros(&[2, 2]);
+        adj.set(&[0, 1], 1.0);
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = DiffusionGraphConv::new(&store, "g", &adj, 2, 1, 1, &mut rng).unwrap();
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 0.0], &[2, 1]).unwrap());
+        let y = conv.forward(&g, &x).unwrap();
+        assert_eq!(y.shape(), vec![2, 1]);
+        assert!((y.value().at(&[0, 0]) - y.value().at(&[1, 0])).abs() > 1e-6);
+    }
+
+    #[test]
+    fn adaptive_adjacency_rows_are_distributions() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let conv = AdaptiveGraphConv::new(&store, "g", 6, 4, 2, 3, &mut rng);
+        let a = conv.adjacency().unwrap();
+        assert_eq!(a.shape(), &[6, 6]);
+        for r in 0..6 {
+            let s: f32 = (0..6).map(|c| a.at(&[r, c])).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!((0..6).all(|c| a.at(&[r, c]) >= 0.0));
+        }
+    }
+
+    #[test]
+    fn adaptive_conv_trains_embeddings() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let conv = AdaptiveGraphConv::new(&store, "g", 4, 3, 2, 2, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[4, 2], &mut rng));
+        let loss = conv
+            .forward(&g, &x)
+            .unwrap()
+            .square()
+            .unwrap()
+            .sum_all()
+            .unwrap();
+        g.backward(&loss).unwrap();
+        // The embedding parameter receives a gradient.
+        assert!(store.params()[0].grad().is_some());
+    }
+}

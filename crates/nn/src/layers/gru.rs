@@ -1,0 +1,283 @@
+//! Gated recurrent units: the single-step cell and a full sequence layer.
+//!
+//! GRUs are one of the two "spatio-temporal agnostic" architectures the
+//! paper enhances with generated parameters (Table VII), and the temporal
+//! module of several baselines (DCRNN, AGCRN).
+
+use crate::init;
+use crate::param::{Param, ParamStore};
+use rand::Rng;
+use stwa_autograd::{Graph, Var};
+use stwa_tensor::{Result, Tensor, TensorError};
+
+/// One GRU step with fused gate weights.
+///
+/// Gate layout along the last axis of the fused matrices: `[z | r | n]`.
+///
+/// ```text
+/// z = sigma(x Wx_z + h Wh_z + b_z)
+/// r = sigma(x Wx_r + h Wh_r + b_r)
+/// n = tanh (x Wx_n + r * (h Wh_n) + b_n)
+/// h' = (1 - z) * n + z * h
+/// ```
+pub struct GruCell {
+    wx: Param,
+    wh: Param,
+    b: Param,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl GruCell {
+    pub fn new(
+        store: &ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> GruCell {
+        GruCell {
+            wx: store.param(
+                format!("{name}.wx"),
+                init::lecun_uniform(&[in_dim, 3 * hidden], in_dim, rng),
+            ),
+            wh: store.param(
+                format!("{name}.wh"),
+                init::lecun_uniform(&[hidden, 3 * hidden], hidden, rng),
+            ),
+            b: store.param(format!("{name}.b"), init::zeros(&[3 * hidden])),
+            in_dim,
+            hidden,
+        }
+    }
+
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Step: `x` is `[B, in_dim]`, `h` is `[B, hidden]`; returns the new
+    /// hidden state `[B, hidden]`.
+    pub fn step(&self, graph: &Graph, x: &Var, h: &Var) -> Result<Var> {
+        self.step_with(
+            graph,
+            x,
+            h,
+            &self.wx.leaf(graph),
+            &self.wh.leaf(graph),
+            &self.b.leaf(graph),
+        )
+    }
+
+    /// Step with externally supplied weight `Var`s.
+    ///
+    /// This is the hook the paper's parameter-generation framework uses:
+    /// `GRU+S`/`GRU+ST` (Table VII) pass per-sensor generated weights here
+    /// instead of the cell's own parameters.
+    pub fn step_with(
+        &self,
+        _graph: &Graph,
+        x: &Var,
+        h: &Var,
+        wx: &Var,
+        wh: &Var,
+        b: &Var,
+    ) -> Result<Var> {
+        let xs = x.shape();
+        if xs.last() != Some(&self.in_dim) {
+            return Err(TensorError::Invalid(format!(
+                "GruCell: expected input last dim {}, got {:?}",
+                self.in_dim, xs
+            )));
+        }
+        let d = self.hidden;
+        let gx = x.matmul(wx)?.add(b)?; // [B, 3d]
+        let gh = h.matmul(wh)?; // [B, 3d]
+        let rank = gx.shape().len();
+        let axis = rank - 1;
+        let z = gx
+            .narrow(axis, 0, d)?
+            .add(&gh.narrow(axis, 0, d)?)?
+            .sigmoid();
+        let r = gx
+            .narrow(axis, d, d)?
+            .add(&gh.narrow(axis, d, d)?)?
+            .sigmoid();
+        let n = gx
+            .narrow(axis, 2 * d, d)?
+            .add(&r.mul(&gh.narrow(axis, 2 * d, d)?)?)?
+            .tanh();
+        // h' = (1 - z) * n + z * h
+        let one_minus_z = z.neg().add_scalar(1.0);
+        one_minus_z.mul(&n)?.add(&z.mul(h)?)
+    }
+}
+
+/// A full GRU over a time axis.
+pub struct Gru {
+    cell: GruCell,
+}
+
+impl Gru {
+    pub fn new(
+        store: &ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Gru {
+        Gru {
+            cell: GruCell::new(store, name, in_dim, hidden, rng),
+        }
+    }
+
+    pub fn cell(&self) -> &GruCell {
+        &self.cell
+    }
+
+    /// Run over `x` of shape `[B, T, in_dim]`, returning the final hidden
+    /// state `[B, hidden]`.
+    pub fn forward_last(&self, graph: &Graph, x: &Var) -> Result<Var> {
+        let shape = x.shape();
+        if shape.len() != 3 {
+            return Err(TensorError::Invalid(format!(
+                "Gru: expected [B, T, F] input, got {shape:?}"
+            )));
+        }
+        let (b, t) = (shape[0], shape[1]);
+        // Bind weights once; reuse the same leaves across time steps.
+        let wx = self.cell.wx.leaf(graph);
+        let wh = self.cell.wh.leaf(graph);
+        let bias = self.cell.b.leaf(graph);
+        let mut h = graph.constant(Tensor::zeros(&[b, self.cell.hidden]));
+        for step in 0..t {
+            let xt = x.narrow(1, step, 1)?.squeeze(1)?;
+            h = self.cell.step_with(graph, &xt, &h, &wx, &wh, &bias)?;
+        }
+        Ok(h)
+    }
+
+    /// Run over `x` `[B, T, in_dim]`, returning all hidden states
+    /// `[B, T, hidden]`.
+    pub fn forward_all(&self, graph: &Graph, x: &Var) -> Result<Var> {
+        let shape = x.shape();
+        if shape.len() != 3 {
+            return Err(TensorError::Invalid(format!(
+                "Gru: expected [B, T, F] input, got {shape:?}"
+            )));
+        }
+        let (b, t) = (shape[0], shape[1]);
+        let wx = self.cell.wx.leaf(graph);
+        let wh = self.cell.wh.leaf(graph);
+        let bias = self.cell.b.leaf(graph);
+        let mut h = graph.constant(Tensor::zeros(&[b, self.cell.hidden]));
+        let mut outputs = Vec::with_capacity(t);
+        for step in 0..t {
+            let xt = x.narrow(1, step, 1)?.squeeze(1)?;
+            h = self.cell.step_with(graph, &xt, &h, &wx, &wh, &bias)?;
+            outputs.push(h.unsqueeze(1)?);
+        }
+        let refs: Vec<&Var> = outputs.iter().collect();
+        stwa_autograd::concat(&refs, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cell_output_shape_and_range() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = GruCell::new(&store, "gru", 3, 5, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[4, 3], &mut rng));
+        let h = g.constant(Tensor::zeros(&[4, 5]));
+        let h2 = cell.step(&g, &x, &h).unwrap();
+        assert_eq!(h2.shape(), vec![4, 5]);
+        // With zero initial state, h' = (1-z) * tanh(...) is in (-1, 1).
+        assert!(h2.value().data().iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn zero_input_zero_state_stays_bounded() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = GruCell::new(&store, "gru", 2, 4, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::zeros(&[1, 2]));
+        let mut h = g.constant(Tensor::zeros(&[1, 4]));
+        for _ in 0..50 {
+            h = cell.step(&g, &x, &h).unwrap();
+        }
+        assert!(h
+            .value()
+            .data()
+            .iter()
+            .all(|v| v.is_finite() && v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn sequence_layer_shapes() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gru = Gru::new(&store, "gru", 2, 6, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[3, 7, 2], &mut rng));
+        assert_eq!(gru.forward_last(&g, &x).unwrap().shape(), vec![3, 6]);
+        assert_eq!(gru.forward_all(&g, &x).unwrap().shape(), vec![3, 7, 6]);
+        let bad = g.constant(Tensor::zeros(&[3, 2]));
+        assert!(gru.forward_last(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn forward_all_last_step_matches_forward_last() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let gru = Gru::new(&store, "gru", 2, 4, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[2, 5, 2], &mut rng));
+        let last = gru.forward_last(&g, &x).unwrap();
+        let all = gru.forward_all(&g, &x).unwrap();
+        let all_last = all.narrow(1, 4, 1).unwrap().squeeze(1).unwrap();
+        assert!(last.value().approx_eq(&all_last.value(), 1e-6));
+    }
+
+    #[test]
+    fn gru_learns_to_sum_sequence() {
+        // Target: sum of a length-4 scalar sequence. A GRU with a linear
+        // readout should fit this to reasonable accuracy.
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let gru = Gru::new(&store, "gru", 1, 8, &mut rng);
+        let readout = crate::layers::Linear::new(&store, "out", 8, 1, &mut rng);
+        let xs = Tensor::rand_uniform(&[32, 4, 1], -0.5, 0.5, &mut rng);
+        let ys = xs.clone().sum_axis(1, false).unwrap(); // [32, 1]
+        let mut opt = Adam::new(&store, 0.02);
+        let mut first = None;
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..120 {
+            let g = Graph::new();
+            let x = g.constant(xs.clone());
+            let y = g.constant(ys.clone());
+            let h = gru.forward_last(&g, &x).unwrap();
+            let pred = readout.forward(&g, &h).unwrap();
+            let l = loss::mse(&pred, &y).unwrap();
+            last_loss = l.value().item().unwrap();
+            first.get_or_insert(last_loss);
+            g.backward(&l).unwrap();
+            opt.step();
+            opt.finish_step();
+        }
+        assert!(
+            last_loss < first.unwrap() * 0.1,
+            "GRU failed to learn: {} -> {}",
+            first.unwrap(),
+            last_loss
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! LSTM cell — used by the meta-LSTM baseline \[42\], where one LSTM
+//! generates time-varying parameters for another.
+
+use crate::init;
+use crate::param::{Param, ParamStore};
+use rand::Rng;
+use stwa_autograd::{Graph, Var};
+use stwa_tensor::{Result, TensorError};
+
+/// One LSTM step with fused gate weights.
+///
+/// Gate layout along the fused axis: `[i | f | g | o]`.
+///
+/// ```text
+/// i = sigma(x Wx_i + h Wh_i + b_i)
+/// f = sigma(x Wx_f + h Wh_f + b_f)
+/// g = tanh (x Wx_g + h Wh_g + b_g)
+/// o = sigma(x Wx_o + h Wh_o + b_o)
+/// c' = f * c + i * g
+/// h' = o * tanh(c')
+/// ```
+pub struct LstmCell {
+    wx: Param,
+    wh: Param,
+    b: Param,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl LstmCell {
+    pub fn new(
+        store: &ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> LstmCell {
+        LstmCell {
+            wx: store.param(
+                format!("{name}.wx"),
+                init::lecun_uniform(&[in_dim, 4 * hidden], in_dim, rng),
+            ),
+            wh: store.param(
+                format!("{name}.wh"),
+                init::lecun_uniform(&[hidden, 4 * hidden], hidden, rng),
+            ),
+            b: store.param(format!("{name}.b"), init::zeros(&[4 * hidden])),
+            in_dim,
+            hidden,
+        }
+    }
+
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Bind this cell's weights once for a multi-step rollout.
+    pub fn bind(&self, graph: &Graph) -> (Var, Var, Var) {
+        (self.wx.leaf(graph), self.wh.leaf(graph), self.b.leaf(graph))
+    }
+
+    /// Step: `x` `[B, in]`, `(h, c)` `[B, hidden]` each; returns `(h', c')`.
+    pub fn step(&self, graph: &Graph, x: &Var, h: &Var, c: &Var) -> Result<(Var, Var)> {
+        let (wx, wh, b) = self.bind(graph);
+        self.step_with(x, h, c, &wx, &wh, &b)
+    }
+
+    /// Step with externally supplied (possibly generated) weights.
+    pub fn step_with(
+        &self,
+        x: &Var,
+        h: &Var,
+        c: &Var,
+        wx: &Var,
+        wh: &Var,
+        b: &Var,
+    ) -> Result<(Var, Var)> {
+        if x.shape().last() != Some(&self.in_dim) {
+            return Err(TensorError::Invalid(format!(
+                "LstmCell: expected input last dim {}, got {:?}",
+                self.in_dim,
+                x.shape()
+            )));
+        }
+        let gates = x.matmul(wx)?.add(&h.matmul(wh)?)?.add(b)?; // [B, 4d]
+        Self::combine_gates(&gates, c, self.hidden)
+    }
+
+    /// The LSTM state update from pre-activation gates (`[..., 4d]`,
+    /// layout `[i | f | g | o]`): shared by [`LstmCell::step_with`] and
+    /// models that *generate* the gate pre-activations themselves (the
+    /// meta-LSTM baseline).
+    pub fn combine_gates(gates: &Var, c: &Var, d: usize) -> Result<(Var, Var)> {
+        let axis = gates.shape().len() - 1;
+        let i = gates.narrow(axis, 0, d)?.sigmoid();
+        let f = gates.narrow(axis, d, d)?.sigmoid();
+        let g = gates.narrow(axis, 2 * d, d)?.tanh();
+        let o = gates.narrow(axis, 3 * d, d)?.sigmoid();
+        let c_next = f.mul(c)?.add(&i.mul(&g)?)?;
+        let h_next = o.mul(&c_next.tanh())?;
+        Ok((h_next, c_next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stwa_tensor::Tensor;
+
+    #[test]
+    fn step_shapes() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = LstmCell::new(&store, "lstm", 3, 5, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[2, 3], &mut rng));
+        let h = g.constant(Tensor::zeros(&[2, 5]));
+        let c = g.constant(Tensor::zeros(&[2, 5]));
+        let (h2, c2) = cell.step(&g, &x, &h, &c).unwrap();
+        assert_eq!(h2.shape(), vec![2, 5]);
+        assert_eq!(c2.shape(), vec![2, 5]);
+    }
+
+    #[test]
+    fn hidden_state_is_bounded() {
+        // |h| = |o * tanh(c)| < 1 always.
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = LstmCell::new(&store, "lstm", 2, 4, &mut rng);
+        let g = Graph::new();
+        let mut h = g.constant(Tensor::zeros(&[1, 4]));
+        let mut c = g.constant(Tensor::zeros(&[1, 4]));
+        for step in 0..30 {
+            let x = g.constant(Tensor::full(&[1, 2], (step % 5) as f32));
+            let (h2, c2) = cell.step(&g, &x, &h, &c).unwrap();
+            h = h2;
+            c = c2;
+        }
+        assert!(h
+            .value()
+            .data()
+            .iter()
+            .all(|&v| v.abs() < 1.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn gradients_reach_all_weights() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cell = LstmCell::new(&store, "lstm", 2, 3, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[4, 2], &mut rng));
+        let h = g.constant(Tensor::zeros(&[4, 3]));
+        let c = g.constant(Tensor::zeros(&[4, 3]));
+        let (h2, _) = cell.step(&g, &x, &h, &c).unwrap();
+        let loss = h2.square().unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert!(store.params().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn rejects_wrong_input_dim() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cell = LstmCell::new(&store, "lstm", 2, 3, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::zeros(&[1, 5]));
+        let h = g.constant(Tensor::zeros(&[1, 3]));
+        let c = g.constant(Tensor::zeros(&[1, 3]));
+        assert!(cell.step(&g, &x, &h, &c).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! Neural-network layers.
+//!
+//! Each layer registers its parameters with a [`crate::ParamStore`] at
+//! construction and binds them onto the caller's graph during `forward`.
+//! Layers are therefore reusable across training steps (fresh graph each
+//! step) without re-allocation.
+
+pub mod attention;
+pub mod conv;
+pub mod graphconv;
+pub mod gru;
+pub mod linear;
+pub mod lstm;
+pub mod norm;
+
+pub use attention::MultiHeadSelfAttention;
+pub use conv::TemporalConv;
+pub use graphconv::{AdaptiveGraphConv, ChebGraphConv, DenseGraphConv, DiffusionGraphConv};
+pub use gru::{Gru, GruCell};
+pub use linear::{Activation, Linear, Mlp};
+pub use lstm::LstmCell;
+pub use norm::LayerNorm;

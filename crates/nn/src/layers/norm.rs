@@ -1,0 +1,114 @@
+//! Layer normalization over the last (feature) axis.
+
+use crate::init;
+use crate::param::{Param, ParamStore};
+use stwa_autograd::{Graph, Var};
+use stwa_tensor::{Result, TensorError};
+
+/// LayerNorm with learnable scale (`gamma`) and shift (`beta`).
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    pub fn new(store: &ParamStore, name: &str, dim: usize) -> LayerNorm {
+        LayerNorm {
+            gamma: store.param(format!("{name}.gamma"), stwa_tensor::Tensor::ones(&[dim])),
+            beta: store.param(format!("{name}.beta"), init::zeros(&[dim])),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalize `x` of shape `[..., dim]` to zero mean / unit variance
+    /// along the last axis, then apply `gamma`/`beta`.
+    pub fn forward(&self, graph: &Graph, x: &Var) -> Result<Var> {
+        let shape = x.shape();
+        let rank = shape.len();
+        if rank == 0 || shape[rank - 1] != self.dim {
+            return Err(TensorError::Invalid(format!(
+                "LayerNorm: expected last dim {}, got shape {:?}",
+                self.dim, shape
+            )));
+        }
+        let axis = rank - 1;
+        let mean = x.mean_axis(axis, true)?;
+        let centered = x.sub(&mean.broadcast_to(&shape)?)?;
+        let var = centered.square()?.mean_axis(axis, true)?;
+        let std = var.add_scalar(self.eps).sqrt();
+        let normed = centered.div(&std.broadcast_to(&shape)?)?;
+        let gamma = self.gamma.leaf(graph);
+        let beta = self.beta.leaf(graph);
+        normed.mul(&gamma)?.add(&beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stwa_tensor::Tensor;
+
+    #[test]
+    fn normalizes_rows_to_zero_mean_unit_var() {
+        let store = ParamStore::new();
+        let ln = LayerNorm::new(&store, "ln", 4);
+        let g = Graph::new();
+        let x = g.constant(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0], &[2, 4]).unwrap(),
+        );
+        let y = ln.forward(&g, &x).unwrap();
+        let v = y.value();
+        for r in 0..2 {
+            let row: Vec<f32> = (0..4).map(|c| v.at(&[r, c])).collect();
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let store = ParamStore::new();
+        let ln = LayerNorm::new(&store, "ln", 2);
+        store.params()[0].set_value(Tensor::from_vec(vec![2.0, 2.0], &[2]).unwrap());
+        store.params()[1].set_value(Tensor::from_vec(vec![10.0, 10.0], &[2]).unwrap());
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![-1.0, 1.0], &[1, 2]).unwrap());
+        let y = ln.forward(&g, &x).unwrap();
+        // normalized is [-1, 1]; scaled by 2 and shifted by 10 -> [8, 12]
+        assert!(y
+            .value()
+            .approx_eq(&Tensor::from_vec(vec![8.0, 12.0], &[1, 2]).unwrap(), 1e-2));
+    }
+
+    #[test]
+    fn wrong_dim_rejected() {
+        let store = ParamStore::new();
+        let ln = LayerNorm::new(&store, "ln", 3);
+        let g = Graph::new();
+        let x = g.constant(Tensor::zeros(&[2, 4]));
+        assert!(ln.forward(&g, &x).is_err());
+    }
+
+    #[test]
+    fn gradients_flow_through_norm() {
+        let store = ParamStore::new();
+        let ln = LayerNorm::new(&store, "ln", 3);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3]).unwrap());
+        let loss = ln
+            .forward(&g, &x)
+            .unwrap()
+            .square()
+            .unwrap()
+            .sum_all()
+            .unwrap();
+        g.backward(&loss).unwrap();
+        assert!(g.grad(&x).is_some());
+        assert!(store.params().iter().all(|p| p.grad().is_some()));
+    }
+}

@@ -1,0 +1,234 @@
+//! Parameters and the parameter store.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use stwa_autograd::{Graph, Var};
+use stwa_tensor::Tensor;
+
+struct ParamInner {
+    name: String,
+    value: RefCell<Tensor>,
+    /// The leaf `Var` this parameter was bound to on the most recent
+    /// graph; the optimizer reads gradients through it after backward.
+    bound: RefCell<Option<Var>>,
+}
+
+/// A trainable tensor.
+///
+/// `Param` is a cheap `Rc` handle: layers hold clones of the handles they
+/// registered with the [`ParamStore`], and the optimizer iterates the
+/// store. Parameters are single-threaded, like the autograd graph.
+#[derive(Clone)]
+pub struct Param(Rc<ParamInner>);
+
+impl Param {
+    /// Current value (cloned).
+    pub fn value(&self) -> Tensor {
+        self.0.value.borrow().clone()
+    }
+
+    /// Shape of the stored value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.0.value.borrow().shape().to_vec()
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.0.value.borrow().len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Debug name (layer path).
+    pub fn name(&self) -> &str {
+        &self.0.name
+    }
+
+    /// Bind the parameter onto `graph` as a gradient-requiring leaf.
+    ///
+    /// Every layer `forward` starts by leafing its parameters; the
+    /// returned `Var` participates in the computation, and the binding is
+    /// remembered so [`Param::grad`] can read the gradient after
+    /// `graph.backward`.
+    ///
+    /// Calling `leaf` again **on the same graph** returns the existing
+    /// binding instead of creating a new node. This is load-bearing for
+    /// correctness, not just economy: a parameter used several times on
+    /// one tape (a fusion layer applied per window, a graph convolution
+    /// applied per timestep) must be a *single* node so the backward
+    /// sweep accumulates every use's contribution into the one gradient
+    /// the optimizer reads. Separate leaves would each hold a partial
+    /// gradient and [`Param::grad`] would see only the last one.
+    pub fn leaf(&self, graph: &Graph) -> Var {
+        if let Some(existing) = self.0.bound.borrow().as_ref() {
+            if existing.belongs_to(graph) {
+                return existing.clone();
+            }
+        }
+        let var = graph.leaf(self.0.value.borrow().clone());
+        *self.0.bound.borrow_mut() = Some(var.clone());
+        var
+    }
+
+    /// Gradient from the most recent bound graph, if backward reached it.
+    pub fn grad(&self) -> Option<Tensor> {
+        let bound = self.0.bound.borrow();
+        bound.as_ref().and_then(|v| v.graph().grad(v))
+    }
+
+    /// Squared L2 norm of the gradient without cloning it — what the
+    /// optimizers' global-norm clipping measures every step.
+    pub fn grad_sq_norm(&self) -> Option<f32> {
+        let bound = self.0.bound.borrow();
+        bound.as_ref().and_then(|v| v.graph().grad_sq_norm(v))
+    }
+
+    /// Overwrite the stored value (used by optimizers and tests).
+    ///
+    /// Also drops the remembered graph binding: a cached leaf would
+    /// otherwise keep serving the *old* value to any further forward
+    /// passes on the same tape.
+    pub fn set_value(&self, value: Tensor) {
+        assert_eq!(
+            value.shape(),
+            self.shape().as_slice(),
+            "set_value must preserve the parameter shape ({})",
+            self.name()
+        );
+        *self.0.value.borrow_mut() = value;
+        *self.0.bound.borrow_mut() = None;
+    }
+
+    /// Drop the remembered graph binding (frees the old tape).
+    pub fn unbind(&self) {
+        *self.0.bound.borrow_mut() = None;
+    }
+}
+
+/// Registry of every trainable tensor in a model.
+///
+/// Created once per model; layers register their parameters at
+/// construction time, optimizers iterate [`ParamStore::params`].
+#[derive(Default)]
+pub struct ParamStore {
+    params: RefCell<Vec<Param>>,
+}
+
+impl ParamStore {
+    pub fn new() -> ParamStore {
+        ParamStore::default()
+    }
+
+    /// Register a new parameter initialized to `value`.
+    pub fn param(&self, name: impl Into<String>, value: Tensor) -> Param {
+        let p = Param(Rc::new(ParamInner {
+            name: name.into(),
+            value: RefCell::new(value),
+            bound: RefCell::new(None),
+        }));
+        self.params.borrow_mut().push(p.clone());
+        p
+    }
+
+    /// Handles to all registered parameters, in registration order.
+    pub fn params(&self) -> Vec<Param> {
+        self.params.borrow().clone()
+    }
+
+    /// Number of registered parameter tensors.
+    pub fn tensor_count(&self) -> usize {
+        self.params.borrow().len()
+    }
+
+    /// Total number of scalar parameters — the paper's "# Para" column.
+    pub fn num_scalars(&self) -> usize {
+        self.params.borrow().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_count() {
+        let store = ParamStore::new();
+        store.param("w", Tensor::zeros(&[3, 4]));
+        store.param("b", Tensor::zeros(&[4]));
+        assert_eq!(store.tensor_count(), 2);
+        assert_eq!(store.num_scalars(), 16);
+    }
+
+    #[test]
+    fn leaf_binds_and_reads_grad() {
+        let store = ParamStore::new();
+        let p = store.param("w", Tensor::from_vec(vec![2.0, 3.0], &[2]).unwrap());
+        let g = Graph::new();
+        let w = p.leaf(&g);
+        let loss = w.square().unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(p.grad().unwrap().data(), &[4.0, 6.0]);
+        p.unbind();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    fn repeated_leaf_on_same_graph_accumulates_all_uses() {
+        // w used twice in the loss: d/dw (w*a + w*b) = a + b. With
+        // per-call re-binding this would report only the second use.
+        let store = ParamStore::new();
+        let p = store.param("w", Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let g = Graph::new();
+        let w1 = p.leaf(&g);
+        let w2 = p.leaf(&g); // same node
+        let a = g.constant(Tensor::from_vec(vec![3.0], &[1]).unwrap());
+        let b = g.constant(Tensor::from_vec(vec![5.0], &[1]).unwrap());
+        let loss = w1
+            .mul(&a)
+            .unwrap()
+            .add(&w2.mul(&b).unwrap())
+            .unwrap()
+            .sum_all()
+            .unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(p.grad().unwrap().data(), &[8.0], "grad must sum both uses");
+        // A fresh graph gets a fresh binding.
+        let g2 = Graph::new();
+        let w3 = p.leaf(&g2);
+        assert!(w3.belongs_to(&g2));
+    }
+
+    #[test]
+    fn set_value_keeps_shape_and_invalidates_binding() {
+        let store = ParamStore::new();
+        let p = store.param("w", Tensor::zeros(&[2]));
+        let g = Graph::new();
+        let _old = p.leaf(&g);
+        p.set_value(Tensor::ones(&[2]));
+        assert_eq!(p.value().data(), &[1.0, 1.0]);
+        // The next leaf on the same graph must carry the new value, not
+        // the cached pre-update binding.
+        let fresh = p.leaf(&g);
+        assert_eq!(fresh.value().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve the parameter shape")]
+    fn set_value_rejects_shape_change() {
+        let store = ParamStore::new();
+        let p = store.param("w", Tensor::zeros(&[2]));
+        p.set_value(Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn store_handles_are_shared() {
+        let store = ParamStore::new();
+        let p = store.param("w", Tensor::zeros(&[1]));
+        // Mutating through the store's copy is visible through ours.
+        store.params()[0].set_value(Tensor::ones(&[1]));
+        assert_eq!(p.value().data(), &[1.0]);
+    }
+}

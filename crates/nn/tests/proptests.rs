@@ -1,0 +1,128 @@
+//! Property-based tests of the nn layer semantics: gradient-checked
+//! layers on random inputs, batching invariants, loss identities.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_autograd::{check_gradient, Graph};
+use stwa_nn::batch::BatchIter;
+use stwa_nn::layers::{Activation, GruCell, LayerNorm, Linear, Mlp};
+use stwa_nn::loss::{huber, kl_standard_normal, mae, mse};
+use stwa_nn::ParamStore;
+use stwa_tensor::Tensor;
+
+fn vecs(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn linear_layer_gradcheck(data in vecs(6), seed in 0u64..100) {
+        let x = Tensor::from_vec(data, &[2, 3]).unwrap();
+        let r = check_gradient(&x, 1e-2, |v| {
+            let store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let lin = Linear::new(&store, "l", 3, 4, &mut rng);
+            lin.forward(v.graph(), v)?.square()?.mean_all()
+        }).unwrap();
+        prop_assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn layernorm_gradcheck(data in vecs(8), seed in 0u64..100) {
+        // Keep some spread so the variance is well-conditioned.
+        let x = Tensor::from_vec(
+            data.iter().enumerate().map(|(i, v)| v + i as f32 * 0.3).collect(),
+            &[2, 4],
+        ).unwrap();
+        let r = check_gradient(&x, 1e-2, |v| {
+            let store = ParamStore::new();
+            let ln = LayerNorm::new(&store, "ln", 4);
+            ln.forward(v.graph(), v)?.square()?.mean_all()
+        }).unwrap();
+        let _ = seed;
+        prop_assert!(r.passes(5e-2), "{r:?}");
+    }
+
+    #[test]
+    fn gru_cell_gradcheck(data in vecs(4), seed in 0u64..50) {
+        let x = Tensor::from_vec(data, &[2, 2]).unwrap();
+        let r = check_gradient(&x, 1e-2, |v| {
+            let store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cell = GruCell::new(&store, "g", 2, 3, &mut rng);
+            let h = v.graph().constant(Tensor::zeros(&[2, 3]));
+            cell.step(v.graph(), v, &h)?.square()?.mean_all()
+        }).unwrap();
+        prop_assert!(r.passes(4e-2), "{r:?}");
+    }
+
+    #[test]
+    fn mlp_composes_like_manual_layers(data in vecs(6), seed in 0u64..50) {
+        // An MLP with identity activations equals chaining its Linears.
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&store, "m", &[3, 5, 2],
+            &[Activation::Identity, Activation::Identity], &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(data, &[2, 3]).unwrap());
+        let via_mlp = mlp.forward(&g, &x).unwrap();
+        // Manual: layer params live in the same store (w0, b0, w1, b1).
+        let params = store.params();
+        let w0 = g.constant(params[0].value());
+        let b0 = g.constant(params[1].value());
+        let w1 = g.constant(params[2].value());
+        let b1 = g.constant(params[3].value());
+        let manual = x.matmul(&w0).unwrap().add(&b0).unwrap()
+            .matmul(&w1).unwrap().add(&b1).unwrap();
+        prop_assert!(via_mlp.value().approx_eq(&manual.value(), 1e-5));
+    }
+
+    #[test]
+    fn huber_between_zero_and_mae_scaled(p in vecs(6), t in vecs(6), delta in 0.1f32..3.0) {
+        // 0 <= H(p, t) <= delta * mean|p - t|
+        let g = Graph::new();
+        let pv = g.constant(Tensor::from_vec(p.clone(), &[6]).unwrap());
+        let tv = g.constant(Tensor::from_vec(t.clone(), &[6]).unwrap());
+        let h = huber(&pv, &tv, delta).unwrap().value().item().unwrap();
+        let m = mae(&pv, &tv).unwrap().value().item().unwrap();
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= delta * m + 1e-5, "h={h} delta*mae={}", delta * m);
+    }
+
+    #[test]
+    fn huber_converges_to_half_mse_for_large_delta(p in vecs(5), t in vecs(5)) {
+        let g = Graph::new();
+        let pv = g.constant(Tensor::from_vec(p, &[5]).unwrap());
+        let tv = g.constant(Tensor::from_vec(t, &[5]).unwrap());
+        let h = huber(&pv, &tv, 1e4).unwrap().value().item().unwrap();
+        let m = mse(&pv, &tv).unwrap().value().item().unwrap();
+        prop_assert!((h - 0.5 * m).abs() < 1e-4);
+    }
+
+    #[test]
+    fn kl_nonnegative_for_any_gaussian(mu in vecs(4), logvar in vecs(4)) {
+        let g = Graph::new();
+        let m = g.constant(Tensor::from_vec(mu, &[4]).unwrap());
+        let lv = g.constant(Tensor::from_vec(logvar, &[4]).unwrap());
+        let kl = kl_standard_normal(&m, &lv).unwrap().value().item().unwrap();
+        prop_assert!(kl >= -1e-6, "KL must be nonnegative, got {kl}");
+    }
+
+    #[test]
+    fn batches_partition_samples(n in 1usize..20, batch in 1usize..8) {
+        let x = Tensor::from_fn(&[n, 2], |i| i[0] as f32);
+        let y = Tensor::from_fn(&[n, 1], |i| i[0] as f32);
+        let total: usize = BatchIter::new(&x, &y, batch).unwrap()
+            .map(|(bx, _)| bx.shape()[0])
+            .sum();
+        prop_assert_eq!(total, n);
+        let mut rng = StdRng::seed_from_u64(0);
+        let shuffled_total: usize = BatchIter::shuffled(&x, &y, batch, &mut rng).unwrap()
+            .map(|(bx, _)| bx.shape()[0])
+            .sum();
+        prop_assert_eq!(shuffled_total, n);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor operations.
+///
+/// Shape-sensitive operations return `Err` rather than panicking so that
+/// model code can surface configuration mistakes (wrong window size, wrong
+/// feature dimension, ...) with context instead of aborting mid-training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must match (exactly or after broadcasting) do not.
+    ShapeMismatch {
+        op: &'static str,
+        lhs: Vec<usize>,
+        rhs: Vec<usize>,
+    },
+    /// The number of elements implied by a reshape differs from the input.
+    InvalidReshape { from: Vec<usize>, to: Vec<usize> },
+    /// An axis argument is out of range for the tensor's rank.
+    InvalidAxis {
+        op: &'static str,
+        axis: usize,
+        rank: usize,
+    },
+    /// A slice/narrow range falls outside the axis length.
+    InvalidRange {
+        op: &'static str,
+        start: usize,
+        end: usize,
+        len: usize,
+    },
+    /// An index is out of bounds for the axis being indexed.
+    IndexOutOfBounds {
+        op: &'static str,
+        index: usize,
+        len: usize,
+    },
+    /// An operation that requires rank >= n received a lower-rank tensor.
+    RankTooSmall {
+        op: &'static str,
+        required: usize,
+        actual: usize,
+    },
+    /// A constructor received data whose length does not match the shape.
+    DataLengthMismatch { expected: usize, actual: usize },
+    /// Free-form invariant violation with context.
+    Invalid(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::InvalidReshape { from, to } => {
+                write!(
+                    f,
+                    "cannot reshape {from:?} into {to:?}: element counts differ"
+                )
+            }
+            TensorError::InvalidAxis { op, axis, rank } => {
+                write!(f, "{op}: axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidRange {
+                op,
+                start,
+                end,
+                len,
+            } => {
+                write!(
+                    f,
+                    "{op}: range {start}..{end} invalid for axis of length {len}"
+                )
+            }
+            TensorError::IndexOutOfBounds { op, index, len } => {
+                write!(
+                    f,
+                    "{op}: index {index} out of bounds for axis of length {len}"
+                )
+            }
+            TensorError::RankTooSmall {
+                op,
+                required,
+                actual,
+            } => {
+                write!(f, "{op}: requires rank >= {required}, got rank {actual}")
+            }
+            TensorError::DataLengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
+            }
+            TensorError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: vec![2, 3],
+            rhs: vec![4],
+        };
+        let s = e.to_string();
+        assert!(s.contains("add"));
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[4]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

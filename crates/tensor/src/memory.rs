@@ -1,0 +1,103 @@
+//! Global tensor-byte accounting.
+//!
+//! The paper's Table VIII reports GPU memory usage per model variant. Our
+//! substrate is CPU-only, so the analogous quantity is the number of bytes
+//! held live in tensor buffers. Every [`crate::Tensor`] registers its
+//! buffer size on construction and deregisters on drop, letting the
+//! experiment harness report `peak_bytes()` per training run.
+//!
+//! The counters are process-global atomics: cheap enough to leave enabled
+//! unconditionally, and safe to read from any thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Record an allocation of `bytes` tensor-buffer bytes.
+pub(crate) fn track_alloc(bytes: usize) {
+    let now = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    // Lock-free peak update: retry while we hold a larger value than PEAK.
+    let mut peak = PEAK.load(Ordering::Relaxed);
+    while now > peak {
+        match PEAK.compare_exchange_weak(peak, now, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+/// Record a deallocation of `bytes` tensor-buffer bytes.
+pub(crate) fn track_dealloc(bytes: usize) {
+    CURRENT.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// Bytes currently held in live tensor buffers.
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water mark of tensor-buffer bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Reset the high-water mark to the current live byte count.
+///
+/// Call this at the start of a measured region (e.g. one training run) and
+/// read [`peak_bytes`] at the end.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Format a byte count for human-readable experiment tables.
+pub fn format_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB {
+        format!("{:.2} GiB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.2} MiB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.2} KiB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn tracks_alloc_and_dealloc() {
+        let before = current_bytes();
+        let t = Tensor::zeros(&[256]);
+        assert_eq!(current_bytes(), before + 256 * 4);
+        drop(t);
+        assert_eq!(current_bytes(), before);
+    }
+
+    #[test]
+    fn peak_monotone_until_reset() {
+        reset_peak();
+        let base = peak_bytes();
+        let t = Tensor::zeros(&[1024]);
+        assert!(peak_bytes() >= base + 1024 * 4);
+        drop(t);
+        // Peak persists after the drop...
+        assert!(peak_bytes() >= base + 1024 * 4);
+        // ...until reset.
+        reset_peak();
+        assert!(peak_bytes() <= base + 1024 * 4);
+    }
+
+    #[test]
+    fn format_bytes_units() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.00 MiB");
+        assert!(format_bytes(2 * 1024 * 1024 * 1024).ends_with("GiB"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Random tensor constructors.
+//!
+//! Every constructor takes an explicit `&mut impl Rng`, so all randomness
+//! in the workspace flows from seeds chosen by the experiment harness —
+//! each paper table regenerates deterministically for a given `--seed`.
+
+use crate::Tensor;
+use rand::Rng;
+
+impl Tensor {
+    /// Uniform samples in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics with a named message when `lo >= hi` (rather than the
+    /// opaque "cannot sample empty range" deep inside `rand`).
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+        assert!(lo < hi, "rand_uniform: empty range [{lo}, {hi})");
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, shape).expect("rand_uniform shape")
+    }
+
+    /// Gaussian samples with the given mean and standard deviation,
+    /// generated with the Box-Muller transform (keeps us off the
+    /// `rand_distr` dependency).
+    pub fn rand_normal(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let (z0, z1) = box_muller(rng);
+            data.push(mean + std * z0);
+            if data.len() < n {
+                data.push(mean + std * z1);
+            }
+        }
+        Tensor::from_vec(data, shape).expect("rand_normal shape")
+    }
+
+    /// Standard normal samples (`mean`=0, `std`=1).
+    pub fn randn(shape: &[usize], rng: &mut impl Rng) -> Tensor {
+        Tensor::rand_normal(shape, 0.0, 1.0, rng)
+    }
+}
+
+/// One Box-Muller draw: two independent standard normals.
+///
+/// Public so other crates sampling Gaussians scalar-at-a-time (the
+/// traffic generator's noise loop) share one implementation and one
+/// sampling convention.
+pub fn box_muller(rng: &mut impl Rng) -> (f32, f32) {
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::rand_uniform(&[1000], -2.0, 3.0, &mut rng);
+        assert!(t.data().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_rejects_inverted_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Tensor::rand_uniform(&[4], 1.0, 1.0, &mut rng);
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = Tensor::rand_normal(&[20_000], 1.0, 2.0, &mut rng);
+        let mean = t.mean_all().item().unwrap();
+        let var = t.add_scalar(-mean).square().mean_all().item().unwrap();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+        assert!(!t.has_non_finite());
+    }
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let a = Tensor::randn(&[16], &mut StdRng::seed_from_u64(5));
+        let b = Tensor::randn(&[16], &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let c = Tensor::randn(&[16], &mut StdRng::seed_from_u64(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn odd_length_normal_fill() {
+        // Exercise the half-pair tail path of Box-Muller.
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::randn(&[7], &mut rng);
+        assert_eq!(t.len(), 7);
+        assert!(!t.has_non_finite());
+    }
+}

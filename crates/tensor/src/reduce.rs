@@ -1,0 +1,244 @@
+//! Reductions and softmax.
+
+use crate::shape::check_axis;
+use crate::{Result, Tensor};
+
+impl Tensor {
+    /// Sum along `axis`. With `keepdim` the axis is kept at length 1,
+    /// otherwise it is removed.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Result<Tensor> {
+        self.reduce_axis(
+            "sum_axis",
+            axis,
+            keepdim,
+            0.0,
+            |acc, x| acc + x,
+            |acc, _n| acc,
+        )
+    }
+
+    /// Arithmetic mean along `axis`.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Result<Tensor> {
+        self.reduce_axis(
+            "mean_axis",
+            axis,
+            keepdim,
+            0.0,
+            |acc, x| acc + x,
+            |acc, n| acc / n as f32,
+        )
+    }
+
+    /// Maximum along `axis`.
+    pub fn max_axis(&self, axis: usize, keepdim: bool) -> Result<Tensor> {
+        self.reduce_axis(
+            "max_axis",
+            axis,
+            keepdim,
+            f32::NEG_INFINITY,
+            f32::max,
+            |acc, _n| acc,
+        )
+    }
+
+    fn reduce_axis(
+        &self,
+        op: &'static str,
+        axis: usize,
+        keepdim: bool,
+        init: f32,
+        fold: impl Fn(f32, f32) -> f32,
+        finish: impl Fn(f32, usize) -> f32,
+    ) -> Result<Tensor> {
+        check_axis(op, axis, self.rank())?;
+        let axis_len = self.shape()[axis];
+        if axis_len == 0 {
+            // 0/0 means and -inf maxes would silently poison everything
+            // downstream; fail fast like the rest of the shape logic.
+            return Err(crate::TensorError::Invalid(format!(
+                "{op}: cannot reduce over empty axis {axis} of shape {:?}",
+                self.shape()
+            )));
+        }
+        let outer: usize = self.shape()[..axis].iter().product();
+        let inner: usize = self.shape()[axis + 1..].iter().product();
+        let mut data = vec![init; outer * inner];
+        for o in 0..outer {
+            for a in 0..axis_len {
+                let base = (o * axis_len + a) * inner;
+                let row = &self.data()[base..base + inner];
+                let out_row = &mut data[o * inner..(o + 1) * inner];
+                for (acc, &x) in out_row.iter_mut().zip(row.iter()) {
+                    *acc = fold(*acc, x);
+                }
+            }
+        }
+        for v in &mut data {
+            *v = finish(*v, axis_len);
+        }
+        let mut shape = self.shape().to_vec();
+        if keepdim {
+            shape[axis] = 1;
+        } else {
+            shape.remove(axis);
+        }
+        Tensor::from_vec(data, &shape)
+    }
+
+    /// Sum of every element, as a scalar tensor.
+    pub fn sum_all(&self) -> Tensor {
+        Tensor::scalar(self.data().iter().sum())
+    }
+
+    /// Mean of every element, as a scalar tensor. Empty tensors yield NaN.
+    pub fn mean_all(&self) -> Tensor {
+        Tensor::scalar(self.data().iter().sum::<f32>() / self.len() as f32)
+    }
+
+    /// Largest element (`-inf` for empty tensors).
+    pub fn max_all(&self) -> f32 {
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element (`+inf` for empty tensors).
+    pub fn min_all(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the largest element in a rank-1 tensor.
+    pub fn argmax(&self) -> Option<usize> {
+        self.data()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+    }
+
+    /// Numerically stable softmax along `axis`.
+    ///
+    /// Rows are shifted by their maximum before exponentiation, so large
+    /// attention logits cannot overflow.
+    pub fn softmax(&self, axis: usize) -> Result<Tensor> {
+        check_axis("softmax", axis, self.rank())?;
+        let axis_len = self.shape()[axis];
+        let outer: usize = self.shape()[..axis].iter().product();
+        let inner: usize = self.shape()[axis + 1..].iter().product();
+        let mut data = self.data().to_vec();
+        // For each (outer, inner) lane: max, exp-shift, normalize.
+        for o in 0..outer {
+            for i in 0..inner {
+                let mut m = f32::NEG_INFINITY;
+                for a in 0..axis_len {
+                    m = m.max(data[(o * axis_len + a) * inner + i]);
+                }
+                let mut z = 0.0;
+                for a in 0..axis_len {
+                    let idx = (o * axis_len + a) * inner + i;
+                    let e = (data[idx] - m).exp();
+                    data[idx] = e;
+                    z += e;
+                }
+                for a in 0..axis_len {
+                    data[(o * axis_len + a) * inner + i] /= z;
+                }
+            }
+        }
+        Tensor::from_vec(data, self.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn sum_axis_drops_or_keeps_dim() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let s0 = x.sum_axis(0, false).unwrap();
+        assert_eq!(s0.shape(), &[3]);
+        assert_eq!(s0.data(), &[5.0, 7.0, 9.0]);
+        let s1 = x.sum_axis(1, true).unwrap();
+        assert_eq!(s1.shape(), &[2, 1]);
+        assert_eq!(s1.data(), &[6.0, 15.0]);
+        assert!(x.sum_axis(2, false).is_err());
+    }
+
+    #[test]
+    fn reducing_empty_axis_is_an_error() {
+        let x = Tensor::zeros(&[4, 0, 3]);
+        assert!(x.mean_axis(1, false).is_err());
+        assert!(x.max_axis(1, false).is_err());
+        assert!(x.sum_axis(1, false).is_err());
+        // Other axes of the same tensor still error (they reduce across
+        // an empty buffer too? No: outer*inner is 0, the result is empty
+        // but well-formed) — axis 0 has length 4, allowed.
+        assert!(x.sum_axis(0, false).is_ok());
+    }
+
+    #[test]
+    fn mean_axis_divides() {
+        let x = t(&[2.0, 4.0, 6.0, 8.0], &[2, 2]);
+        assert_eq!(x.mean_axis(0, false).unwrap().data(), &[4.0, 6.0]);
+        assert_eq!(x.mean_axis(1, false).unwrap().data(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn max_axis_middle() {
+        let x = Tensor::from_fn(&[2, 3, 2], |i| (i[0] * 10 + i[1] * 3 + i[2]) as f32);
+        let m = x.max_axis(1, false).unwrap();
+        assert_eq!(m.shape(), &[2, 2]);
+        assert_eq!(m.at(&[0, 0]), x.at(&[0, 2, 0]));
+        assert_eq!(m.at(&[1, 1]), x.at(&[1, 2, 1]));
+    }
+
+    #[test]
+    fn global_reductions() {
+        let x = t(&[1.0, -2.0, 3.0], &[3]);
+        assert_eq!(x.sum_all().item().unwrap(), 2.0);
+        assert!((x.mean_all().item().unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(x.max_all(), 3.0);
+        assert_eq!(x.min_all(), -2.0);
+        assert_eq!(x.argmax(), Some(2));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = t(&[1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let s = x.softmax(1).unwrap();
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| s.at(&[r, c])).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Uniform logits -> uniform probabilities.
+        assert!((s.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+        // Monotone in the logits.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let x = t(&[1000.0, 1001.0, 1002.0], &[1, 3]);
+        let s = x.softmax(1).unwrap();
+        assert!(!s.has_non_finite());
+        let y = t(&[0.0, 1.0, 2.0], &[1, 3]).softmax(1).unwrap();
+        assert!(s.approx_eq(&y, 1e-6));
+    }
+
+    #[test]
+    fn softmax_inner_axis() {
+        // Softmax over axis 0 of a [2, 2]: columns sum to 1.
+        let x = t(&[0.0, 10.0, 1.0, 10.0], &[2, 2]);
+        let s = x.softmax(0).unwrap();
+        for c in 0..2 {
+            let sum: f32 = (0..2).map(|r| s.at(&[r, c])).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+}

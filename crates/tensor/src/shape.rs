@@ -1,0 +1,191 @@
+//! Shape and broadcasting utilities.
+//!
+//! Broadcasting follows the NumPy rules: shapes are right-aligned, and two
+//! axis lengths are compatible when they are equal or one of them is 1.
+
+use crate::{Result, TensorError};
+
+/// Number of elements implied by a shape. The empty shape (a scalar) has
+/// volume 1.
+pub fn volume(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a contiguous tensor of the given shape.
+///
+/// `strides(&[2, 3, 4]) == [12, 4, 1]`.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut out = vec![0; shape.len()];
+    let mut acc = 1;
+    for (s, &dim) in out.iter_mut().zip(shape.iter()).rev() {
+        *s = acc;
+        acc *= dim;
+    }
+    out
+}
+
+/// Compute the broadcast of two shapes, or an error naming `op` when they
+/// are incompatible.
+pub fn broadcast_shapes(op: &'static str, lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0; rank];
+    for r in 0..rank {
+        // `r` counts axes from the right; missing leading axes act as 1.
+        let l = dim_from_right(lhs, r);
+        let h = dim_from_right(rhs, r);
+        out[rank - 1 - r] = if l == h || h == 1 {
+            l
+        } else if l == 1 {
+            h
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Axis length counted from the right; axes beyond the rank count as 1.
+fn dim_from_right(shape: &[usize], r: usize) -> usize {
+    if r < shape.len() {
+        shape[shape.len() - 1 - r]
+    } else {
+        1
+    }
+}
+
+/// Strides to read a tensor of shape `shape` as if broadcast to
+/// `out_shape`: broadcast axes get stride 0.
+///
+/// `shape` must be broadcast-compatible with `out_shape` (checked by the
+/// caller via [`broadcast_shapes`]).
+pub fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let base = strides(shape);
+    let rank = out_shape.len();
+    let mut out = vec![0; rank];
+    for i in 0..shape.len() {
+        let out_axis = rank - shape.len() + i;
+        out[out_axis] = if shape[i] == 1 && out_shape[out_axis] != 1 {
+            0
+        } else {
+            base[i]
+        };
+    }
+    out
+}
+
+/// Validate `axis < rank`, naming `op` in the error.
+pub fn check_axis(op: &'static str, axis: usize, rank: usize) -> Result<()> {
+    if axis >= rank {
+        Err(TensorError::InvalidAxis { op, axis, rank })
+    } else {
+        Ok(())
+    }
+}
+
+/// An odometer-style iterator over all multi-indices of a shape.
+///
+/// Used by the generic (non-fast-path) broadcasting kernels. Iteration
+/// order is row-major, matching the memory layout of contiguous tensors.
+pub struct IndexIter {
+    shape: Vec<usize>,
+    index: Vec<usize>,
+    done: bool,
+}
+
+impl IndexIter {
+    pub fn new(shape: &[usize]) -> Self {
+        IndexIter {
+            shape: shape.to_vec(),
+            index: vec![0; shape.len()],
+            done: volume(shape) == 0,
+        }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let current = self.index.clone();
+        // Advance the odometer from the last axis.
+        let mut carried = true;
+        for axis in (0..self.shape.len()).rev() {
+            self.index[axis] += 1;
+            if self.index[axis] < self.shape[axis] {
+                carried = false;
+                break;
+            }
+            self.index[axis] = 0;
+        }
+        if carried {
+            self.done = true;
+        }
+        Some(current)
+    }
+}
+
+/// Dot product of a multi-index with strides: the flat offset.
+pub fn offset(index: &[usize], strides: &[usize]) -> usize {
+    index.iter().zip(strides).map(|(i, s)| i * s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_scalar_is_one() {
+        assert_eq!(volume(&[]), 1);
+        assert_eq!(volume(&[2, 3]), 6);
+        assert_eq!(volume(&[2, 0, 3]), 0);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes("t", &[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes("t", &[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes("t", &[3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes("t", &[], &[2, 3]).unwrap(), vec![2, 3]);
+        assert!(broadcast_shapes("t", &[2, 3], &[4]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_expanded_axes() {
+        // [1, 3] broadcast to [2, 3]: axis 0 is expanded -> stride 0.
+        assert_eq!(broadcast_strides(&[1, 3], &[2, 3]), vec![0, 1]);
+        // [3] broadcast to [2, 3]: missing axis contributes stride 0.
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        // No broadcasting: plain strides.
+        assert_eq!(broadcast_strides(&[2, 3], &[2, 3]), vec![3, 1]);
+    }
+
+    #[test]
+    fn index_iter_row_major() {
+        let ids: Vec<Vec<usize>> = IndexIter::new(&[2, 2]).collect();
+        assert_eq!(ids, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        // Scalar shape yields exactly one (empty) index.
+        assert_eq!(IndexIter::new(&[]).count(), 1);
+        // Zero-volume shapes yield nothing.
+        assert_eq!(IndexIter::new(&[2, 0]).count(), 0);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = strides(&[2, 3, 4]);
+        assert_eq!(offset(&[1, 2, 3], &s), 12 + 8 + 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of the tensor core: the broadcasting kernels,
+//! matmul, reductions, and shape ops are checked against naive
+//! reference implementations on arbitrary inputs.
+
+use proptest::prelude::*;
+use stwa_tensor::{linalg, manip, shape, Tensor};
+
+/// Strategy: a tensor with the given shape and bounded values.
+fn tensor_with(shape_: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape_.iter().product();
+    proptest::collection::vec(-10.0f32..10.0, n..=n)
+        .prop_map(move |data| Tensor::from_vec(data, &shape_).unwrap())
+}
+
+/// Strategy: a rank-1..3 shape with small axes.
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn broadcast_shapes_is_commutative(a in small_shape(), b in small_shape()) {
+        let ab = shape::broadcast_shapes("t", &a, &b);
+        let ba = shape::broadcast_shapes("t", &b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "asymmetric: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_against_self_is_identity(s in small_shape()) {
+        prop_assert_eq!(shape::broadcast_shapes("t", &s, &s).unwrap(), s);
+    }
+
+    #[test]
+    fn broadcast_with_scalar_is_identity(s in small_shape()) {
+        prop_assert_eq!(shape::broadcast_shapes("t", &s, &[]).unwrap(), s);
+    }
+
+    #[test]
+    fn zip_matches_naive_indexing(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        seed_a in proptest::collection::vec(-5.0f32..5.0, 16),
+        seed_b in proptest::collection::vec(-5.0f32..5.0, 4),
+    ) {
+        // [rows, cols] + [cols] via the fast suffix path must equal
+        // per-element computation.
+        let a = Tensor::from_vec(seed_a[..rows * cols].to_vec(), &[rows, cols]).unwrap();
+        let b = Tensor::from_vec(seed_b[..cols].to_vec(), &[cols]).unwrap();
+        let out = a.add(&b).unwrap();
+        for r in 0..rows {
+            for c in 0..cols {
+                let expect = a.at(&[r, c]) + b.at(&[c]);
+                prop_assert!((out.at(&[r, c]) - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn general_broadcast_matches_materialized(
+        a in tensor_with(vec![3, 1, 2]),
+        b in tensor_with(vec![4, 1]),
+    ) {
+        // General odometer path vs explicit broadcast_to + same-shape add.
+        let fast = a.mul(&b).unwrap();
+        let am = a.broadcast_to(&[3, 4, 2]).unwrap();
+        let bm = b.broadcast_to(&[3, 4, 2]).unwrap();
+        let slow = am.mul(&bm).unwrap();
+        prop_assert!(fast.approx_eq(&slow, 1e-6));
+    }
+
+    #[test]
+    fn matmul_matches_triple_loop(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5,
+        a_data in proptest::collection::vec(-3.0f32..3.0, 16),
+        b_data in proptest::collection::vec(-3.0f32..3.0, 16),
+    ) {
+        let a = Tensor::from_vec(a_data[..m * k].to_vec(), &[m, k]).unwrap();
+        let b = Tensor::from_vec(b_data[..k * n].to_vec(), &[k, n]).unwrap();
+        let c = linalg::matmul(&a, &b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut expect = 0.0f32;
+                for p in 0..k {
+                    expect += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                prop_assert!((c.at(&[i, j]) - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_axis_equals_manual_sum(t in tensor_with(vec![3, 4, 2]), axis in 0usize..3) {
+        let s = t.sum_axis(axis, true).unwrap();
+        let total_direct = t.sum_all().item().unwrap();
+        let total_via_axis = s.sum_all().item().unwrap();
+        prop_assert!((total_direct - total_via_axis).abs() < 1e-3 * total_direct.abs().max(1.0));
+    }
+
+    #[test]
+    fn mean_axis_bounded_by_extremes(t in tensor_with(vec![4, 3])) {
+        let m = t.mean_axis(0, false).unwrap();
+        prop_assert!(m.max_all() <= t.max_all() + 1e-5);
+        prop_assert!(m.min_all() >= t.min_all() - 1e-5);
+    }
+
+    #[test]
+    fn narrow_concat_roundtrip(t in tensor_with(vec![5, 3]), split in 1usize..4) {
+        let head = t.narrow(0, 0, split).unwrap();
+        let tail = t.narrow(0, split, 5 - split).unwrap();
+        let back = manip::concat(&[&head, &tail], 0).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn permute_preserves_multiset(t in tensor_with(vec![2, 3, 4])) {
+        let p = t.permute(&[2, 0, 1]).unwrap();
+        let mut a: Vec<f32> = t.data().to_vec();
+        let mut b: Vec<f32> = p.data().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn index_select_agrees_with_at(t in tensor_with(vec![4, 3]), idx in proptest::collection::vec(0usize..4, 1..6)) {
+        let sel = t.index_select(0, &idx).unwrap();
+        for (row, &src) in idx.iter().enumerate() {
+            for c in 0..3 {
+                prop_assert_eq!(sel.at(&[row, c]), t.at(&[src, c]));
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_argmax_matches_input_argmax(data in proptest::collection::vec(-8.0f32..8.0, 6)) {
+        let x = Tensor::from_vec(data, &[1, 6]).unwrap();
+        let s = x.softmax(1).unwrap();
+        prop_assert_eq!(s.argmax(), x.argmax());
+    }
+
+    #[test]
+    fn pad_end_preserves_prefix(t in tensor_with(vec![2, 3]), count in 0usize..4) {
+        let p = t.pad_end(1, count, -1.0).unwrap();
+        prop_assert_eq!(p.shape()[1], 3 + count);
+        for r in 0..2 {
+            for c in 0..3 {
+                prop_assert_eq!(p.at(&[r, c]), t.at(&[r, c]));
+            }
+            for c in 3..3 + count {
+                prop_assert_eq!(p.at(&[r, c]), -1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_gauge_balances(shape_ in small_shape()) {
+        use stwa_tensor::memory;
+        let before = memory::current_bytes();
+        {
+            let _a = Tensor::zeros(&shape_);
+            let _b = _a.clone();
+            prop_assert!(memory::current_bytes() >= before);
+        }
+        prop_assert_eq!(memory::current_bytes(), before);
+    }
+}

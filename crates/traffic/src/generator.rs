@@ -1,0 +1,413 @@
+//! Traffic-flow synthesis on top of a [`RoadNetwork`].
+//!
+//! Each sensor's series is
+//!
+//! ```text
+//! flow_i(t) = capacity_i * profile(kind_i, dir_i, day_type(t), tod(t) - lag_i)
+//!             * incident_i(t)  +  AR(1) noise
+//! ```
+//!
+//! clipped at zero — the same additive structure PEMS flow counts show:
+//! a smooth seasonal-daily pattern, correlated short-term fluctuations,
+//! and occasional disruptions.
+
+use crate::network::{CorridorKind, Direction, RoadNetwork};
+use rand::Rng;
+use stwa_tensor::random::box_muller;
+use stwa_tensor::Tensor;
+
+/// Knobs of the synthetic flow generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Samples per day; 288 matches the paper's 5-minute interval.
+    pub steps_per_day: usize,
+    /// Number of days to synthesize.
+    pub days: usize,
+    /// Mean peak flow (vehicles / 5 min) of the first sensor of a corridor.
+    pub base_flow: f32,
+    /// Standard deviation of the AR(1) noise innovations.
+    pub noise_std: f32,
+    /// AR(1) coefficient of the noise process.
+    pub ar_rho: f32,
+    /// Probability that a given sensor has an incident on a given day.
+    pub incident_rate: f64,
+    /// Time lag between consecutive sensors on a corridor, in steps.
+    pub lag_steps_per_position: usize,
+    /// Emit a second attribute per timestamp: speed (mph-like), derived
+    /// from flow via a congestion curve. `false` matches the paper's
+    /// F = 1 PEMS-flow setting.
+    pub with_speed: bool,
+    /// Append sin/cos time-of-day encodings as two extra attributes —
+    /// the exogenous feature DCRNN-style pipelines commonly add. Off by
+    /// default to match the paper's pure-flow F = 1 setting (ST-WA's
+    /// thesis is that the *model* should discover time structure).
+    pub with_time_features: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            steps_per_day: 288,
+            days: 14,
+            base_flow: 300.0,
+            noise_std: 12.0,
+            ar_rho: 0.85,
+            incident_rate: 0.05,
+            lag_steps_per_position: 2,
+            with_speed: false,
+            with_time_features: false,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Total number of timestamps.
+    pub fn total_steps(&self) -> usize {
+        self.steps_per_day * self.days
+    }
+}
+
+/// A smooth bump centered at `center` hours with the given width (hours),
+/// evaluated at `t` hours; wraps around midnight.
+fn bump(t: f32, center: f32, width: f32) -> f32 {
+    let mut d = (t - center).abs();
+    if d > 12.0 {
+        d = 24.0 - d;
+    }
+    (-0.5 * (d / width).powi(2)).exp()
+}
+
+/// Normalized daily demand profile in `[0, 1]`.
+///
+/// This is where the paper's two premises are planted: profiles differ by
+/// corridor kind + direction (spatial), and by weekday/weekend (temporal).
+pub fn daily_profile(kind: CorridorKind, direction: Direction, weekend: bool, hour: f32) -> f32 {
+    let base = 0.12;
+    let shape = match (kind, weekend) {
+        (CorridorKind::Commuter, false) => {
+            // Double commute peak; direction decides which one dominates.
+            let (am, pm) = match direction {
+                Direction::Inbound => (1.0, 0.62),
+                Direction::Outbound => (0.62, 1.0),
+            };
+            am * bump(hour, 7.75, 1.1) + pm * bump(hour, 17.25, 1.4)
+        }
+        (CorridorKind::Commuter, true) => 0.42 * bump(hour, 13.5, 3.6),
+        (CorridorKind::Arterial, false) => {
+            // Broad midday hump that decays through the evening (the
+            // paper's sensors 3/4): no afternoon spike.
+            0.85 * bump(hour, 12.5, 3.2) + 0.35 * bump(hour, 8.0, 1.5)
+        }
+        (CorridorKind::Arterial, true) => 0.78 * bump(hour, 14.0, 3.8),
+        (CorridorKind::Leisure, false) => {
+            0.45 * bump(hour, 13.0, 3.0) + 0.72 * bump(hour, 20.5, 1.8)
+        }
+        (CorridorKind::Leisure, true) => {
+            0.58 * bump(hour, 14.5, 3.0) + 0.95 * bump(hour, 21.0, 2.2)
+        }
+    };
+    (base + shape).min(1.0)
+}
+
+/// Multiplicative incident mask for one sensor-day: mostly 1.0, dropping
+/// to ~0.35 for a contiguous window when an incident strikes.
+fn incident_profile(steps_per_day: usize, rate: f64, rng: &mut impl Rng) -> Option<(usize, usize)> {
+    if rng.gen_bool(rate) {
+        let start = rng.gen_range(0..steps_per_day.saturating_sub(12).max(1));
+        let dur = rng.gen_range(12..=36.min(steps_per_day));
+        Some((start, dur))
+    } else {
+        None
+    }
+}
+
+/// Synthesize traffic for every sensor: returns `[N, T, F]` with
+/// `F = 1` (flow) or `F = 2` (flow, speed) depending on
+/// [`GeneratorConfig::with_speed`].
+pub fn generate_flow(
+    network: &RoadNetwork,
+    config: &GeneratorConfig,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let n = network.num_sensors();
+    let t_total = config.total_steps();
+    let steps = config.steps_per_day;
+    let f = 1 + usize::from(config.with_speed) + 2 * usize::from(config.with_time_features);
+    let mut data = vec![0f32; n * t_total * f];
+
+    for (i, sensor) in network.sensors().iter().enumerate() {
+        // Per-sensor capacity: decays along the corridor and jitters so
+        // no two sensors are exact copies.
+        let capacity =
+            config.base_flow * (1.0 - 0.05 * sensor.position as f32) * rng.gen_range(0.85..1.15);
+        let lag = sensor.position * config.lag_steps_per_position;
+
+        // Incident windows per day.
+        let mut incidents: Vec<Option<(usize, usize)>> = Vec::with_capacity(config.days);
+        for _ in 0..config.days {
+            incidents.push(incident_profile(steps, config.incident_rate, rng));
+        }
+
+        let mut noise = 0.0f32;
+        for t in 0..t_total {
+            let day = t / steps;
+            let step_in_day = t % steps;
+            // Weekday cycle starts on a Monday; days 5, 6 of each week
+            // are the weekend.
+            let weekend = (day % 7) >= 5;
+            let lagged = (t as i64 - lag as i64).rem_euclid(steps as i64) as usize;
+            let hour = lagged as f32 / steps as f32 * 24.0;
+            let mut flow = capacity * daily_profile(sensor.kind, sensor.direction, weekend, hour);
+            if let Some((start, dur)) = incidents[day] {
+                if step_in_day >= start && step_in_day < start + dur {
+                    flow *= 0.35;
+                }
+            }
+            // AR(1) noise shared structure.
+            let innovation: f32 = {
+                let (z, _) = box_muller(rng);
+                z * config.noise_std
+            };
+            noise = config.ar_rho * noise + innovation;
+            let observed_flow = (flow + noise).max(0.0);
+            data[(i * t_total + t) * f] = observed_flow;
+            if config.with_time_features {
+                let phase = step_in_day as f32 / steps as f32 * std::f32::consts::TAU;
+                let base = (i * t_total + t) * f + fmax_flow_speed(config);
+                data[base] = phase.sin();
+                data[base + 1] = phase.cos();
+            }
+            if config.with_speed {
+                // Fundamental-diagram-flavoured congestion curve: speed
+                // falls from free flow as volume approaches capacity,
+                // with small measurement noise.
+                let utilization = (observed_flow / config.base_flow).min(1.2);
+                let (z, _) = box_muller(rng);
+                let speed =
+                    (65.0 * (1.0 - 0.55 * utilization * utilization) + z * 1.5).clamp(5.0, 75.0);
+                data[(i * t_total + t) * f + 1] = speed;
+            }
+        }
+    }
+    Tensor::from_vec(data, &[n, t_total, f]).expect("generator shape")
+}
+
+/// Offset of the time-feature block within a record: after flow and the
+/// optional speed attribute.
+fn fmax_flow_speed(config: &GeneratorConfig) -> usize {
+    1 + usize::from(config.with_speed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_config(days: usize) -> GeneratorConfig {
+        GeneratorConfig {
+            days,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    fn series(seed: u64, days: usize) -> (RoadNetwork, Tensor) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = RoadNetwork::generate(4, 4, &mut rng);
+        let x = generate_flow(&net, &quick_config(days), &mut rng);
+        (net, x)
+    }
+
+    fn pearson(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len() as f32;
+        let (ma, mb) = (a.iter().sum::<f32>() / n, b.iter().sum::<f32>() / n);
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            cov += (x - ma) * (y - mb);
+            va += (x - ma).powi(2);
+            vb += (y - mb).powi(2);
+        }
+        cov / (va.sqrt() * vb.sqrt() + 1e-9)
+    }
+
+    fn sensor_series(x: &Tensor, i: usize) -> Vec<f32> {
+        let t = x.shape()[1];
+        (0..t).map(|k| x.at(&[i, k, 0])).collect()
+    }
+
+    #[test]
+    fn output_shape_and_nonnegativity() {
+        let (net, x) = series(0, 7);
+        assert_eq!(x.shape(), &[net.num_sensors(), 7 * 288, 1]);
+        assert!(x.data().iter().all(|&v| v >= 0.0));
+        assert!(!x.has_non_finite());
+    }
+
+    #[test]
+    fn same_corridor_more_correlated_than_cross_kind() {
+        let (net, x) = series(1, 7);
+        // Sensors 0 and 1 share corridor 0 (Commuter); sensor on a
+        // Leisure corridor has a different shape entirely.
+        let leisure_start = net
+            .sensors()
+            .iter()
+            .position(|s| s.kind == CorridorKind::Leisure)
+            .unwrap();
+        let a = sensor_series(&x, 0);
+        let b = sensor_series(&x, 1);
+        let c = sensor_series(&x, leisure_start);
+        let same = pearson(&a, &b);
+        let cross = pearson(&a, &c);
+        assert!(
+            same > cross + 0.1,
+            "same-corridor correlation {same} should exceed cross-kind {cross}"
+        );
+    }
+
+    #[test]
+    fn weekday_pattern_repeats_daily() {
+        let (_, x) = series(2, 7);
+        let s = sensor_series(&x, 0);
+        // Tuesday (day 1) vs Wednesday (day 2): high correlation.
+        let day1 = &s[288..2 * 288];
+        let day2 = &s[2 * 288..3 * 288];
+        assert!(pearson(day1, day2) > 0.8);
+    }
+
+    #[test]
+    fn weekend_differs_from_weekday() {
+        let (_, x) = series(3, 7);
+        let s = sensor_series(&x, 0); // commuter corridor
+        let weekday = &s[288..2 * 288]; // Tuesday
+        let weekend = &s[5 * 288..6 * 288]; // Saturday
+        let corr = pearson(weekday, weekend);
+        assert!(
+            corr < 0.85,
+            "weekend should break the weekday pattern, corr {corr}"
+        );
+        // Weekends also carry visibly less commuter traffic.
+        let wk_mean: f32 = weekday.iter().sum::<f32>() / 288.0;
+        let we_mean: f32 = weekend.iter().sum::<f32>() / 288.0;
+        assert!(we_mean < wk_mean);
+    }
+
+    #[test]
+    fn direction_flips_dominant_peak() {
+        // Inbound commuter: AM > PM. Outbound: PM > AM. Check the raw
+        // profile function directly.
+        let am_in = daily_profile(CorridorKind::Commuter, Direction::Inbound, false, 7.75);
+        let pm_in = daily_profile(CorridorKind::Commuter, Direction::Inbound, false, 17.25);
+        assert!(am_in > pm_in);
+        let am_out = daily_profile(CorridorKind::Commuter, Direction::Outbound, false, 7.75);
+        let pm_out = daily_profile(CorridorKind::Commuter, Direction::Outbound, false, 17.25);
+        assert!(pm_out > am_out);
+    }
+
+    #[test]
+    fn arterial_has_no_evening_spike() {
+        // Paper Fig. 1: sensors 3/4 decline gradually in the afternoon.
+        let midday = daily_profile(CorridorKind::Arterial, Direction::Inbound, false, 12.5);
+        let evening_peak = daily_profile(CorridorKind::Arterial, Direction::Inbound, false, 17.25);
+        assert!(midday > evening_peak);
+    }
+
+    #[test]
+    fn profiles_bounded_zero_one() {
+        for kind in [
+            CorridorKind::Commuter,
+            CorridorKind::Arterial,
+            CorridorKind::Leisure,
+        ] {
+            for weekend in [false, true] {
+                for h in 0..48 {
+                    let v = daily_profile(kind, Direction::Inbound, weekend, h as f32 * 0.5);
+                    assert!((0.0..=1.0).contains(&v), "{kind:?} {weekend} {h}: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (_, a) = series(7, 3);
+        let (_, b) = series(7, 3);
+        assert_eq!(a, b);
+        let (_, c) = series(8, 3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn speed_feature_shapes_and_physics() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let net = RoadNetwork::generate(2, 2, &mut rng);
+        let mut cfg = quick_config(2);
+        cfg.with_speed = true;
+        let x = generate_flow(&net, &cfg, &mut rng);
+        assert_eq!(x.shape()[2], 2);
+        // Speeds bounded, and high-flow periods are slower than
+        // low-flow periods on the same sensor.
+        let t_total = x.shape()[1];
+        let series: Vec<(f32, f32)> = (0..t_total)
+            .map(|t| (x.at(&[0, t, 0]), x.at(&[0, t, 1])))
+            .collect();
+        assert!(series.iter().all(|&(_, s)| (5.0..=75.0).contains(&s)));
+        let mut sorted = series.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let low_flow_speed: f32 = sorted[..50].iter().map(|&(_, s)| s).sum::<f32>() / 50.0;
+        let high_flow_speed: f32 =
+            sorted[t_total - 50..].iter().map(|&(_, s)| s).sum::<f32>() / 50.0;
+        assert!(
+            low_flow_speed > high_flow_speed + 5.0,
+            "congestion should slow traffic: {low_flow_speed} vs {high_flow_speed}"
+        );
+    }
+
+    #[test]
+    fn time_features_encode_the_clock() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let net = RoadNetwork::generate(1, 1, &mut rng);
+        let mut cfg = quick_config(1);
+        cfg.with_time_features = true;
+        cfg.with_speed = true; // both extras together: F = 4
+        let x = generate_flow(&net, &cfg, &mut rng);
+        assert_eq!(x.shape()[2], 4);
+        // Midnight: sin = 0, cos = 1. Noon (step 144): sin = 0, cos = -1.
+        assert!((x.at(&[0, 0, 2]) - 0.0).abs() < 1e-6);
+        assert!((x.at(&[0, 0, 3]) - 1.0).abs() < 1e-6);
+        assert!((x.at(&[0, 144, 2]) - 0.0).abs() < 1e-5);
+        assert!((x.at(&[0, 144, 3]) + 1.0).abs() < 1e-5);
+        // Unit circle everywhere.
+        for t in 0..288 {
+            let (s_, c_) = (x.at(&[0, t, 2]), x.at(&[0, t, 3]));
+            assert!((s_ * s_ + c_ * c_ - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn incidents_present_at_high_rate() {
+        // With rate 1.0 every sensor-day has an incident: the minimum of
+        // each day dips well below the incident-free generator's minimum.
+        let mut rng = StdRng::seed_from_u64(10);
+        let net = RoadNetwork::generate(1, 1, &mut rng);
+        let mut cfg = quick_config(2);
+        cfg.incident_rate = 1.0;
+        cfg.noise_std = 0.0;
+        let with = generate_flow(&net, &cfg, &mut StdRng::seed_from_u64(11));
+        cfg.incident_rate = 0.0;
+        let without = generate_flow(&net, &cfg, &mut StdRng::seed_from_u64(11));
+        // Same seeds, so the only difference is the incident window.
+        let min_ratio = with
+            .data()
+            .iter()
+            .zip(without.data())
+            .filter(|(_, &b)| b > 50.0)
+            .map(|(&a, &b)| a / b)
+            .fold(f32::INFINITY, f32::min);
+        assert!(
+            min_ratio < 0.5,
+            "expected a deep incident dip, got {min_ratio}"
+        );
+    }
+}

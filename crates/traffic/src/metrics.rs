@@ -1,0 +1,144 @@
+//! Forecast evaluation metrics: MAE, RMSE, and masked MAPE — the three
+//! numbers every table in the paper reports.
+
+use stwa_tensor::Tensor;
+
+/// Values with `|truth| < MAPE_MASK_THRESHOLD` are excluded from MAPE,
+/// the standard protocol on PEMS flow data (percentage error explodes on
+/// near-empty roads).
+pub const MAPE_MASK_THRESHOLD: f32 = 1.0;
+
+/// Mean absolute error. Shapes must match.
+pub fn mae(pred: &Tensor, truth: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "mae: shape mismatch");
+    let n = pred.len().max(1);
+    pred.data()
+        .iter()
+        .zip(truth.data())
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f32>()
+        / n as f32
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &Tensor, truth: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "rmse: shape mismatch");
+    let n = pred.len().max(1);
+    (pred
+        .data()
+        .iter()
+        .zip(truth.data())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / n as f32)
+        .sqrt()
+}
+
+/// Mean absolute percentage error (in %), masked on near-zero truth.
+pub fn mape(pred: &Tensor, truth: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "mape: shape mismatch");
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for (p, t) in pred.data().iter().zip(truth.data()) {
+        if t.abs() >= MAPE_MASK_THRESHOLD {
+            sum += ((p - t).abs() / t.abs()) as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (sum / count as f64 * 100.0) as f32
+    }
+}
+
+/// The metric triple reported by every experiment table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    pub mae: f32,
+    pub rmse: f32,
+    pub mape: f32,
+}
+
+impl Metrics {
+    pub fn compute(pred: &Tensor, truth: &Tensor) -> Metrics {
+        Metrics {
+            mae: mae(pred, truth),
+            rmse: rmse(pred, truth),
+            mape: mape(pred, truth),
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MAE {:.2}  MAPE {:.2}%  RMSE {:.2}",
+            self.mae, self.mape, self.rmse
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[data.len()]).unwrap()
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero_everywhere() {
+        let y = t(&[10.0, 20.0, 30.0]);
+        let m = Metrics::compute(&y, &y);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.mape, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let pred = t(&[11.0, 18.0]);
+        let truth = t(&[10.0, 20.0]);
+        assert!((mae(&pred, &truth) - 1.5).abs() < 1e-6);
+        assert!((rmse(&pred, &truth) - (2.5f32).sqrt()).abs() < 1e-6);
+        // MAPE: (0.1 + 0.1) / 2 * 100 = 10%
+        assert!((mape(&pred, &truth) - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rmse_upweights_outliers_vs_mae() {
+        let pred = t(&[0.0, 0.0, 0.0, 4.0]);
+        let truth = t(&[0.0, 0.0, 0.0, 0.0]);
+        assert!(rmse(&pred, &truth) > mae(&pred, &truth));
+    }
+
+    #[test]
+    fn mape_masks_near_zero_truth() {
+        let pred = t(&[5.0, 11.0]);
+        let truth = t(&[0.1, 10.0]); // first entry below threshold
+        assert!((mape(&pred, &truth) - 10.0).abs() < 1e-4);
+        // All-masked: defined as 0 rather than NaN.
+        assert_eq!(mape(&t(&[1.0]), &t(&[0.0])), 0.0);
+    }
+
+    #[test]
+    fn metric_identities() {
+        // RMSE >= MAE always (Jensen).
+        let pred = t(&[1.0, -3.0, 2.5, 0.0]);
+        let truth = t(&[0.0, 1.0, 2.0, -1.0]);
+        assert!(rmse(&pred, &truth) >= mae(&pred, &truth));
+    }
+
+    #[test]
+    fn display_formats_triple() {
+        let m = Metrics {
+            mae: 19.06,
+            rmse: 31.02,
+            mape: 12.52,
+        };
+        let s = m.to_string();
+        assert!(s.contains("19.06") && s.contains("31.02") && s.contains("12.52"));
+    }
+}

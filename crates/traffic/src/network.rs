@@ -1,0 +1,226 @@
+//! Synthetic road network: corridors, sensors, and the adjacency matrix.
+//!
+//! Mirrors the paper's Figure 1 setup: sensors deployed along streets
+//! ("corridors"), where sensors on the same street share patterns and
+//! streets differ from each other — including the two directions of the
+//! same road behaving differently (the paper's Figure 9(c) observation).
+
+use rand::Rng;
+use stwa_tensor::Tensor;
+
+/// The daily-profile family of a corridor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorridorKind {
+    /// Weekday double peak (morning + evening commute), quiet weekends —
+    /// sensors 1/2 in the paper's Figure 1.
+    Commuter,
+    /// Single broad midday hump that decays through the evening — sensors
+    /// 3/4 in the paper's Figure 1.
+    Arterial,
+    /// Flatter profile with a late-evening bump (entertainment district).
+    Leisure,
+}
+
+impl CorridorKind {
+    pub(crate) fn from_index(i: usize) -> CorridorKind {
+        match i % 3 {
+            0 => CorridorKind::Commuter,
+            1 => CorridorKind::Arterial,
+            _ => CorridorKind::Leisure,
+        }
+    }
+}
+
+/// Travel direction along a corridor. Opposite directions swap which
+/// rush-hour peak dominates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Inbound,
+    Outbound,
+}
+
+/// Static description of one sensor.
+#[derive(Debug, Clone)]
+pub struct SensorMeta {
+    /// Index of the corridor the sensor sits on.
+    pub corridor: usize,
+    /// The corridor's profile family.
+    pub kind: CorridorKind,
+    /// Direction of the monitored lanes.
+    pub direction: Direction,
+    /// 0-based position along the corridor (drives the signal lag).
+    pub position: usize,
+    /// Planar coordinates for plotting (Fig. 9(c)) and distance-based
+    /// adjacency.
+    pub x: f32,
+    pub y: f32,
+}
+
+/// A set of corridors with sensors placed along them.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    sensors: Vec<SensorMeta>,
+    num_corridors: usize,
+}
+
+impl RoadNetwork {
+    /// Lay out `num_corridors` corridors with `sensors_per_corridor`
+    /// sensors each. Corridors alternate direction and cycle through the
+    /// [`CorridorKind`] families; geometry is jittered by `rng` so maps
+    /// look organic but remain seeded.
+    pub fn generate(
+        num_corridors: usize,
+        sensors_per_corridor: usize,
+        rng: &mut impl Rng,
+    ) -> RoadNetwork {
+        assert!(num_corridors > 0 && sensors_per_corridor > 0);
+        let mut sensors = Vec::with_capacity(num_corridors * sensors_per_corridor);
+        for c in 0..num_corridors {
+            let kind = CorridorKind::from_index(c);
+            let direction = if c % 2 == 0 {
+                Direction::Inbound
+            } else {
+                Direction::Outbound
+            };
+            // Each corridor is a straight-ish line with a random angle,
+            // offset from the city center.
+            let angle = rng.gen_range(0.0..std::f32::consts::TAU);
+            let (cx, cy) = (rng.gen_range(-10.0f32..10.0), rng.gen_range(-10.0f32..10.0));
+            for p in 0..sensors_per_corridor {
+                let along = p as f32 * 1.5;
+                sensors.push(SensorMeta {
+                    corridor: c,
+                    kind,
+                    direction,
+                    position: p,
+                    x: cx + along * angle.cos() + rng.gen_range(-0.2..0.2),
+                    y: cy + along * angle.sin() + rng.gen_range(-0.2..0.2),
+                });
+            }
+        }
+        RoadNetwork {
+            sensors,
+            num_corridors,
+        }
+    }
+
+    /// Number of sensors.
+    pub fn num_sensors(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Number of corridors.
+    pub fn num_corridors(&self) -> usize {
+        self.num_corridors
+    }
+
+    /// Sensor metadata, indexed by sensor id.
+    pub fn sensors(&self) -> &[SensorMeta] {
+        &self.sensors
+    }
+
+    /// Binary adjacency: consecutive sensors along a corridor are
+    /// connected (both ways), which is how PEMS-style sensor graphs are
+    /// built from road topology.
+    pub fn adjacency(&self) -> Tensor {
+        let n = self.num_sensors();
+        let mut a = Tensor::zeros(&[n, n]);
+        for (i, si) in self.sensors.iter().enumerate() {
+            for (j, sj) in self.sensors.iter().enumerate() {
+                if i != j && si.corridor == sj.corridor && si.position.abs_diff(sj.position) == 1 {
+                    a.set(&[i, j], 1.0);
+                }
+            }
+        }
+        a
+    }
+
+    /// Gaussian-kernel distance adjacency (`exp(-dist^2 / sigma^2)`,
+    /// thresholded), the alternative weighting used by DCRNN-style
+    /// baselines.
+    pub fn distance_adjacency(&self, sigma: f32, threshold: f32) -> Tensor {
+        let n = self.num_sensors();
+        Tensor::from_fn(&[n, n], |idx| {
+            let (i, j) = (idx[0], idx[1]);
+            if i == j {
+                return 0.0;
+            }
+            let (si, sj) = (&self.sensors[i], &self.sensors[j]);
+            let d2 = (si.x - sj.x).powi(2) + (si.y - sj.y).powi(2);
+            let w = (-d2 / (sigma * sigma)).exp();
+            if w >= threshold {
+                w
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> RoadNetwork {
+        RoadNetwork::generate(4, 5, &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn sensor_count_and_metadata() {
+        let n = net();
+        assert_eq!(n.num_sensors(), 20);
+        assert_eq!(n.num_corridors(), 4);
+        assert_eq!(n.sensors()[7].corridor, 1);
+        assert_eq!(n.sensors()[7].position, 2);
+    }
+
+    #[test]
+    fn corridor_kinds_cycle() {
+        let n = net();
+        assert_eq!(n.sensors()[0].kind, CorridorKind::Commuter);
+        assert_eq!(n.sensors()[5].kind, CorridorKind::Arterial);
+        assert_eq!(n.sensors()[10].kind, CorridorKind::Leisure);
+        assert_eq!(n.sensors()[15].kind, CorridorKind::Commuter);
+    }
+
+    #[test]
+    fn directions_alternate_by_corridor() {
+        let n = net();
+        assert_eq!(n.sensors()[0].direction, Direction::Inbound);
+        assert_eq!(n.sensors()[5].direction, Direction::Outbound);
+    }
+
+    #[test]
+    fn adjacency_is_corridor_chain() {
+        let n = net();
+        let a = n.adjacency();
+        // Consecutive along corridor 0.
+        assert_eq!(a.at(&[0, 1]), 1.0);
+        assert_eq!(a.at(&[1, 0]), 1.0);
+        assert_eq!(a.at(&[0, 2]), 0.0); // two hops
+        assert_eq!(a.at(&[4, 5]), 0.0); // corridor boundary
+        assert_eq!(a.at(&[0, 0]), 0.0); // no self loops here
+    }
+
+    #[test]
+    fn distance_adjacency_symmetric_nonnegative() {
+        let n = net();
+        let a = n.distance_adjacency(3.0, 0.01);
+        for i in 0..n.num_sensors() {
+            for j in 0..n.num_sensors() {
+                let v = a.at(&[i, j]);
+                assert!(v >= 0.0 && v <= 1.0);
+                assert!((v - a.at(&[j, i])).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = RoadNetwork::generate(3, 4, &mut StdRng::seed_from_u64(9));
+        let b = RoadNetwork::generate(3, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.sensors()[5].x, b.sensors()[5].x);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the traffic substrate: generator invariants
+//! across random configurations, scaler algebra, and window/metric
+//! identities.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_tensor::Tensor;
+use stwa_traffic::generator::{daily_profile, generate_flow};
+use stwa_traffic::{
+    mae, mape, rmse, CorridorKind, DatasetConfig, Direction, GeneratorConfig, RoadNetwork, Scaler,
+    TrafficDataset,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn profiles_always_in_unit_interval(
+        hour in 0.0f32..24.0,
+        kind_id in 0usize..3,
+        weekend in any::<bool>(),
+        inbound in any::<bool>(),
+    ) {
+        let kind = match kind_id {
+            0 => CorridorKind::Commuter,
+            1 => CorridorKind::Arterial,
+            _ => CorridorKind::Leisure,
+        };
+        let dir = if inbound { Direction::Inbound } else { Direction::Outbound };
+        let v = daily_profile(kind, dir, weekend, hour);
+        prop_assert!((0.0..=1.0).contains(&v), "profile {v} out of range");
+    }
+
+    #[test]
+    fn generated_flow_is_finite_and_nonnegative(
+        corridors in 1usize..4,
+        sensors in 1usize..4,
+        days in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = RoadNetwork::generate(corridors, sensors, &mut rng);
+        let config = GeneratorConfig { days, ..GeneratorConfig::default() };
+        let flow = generate_flow(&net, &config, &mut rng);
+        prop_assert_eq!(flow.shape(), &[corridors * sensors, days * 288, 1]);
+        prop_assert!(!flow.has_non_finite());
+        prop_assert!(flow.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn scaler_inverse_is_identity(data in proptest::collection::vec(0.0f32..500.0, 32)) {
+        let t = Tensor::from_vec(data, &[32]).unwrap();
+        let scaler = Scaler::fit(&t);
+        let roundtrip = scaler.inverse(&scaler.transform(&t));
+        prop_assert!(roundtrip.approx_eq(&t, 0.05));
+        // Transformed training data is standardized.
+        let z = scaler.transform(&t);
+        let m = z.mean_all().item().unwrap();
+        prop_assert!(m.abs() < 1e-2, "mean {m}");
+    }
+
+    #[test]
+    fn window_counts_match_formula(h in 2usize..20, u in 1usize..10, stride in 1usize..6) {
+        let ds = TrafficDataset::generate(DatasetConfig::small());
+        let t_train = ds.num_timestamps() * 6 / 10;
+        if h + u <= t_train {
+            let split = ds.train(h, u, stride).unwrap();
+            let expected = (t_train - h - u) / stride + 1;
+            prop_assert_eq!(split.x.shape()[0], expected);
+            prop_assert_eq!(split.y.shape()[0], expected);
+        }
+    }
+
+    #[test]
+    fn metrics_are_scale_consistent(
+        p in proptest::collection::vec(1.0f32..100.0, 8),
+        t in proptest::collection::vec(1.0f32..100.0, 8),
+        scale in 1.0f32..10.0,
+    ) {
+        let pv = Tensor::from_vec(p, &[8]).unwrap();
+        let tv = Tensor::from_vec(t, &[8]).unwrap();
+        // MAE and RMSE scale linearly with the data; MAPE is invariant.
+        let (m1, r1, p1) = (mae(&pv, &tv), rmse(&pv, &tv), mape(&pv, &tv));
+        let ps = pv.mul_scalar(scale);
+        let ts = tv.mul_scalar(scale);
+        let (m2, r2, p2) = (mae(&ps, &ts), rmse(&ps, &ts), mape(&ps, &ts));
+        prop_assert!((m2 - m1 * scale).abs() < 1e-2 * m2.abs().max(1.0));
+        prop_assert!((r2 - r1 * scale).abs() < 1e-2 * r2.abs().max(1.0));
+        prop_assert!((p2 - p1).abs() < 1e-2 * p1.abs().max(1.0));
+    }
+
+    #[test]
+    fn adjacency_symmetric_for_undirected_chains(
+        corridors in 1usize..4,
+        sensors in 2usize..5,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = RoadNetwork::generate(corridors, sensors, &mut rng);
+        let a = net.adjacency();
+        let n = net.num_sensors();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(a.at(&[i, j]), a.at(&[j, i]));
+            }
+        }
+        // Each corridor chain has exactly 2*(sensors-1) directed edges.
+        let edges: f32 = a.data().iter().sum();
+        prop_assert_eq!(edges as usize, corridors * 2 * (sensors - 1));
+    }
+}

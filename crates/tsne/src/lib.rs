@@ -1,0 +1,367 @@
+//! # stwa-tsne
+//!
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for the paper's Figure 9
+//! latent-space visualizations: embedding the generated projection
+//! matrices `phi_t^(i)` and the spatial latents `z^(i)` into 2-D.
+//!
+//! The implementation is the standard exact algorithm: Gaussian input
+//! affinities with a per-point bandwidth found by binary search on the
+//! target perplexity, Student-t output affinities, gradient descent with
+//! momentum and early exaggeration. Exact (O(n^2)) is the right tool
+//! here — the figure embeds at most a few hundred points.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_tensor::{Result, Tensor, TensorError};
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighborhood size).
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Iterations with exaggerated input affinities.
+    pub early_exaggeration_iters: usize,
+    /// Exaggeration factor.
+    pub early_exaggeration: f32,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 15.0,
+            iterations: 500,
+            learning_rate: 100.0,
+            early_exaggeration_iters: 100,
+            early_exaggeration: 12.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Embed `data` (`[n, dim]`) into 2-D (`[n, 2]`).
+pub fn tsne(data: &Tensor, config: &TsneConfig) -> Result<Tensor> {
+    if data.rank() != 2 {
+        return Err(TensorError::Invalid(format!(
+            "tsne expects [n, dim], got {:?}",
+            data.shape()
+        )));
+    }
+    let n = data.shape()[0];
+    if n < 4 {
+        return Err(TensorError::Invalid(format!(
+            "tsne needs at least 4 points, got {n}"
+        )));
+    }
+    let p = joint_affinities(data, config.perplexity)?;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<[f32; 2]> = (0..n)
+        .map(|_| {
+            let t = Tensor::randn(&[2], &mut rng);
+            [t.data()[0] * 1e-2, t.data()[1] * 1e-2]
+        })
+        .collect();
+    let mut velocity = vec![[0f32; 2]; n];
+    let mut gains = vec![[1f32; 2]; n];
+
+    let mut q = vec![0f32; n * n];
+    let mut num = vec![0f32; n * n];
+    for it in 0..config.iterations {
+        let exaggeration = if it < config.early_exaggeration_iters {
+            config.early_exaggeration
+        } else {
+            1.0
+        };
+        // Keep the attraction "spring constant" lr * 4 * exaggeration / n
+        // below ~1 regardless of n or the exaggeration phase — gradient
+        // magnitudes scale like exaggeration / n (row sums of P are 1/n),
+        // so a fixed lr diverges on small point sets.
+        let lr = (config.learning_rate / 100.0) * n as f32 / (8.0 * exaggeration);
+        // Student-t output affinities.
+        let mut z = 0f32;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    num[i * n + j] = 0.0;
+                    continue;
+                }
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let t = 1.0 / (1.0 + dx * dx + dy * dy);
+                num[i * n + j] = t;
+                z += t;
+            }
+        }
+        let z = z.max(1e-12);
+        for (qv, &nv) in q.iter_mut().zip(num.iter()) {
+            *qv = (nv / z).max(1e-12);
+        }
+        // Gradient + momentum update with adaptive gains.
+        let momentum = if it < 250 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0f32; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let pij = p.data()[i * n + j] * exaggeration;
+                let coeff = 4.0 * (pij - q[i * n + j]) * num[i * n + j];
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for d in 0..2 {
+                // Classic t-SNE gain schedule.
+                gains[i][d] = if grad[d].signum() != velocity[i][d].signum() {
+                    (gains[i][d] + 0.2).min(10.0)
+                } else {
+                    (gains[i][d] * 0.8).max(0.01)
+                };
+                velocity[i][d] = momentum * velocity[i][d] - lr * gains[i][d] * grad[d];
+                y[i][d] += velocity[i][d];
+            }
+        }
+        // Re-center to keep the embedding bounded.
+        let (mut cx, mut cy) = (0f32, 0f32);
+        for pt in &y {
+            cx += pt[0];
+            cy += pt[1];
+        }
+        cx /= n as f32;
+        cy /= n as f32;
+        for pt in &mut y {
+            pt[0] -= cx;
+            pt[1] -= cy;
+        }
+    }
+
+    let flat: Vec<f32> = y.iter().flat_map(|p| [p[0], p[1]]).collect();
+    Tensor::from_vec(flat, &[n, 2])
+}
+
+/// Symmetrized, normalized input affinities `P` with per-point bandwidth
+/// chosen by binary search to hit the target perplexity.
+///
+/// Public for inspection and testing: `P` is the exact quantity the
+/// embedding optimizes toward, so invariants (symmetry, normalization,
+/// nearest-neighbor dominance) are checkable here deterministically,
+/// unlike properties of the non-convex final layout.
+pub fn joint_affinities(data: &Tensor, perplexity: f32) -> Result<Tensor> {
+    let n = data.shape()[0];
+    let dim = data.shape()[1];
+    // Pairwise squared distances.
+    let mut d2 = vec![0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0f32;
+            for c in 0..dim {
+                let diff = data.data()[i * dim + c] - data.data()[j * dim + c];
+                s += diff * diff;
+            }
+            d2[i * n + j] = s;
+            d2[j * n + i] = s;
+        }
+    }
+    let target_entropy = perplexity.max(1.01).ln();
+    let mut p = vec![0f32; n * n];
+    for i in 0..n {
+        // Binary search beta = 1 / (2 sigma^2).
+        let row = &d2[i * n..(i + 1) * n];
+        let (mut beta, mut beta_lo, mut beta_hi) = (1f32, 0f32, f32::INFINITY);
+        let mut probs = vec![0f32; n];
+        for _ in 0..64 {
+            let mut sum = 0f32;
+            for (j, pr) in probs.iter_mut().enumerate() {
+                *pr = if j == i { 0.0 } else { (-beta * row[j]).exp() };
+                sum += *pr;
+            }
+            // Divide by the true sum whenever it is positive — raw sums
+            // for outlier points legitimately underflow far below any
+            // fixed epsilon (e.g. 6e-13 for a point 2.4 sigma from the
+            // pack), and flooring them would leave the row
+            // unnormalized. An exactly-zero sum leaves the row zero for
+            // the uniform fallback after the loop.
+            let sum = if sum > 0.0 { sum } else { 1.0 };
+            // Shannon entropy of the conditional distribution.
+            let mut entropy = 0f32;
+            for pr in probs.iter_mut() {
+                *pr /= sum;
+                if *pr > 1e-12 {
+                    entropy -= *pr * pr.ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-4 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() {
+                    (beta + beta_hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        // Degenerate geometries (tiny or tied distance spreads) can end
+        // the search on an iteration where every exp underflowed; fall
+        // back to a uniform conditional rather than an all-zero row.
+        let row_sum: f32 = probs.iter().sum();
+        if row_sum <= 0.0 || !row_sum.is_finite() {
+            let uniform = 1.0 / (n - 1) as f32;
+            for (j, pr) in probs.iter_mut().enumerate() {
+                *pr = if j == i { 0.0 } else { uniform };
+            }
+        }
+        p[i * n..(i + 1) * n].copy_from_slice(&probs);
+    }
+    // Symmetrize and normalize: P = (P + P^T) / 2n.
+    let mut joint = vec![0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+    Tensor::from_vec(joint, &[n, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 8-D.
+    fn blobs(per_cluster: usize) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = per_cluster * 2;
+        let mut data = Vec::with_capacity(n * 8);
+        let mut labels = Vec::with_capacity(n);
+        for c in 0..2 {
+            let center = if c == 0 { -5.0 } else { 5.0 };
+            for _ in 0..per_cluster {
+                let noise = Tensor::randn(&[8], &mut rng);
+                for k in 0..8 {
+                    data.push(center + noise.data()[k] * 0.3);
+                }
+                labels.push(c);
+            }
+        }
+        (Tensor::from_vec(data, &[n, 8]).unwrap(), labels)
+    }
+
+    #[test]
+    fn affinities_are_a_distribution() {
+        let (data, _) = blobs(8);
+        let p = joint_affinities(&data, 5.0).unwrap();
+        let total: f32 = p.data().iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "sum {total}");
+        assert!(p.data().iter().all(|&v| v > 0.0));
+        // Symmetric.
+        let n = data.shape()[0];
+        for i in 0..n {
+            for j in 0..n {
+                assert!((p.at(&[i, j]) - p.at(&[j, i])).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (data, labels) = blobs(10);
+        let config = TsneConfig {
+            iterations: 300,
+            perplexity: 5.0,
+            ..TsneConfig::default()
+        };
+        let y = tsne(&data, &config).unwrap();
+        assert_eq!(y.shape(), &[20, 2]);
+        assert!(!y.has_non_finite());
+        // Between-cluster distance must dominate within-cluster spread.
+        let centroid = |c: usize| -> [f32; 2] {
+            let mut s = [0f32; 2];
+            let mut count = 0;
+            for (i, &l) in labels.iter().enumerate() {
+                if l == c {
+                    s[0] += y.at(&[i, 0]);
+                    s[1] += y.at(&[i, 1]);
+                    count += 1;
+                }
+            }
+            [s[0] / count as f32, s[1] / count as f32]
+        };
+        let (c0, c1) = (centroid(0), centroid(1));
+        let between = ((c0[0] - c1[0]).powi(2) + (c0[1] - c1[1]).powi(2)).sqrt();
+        let mut sum_within = 0f32;
+        for (i, &l) in labels.iter().enumerate() {
+            let c = if l == 0 { c0 } else { c1 };
+            sum_within += ((y.at(&[i, 0]) - c[0]).powi(2) + (y.at(&[i, 1]) - c[1]).powi(2)).sqrt();
+        }
+        let mean_within = sum_within / labels.len() as f32;
+        assert!(
+            between > 2.0 * mean_within,
+            "clusters not separated: between {between}, mean within {mean_within}"
+        );
+        // Nearest-neighbor label consistency: at least 80% of points have
+        // a same-cluster nearest neighbor in the embedding.
+        let mut consistent = 0;
+        for i in 0..labels.len() {
+            let mut best = (f32::INFINITY, 0usize);
+            for j in 0..labels.len() {
+                if i == j {
+                    continue;
+                }
+                let d = (y.at(&[i, 0]) - y.at(&[j, 0])).powi(2)
+                    + (y.at(&[i, 1]) - y.at(&[j, 1])).powi(2);
+                if d < best.0 {
+                    best = (d, j);
+                }
+            }
+            if labels[best.1] == labels[i] {
+                consistent += 1;
+            }
+        }
+        assert!(
+            consistent * 10 >= labels.len() * 8,
+            "only {consistent}/{} points have same-cluster nearest neighbors",
+            labels.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (data, _) = blobs(6);
+        let config = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
+        let a = tsne(&data, &config).unwrap();
+        let b = tsne(&data, &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(tsne(&Tensor::zeros(&[5]), &TsneConfig::default()).is_err());
+        assert!(tsne(&Tensor::zeros(&[3, 2]), &TsneConfig::default()).is_err());
+    }
+
+    #[test]
+    fn embedding_is_centered() {
+        let (data, _) = blobs(6);
+        let config = TsneConfig {
+            iterations: 60,
+            ..TsneConfig::default()
+        };
+        let y = tsne(&data, &config).unwrap();
+        let mean_x: f32 = (0..12).map(|i| y.at(&[i, 0])).sum::<f32>() / 12.0;
+        let mean_y: f32 = (0..12).map(|i| y.at(&[i, 1])).sum::<f32>() / 12.0;
+        assert!(mean_x.abs() < 1e-3 && mean_y.abs() < 1e-3);
+    }
+}

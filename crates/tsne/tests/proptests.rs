@@ -1,0 +1,59 @@
+//! Property-based tests of the t-SNE implementation.
+
+use proptest::prelude::*;
+use stwa_tensor::Tensor;
+use stwa_tsne::{joint_affinities, tsne, TsneConfig};
+
+fn points(n: usize, dim: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, n * dim)
+        .prop_map(move |data| Tensor::from_vec(data, &[n, dim]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn embedding_is_finite_and_centered(data in points(10, 4)) {
+        let cfg = TsneConfig {
+            iterations: 80,
+            perplexity: 4.0,
+            ..TsneConfig::default()
+        };
+        let y = tsne(&data, &cfg).unwrap();
+        prop_assert_eq!(y.shape(), &[10, 2]);
+        prop_assert!(!y.has_non_finite());
+        let mx: f32 = (0..10).map(|i| y.at(&[i, 0])).sum::<f32>() / 10.0;
+        let my: f32 = (0..10).map(|i| y.at(&[i, 1])).sum::<f32>() / 10.0;
+        prop_assert!(mx.abs() < 1e-2 && my.abs() < 1e-2);
+    }
+
+    #[test]
+    fn duplicate_points_get_maximal_affinity(data in points(8, 3)) {
+        // The provable invariant behind "duplicates embed together":
+        // an exact duplicate is its twin's nearest neighbor, so the
+        // symmetrized affinity P[0][1] must be the largest off-diagonal
+        // entry of row 0. This is deterministic, unlike the non-convex
+        // final layout.
+        let mut dup = data.data().to_vec();
+        for c in 0..3 {
+            dup[3 + c] = dup[c]; // row 1 := row 0
+        }
+        // Keep the remaining points distinct from the pair.
+        for r in 2..8 {
+            dup[r * 3] += r as f32;
+        }
+        let t = Tensor::from_vec(dup, &[8, 3]).unwrap();
+        let p = joint_affinities(&t, 3.0).unwrap();
+        let pair = p.at(&[0, 1]);
+        for j in 2..8 {
+            prop_assert!(
+                pair >= p.at(&[0, j]),
+                "P[0][1]={pair} must dominate P[0][{j}]={}",
+                p.at(&[0, j])
+            );
+        }
+        // And the matrix stays a symmetric distribution.
+        let total: f32 = p.data().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,70 @@
+//! Predictive uncertainty from the stochastic latents.
+//!
+//! ST-WA's latent `Theta_t^(i)` is a *distribution* over model
+//! parameters (the paper argues stochastic variables "generalize better
+//! and have stronger representational power"). A capability that falls
+//! out for free, which the paper never exercises: sampling the latents
+//! across several forward passes yields a Monte-Carlo predictive
+//! distribution — forecast intervals, not just point forecasts.
+//!
+//! This example trains ST-WA, draws 30 sampled forecasts for the test
+//! set, and reports the empirical coverage of the ±2σ interval.
+//!
+//! ```sh
+//! cargo run --release --example uncertainty
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_wa::model::{StwaConfig, StwaModel, TrainConfig, Trainer};
+use st_wa::traffic::{DatasetConfig, TrafficDataset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = TrafficDataset::generate(DatasetConfig::pems08_like());
+    let n = dataset.num_sensors();
+    let (h, u) = (12, 12);
+    let mut rng = StdRng::seed_from_u64(21);
+    let model = StwaModel::new(StwaConfig::st_wa(n, h, u), &mut rng)?;
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 8,
+        train_stride: 4,
+        eval_stride: 8,
+        ..TrainConfig::default()
+    });
+    let report = trainer.train(&model, &dataset, h, u)?;
+    println!("trained ST-WA: test {}", report.test);
+
+    let test = dataset.test(h, u, 8)?;
+    let (mean, std) =
+        trainer.predict_with_uncertainty(&model, &test.x, &dataset.scaler(), &mut rng, 30)?;
+
+    // Empirical coverage of mean ± 2σ (plus an observation-noise floor —
+    // the latent-induced spread only captures *parameter* uncertainty).
+    let noise_floor = report.test.rmse * 0.5;
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    let mut avg_width = 0f64;
+    for ((&m, &s), &y) in mean.data().iter().zip(std.data()).zip(test.y.data()) {
+        let half = 2.0 * (s * s + noise_floor * noise_floor).sqrt();
+        if (y - m).abs() <= half {
+            covered += 1;
+        }
+        avg_width += 2.0 * half as f64;
+        total += 1;
+    }
+    println!(
+        "±2σ interval (param uncertainty + noise floor): coverage {:.1}% over {total} \
+         forecasts, mean width {:.1} veh/5min",
+        covered as f64 / total as f64 * 100.0,
+        avg_width / total as f64,
+    );
+    println!(
+        "mean parameter-uncertainty σ: {:.2} veh/5min (latent sampling only)",
+        std.mean_all().item()?
+    );
+    println!(
+        "\nThe deterministic ablation collapses this: its σ is exactly 0, so it\n\
+         cannot express forecast confidence at all."
+    );
+    Ok(())
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Longer-budget follow-ups for the budget-sensitive claims.
+set -u
+cd "$(dirname "$0")"
+run() {
+  name=$1; out=$2; shift 2
+  echo "[$(date +%H:%M:%S)] running $name $* (out: $out)"
+  ./target/release/$name "$@" --out-dir results/long > logs/${out}.log 2>&1
+  echo "[$(date +%H:%M:%S)] done $name"
+}
+mkdir -p results/long
+run table08 table08_long --epochs 45
+run table11 table11_long --epochs 40
+echo "followups complete"
+run ablation_flow ablation_flow_ext --epochs 15

@@ -1,0 +1,31 @@
+#!/bin/bash
+# Re-measure the models affected by the Param::leaf gradient-accumulation
+# fix (ST-WA family, DCRNN, meta-LSTM, STSGCN). All other models are
+# bit-identical under the fix (verified) so their rows stand.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results/fixed logs
+run() {
+  name=$1; out=$2; shift 2
+  echo "[$(date +%H:%M:%S)] running $name $*"
+  ./target/release/$name "$@" --out-dir results/fixed > logs/${out}.log 2>&1
+  echo "[$(date +%H:%M:%S)] done $name (exit $?)"
+}
+run table02 table02_fixed
+run table08 table08_fixed --epochs 20
+run table10 table10_fixed --epochs 15
+run table11 table11_fixed --epochs 15
+run table12 table12_fixed --epochs 15
+run table09 table09_fixed --epochs 15
+run fig09 fig09_fixed --epochs 12
+run classical classical_fixed --epochs 15
+run ablation_flow ablation_flow_fixed --epochs 15
+run fig10 fig10_fixed --models ST-WA,STFGNN,EnhanceNet,AGCRN
+run table05 table05_fixed --epochs 10 --models ST-WA
+run table13 table13_fixed --epochs 6
+run table14 table14_fixed --epochs 6
+run table06 table06_fixed --epochs 6 --models ST-WA
+run table04 table04_fixed --epochs 20 --models DCRNN,STSGCN,meta-LSTM,ST-WA
+run table08 table08_long_fixed --epochs 45
+run table11 table11_long_fixed --epochs 40
+echo "[$(date +%H:%M:%S)] rerun complete"

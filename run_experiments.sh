@@ -1,0 +1,28 @@
+#!/bin/bash
+# Regenerate every paper table/figure. Sequential (single-core box).
+set -u
+cd "$(dirname "$0")"
+mkdir -p results logs
+run() {
+  name=$1; shift
+  echo "[$(date +%H:%M:%S)] running $name $*"
+  ./target/release/$name "$@" > logs/$name.log 2>&1
+  echo "[$(date +%H:%M:%S)] done $name (exit $?)"
+}
+run fig01
+run table02
+run table08 --epochs 20
+run table10 --epochs 15
+run table11 --epochs 15
+run table12 --epochs 15
+run table09 --epochs 15
+run fig10
+run table07 --epochs 15
+run fig09 --epochs 12
+run classical --epochs 15
+run ablation_flow --epochs 15
+run table05 --epochs 10
+run table13 --epochs 6
+run table14 --epochs 6
+run table06 --epochs 6
+echo "[$(date +%H:%M:%S)] all experiments complete"

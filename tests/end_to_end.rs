@@ -1,0 +1,159 @@
+//! End-to-end integration: data generation → training → evaluation,
+//! spanning every workspace crate through the facade.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_wa::baselines::build_model;
+use st_wa::model::{StwaConfig, StwaModel, TrainConfig, Trainer};
+use st_wa::tensor::Tensor;
+use st_wa::traffic::{mae, DatasetConfig, TrafficDataset};
+
+fn quick_trainer(epochs: usize) -> Trainer {
+    Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 16,
+        train_stride: 8,
+        eval_stride: 8,
+        ..TrainConfig::default()
+    })
+}
+
+/// Repeat-last-value predictor: the no-model baseline every trained
+/// model must beat.
+fn persistence_mae(dataset: &TrafficDataset, h: usize, u: usize) -> f32 {
+    let test = dataset.test(h, u, 8).unwrap();
+    let samples = test.x.shape()[0];
+    let n = test.x.shape()[1];
+    let scaler = dataset.scaler();
+    let pred = Tensor::from_fn(&[samples, n, u, 1], |idx| {
+        // Last input step, de-normalized.
+        let normed = test.x.at(&[idx[0], idx[1], h - 1, 0]);
+        normed * scaler.std + scaler.mean
+    });
+    mae(&pred, &test.y)
+}
+
+#[test]
+fn st_wa_beats_persistence_on_synthetic_traffic() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let (h, u) = (12, 12);
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = StwaModel::new(StwaConfig::st_wa(n, h, u), &mut rng).unwrap();
+    // The tiny 5-day dataset needs a denser sample grid and more epochs
+    // than the other smoke tests to reach a competent fit.
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 20,
+        batch_size: 16,
+        train_stride: 2,
+        eval_stride: 8,
+        ..TrainConfig::default()
+    });
+    let report = trainer.train(&model, &dataset, h, u).unwrap();
+    let persist = persistence_mae(&dataset, h, u);
+    assert!(
+        report.test.mae < persist,
+        "trained ST-WA ({}) must beat persistence ({persist})",
+        report.test.mae
+    );
+}
+
+#[test]
+fn training_loss_decreases_for_every_awareness_variant() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    for cfg in [
+        StwaConfig::wa(n, 12, 6),
+        StwaConfig::s_wa(n, 12, 6),
+        StwaConfig::st_wa(n, 12, 6),
+        StwaConfig::deterministic(n, 12, 6),
+    ] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let name = format!("{:?}", cfg.awareness);
+        let model = StwaModel::new(cfg, &mut rng).unwrap();
+        let report = quick_trainer(4).train(&model, &dataset, 12, 6).unwrap();
+        let first = report.history.first().unwrap().0;
+        let last = report.history.last().unwrap().0;
+        assert!(
+            last < first,
+            "{name}: loss {first} -> {last} did not decrease"
+        );
+        assert!(report.test.mae.is_finite());
+    }
+}
+
+#[test]
+fn registry_models_train_through_the_shared_trainer() {
+    // A representative member of each family, end to end.
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let adj = dataset.network().adjacency();
+    let trainer = quick_trainer(2);
+    for name in ["GRU", "DCRNN", "ATT", "EnhanceNet", "GRU+ST"] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = build_model(name, n, 12, 3, &adj, &mut rng).unwrap();
+        let report = trainer.train(model.as_ref(), &dataset, 12, 3).unwrap();
+        assert!(report.test.mae.is_finite(), "{name}");
+        assert!(report.epochs_run >= 1, "{name}");
+        assert!(report.param_count > 0, "{name}");
+    }
+}
+
+#[test]
+fn deterministic_training_is_reproducible() {
+    // Same seeds end to end -> identical reports.
+    let run = || {
+        let dataset = TrafficDataset::generate(DatasetConfig::small());
+        let n = dataset.num_sensors();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+        quick_trainer(2).train(&model, &dataset, 12, 3).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.test.mae, b.test.mae);
+    assert_eq!(a.history, b.history);
+}
+
+#[test]
+fn multi_feature_traffic_trains_end_to_end() {
+    // F = 2 (flow + speed): the whole pipeline — generator, windows,
+    // scaler, model, loss — must be feature-count generic.
+    let mut config = DatasetConfig::small();
+    config.generator.with_speed = true;
+    let dataset = TrafficDataset::generate(config);
+    assert_eq!(dataset.raw().shape()[2], 2);
+    let n = dataset.num_sensors();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut cfg = StwaConfig::wa(n, 12, 3);
+    cfg.f_in = 2;
+    let model = StwaModel::new(cfg, &mut rng).unwrap();
+    let report = quick_trainer(3).train(&model, &dataset, 12, 3).unwrap();
+    let first = report.history.first().unwrap().0;
+    let last = report.history.last().unwrap().0;
+    assert!(
+        last < first,
+        "F=2 training must still descend: {first} -> {last}"
+    );
+    assert!(report.test.mae.is_finite());
+}
+
+#[test]
+fn evaluation_is_deterministic_despite_stochastic_training() {
+    // The trainer evaluates with posterior means: two predict calls on
+    // the same inputs agree exactly even for the stochastic model.
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+    let trainer = quick_trainer(1);
+    trainer.train(&model, &dataset, 12, 3).unwrap();
+    let test = dataset.test(12, 3, 8).unwrap();
+    let p1 = trainer
+        .predict(&model, &test.x, &dataset.scaler(), &mut rng)
+        .unwrap();
+    let p2 = trainer
+        .predict(&model, &test.x, &dataset.scaler(), &mut rng)
+        .unwrap();
+    assert!(p1.approx_eq(&p2, 0.0));
+}

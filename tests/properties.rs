@@ -1,0 +1,147 @@
+//! Property-based integration tests (proptest) over the numerical core:
+//! algebraic identities that must hold for arbitrary shapes and values.
+
+use proptest::prelude::*;
+use st_wa::autograd::{check_gradient, Graph};
+use st_wa::tensor::{linalg, Tensor};
+use st_wa::traffic::{mae, rmse};
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn broadcast_add_commutes(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        data in small_vec(16),
+        row_data in small_vec(4),
+    ) {
+        let a = Tensor::from_vec(data[..rows * cols].to_vec(), &[rows, cols]).unwrap();
+        let r = Tensor::from_vec(row_data[..cols].to_vec(), &[cols]).unwrap();
+        let ab = a.add(&r).unwrap();
+        let ba = r.add(&a).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 1e-6));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        m in 1usize..4,
+        k in 1usize..4,
+        n in 1usize..4,
+        a_data in small_vec(9),
+        b_data in small_vec(9),
+        c_data in small_vec(9),
+    ) {
+        let a = Tensor::from_vec(a_data[..m * k].to_vec(), &[m, k]).unwrap();
+        let b = Tensor::from_vec(b_data[..k * n].to_vec(), &[k, n]).unwrap();
+        let c = Tensor::from_vec(c_data[..k * n].to_vec(), &[k, n]).unwrap();
+        // A(B + C) == AB + AC
+        let lhs = linalg::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = linalg::matmul(&a, &b).unwrap().add(&linalg::matmul(&a, &c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3), "{lhs:?} vs {rhs:?}");
+    }
+
+    #[test]
+    fn matmul_associates(
+        a_data in small_vec(4),
+        b_data in small_vec(4),
+        c_data in small_vec(4),
+    ) {
+        let a = Tensor::from_vec(a_data, &[2, 2]).unwrap();
+        let b = Tensor::from_vec(b_data, &[2, 2]).unwrap();
+        let c = Tensor::from_vec(c_data, &[2, 2]).unwrap();
+        let lhs = linalg::matmul(&linalg::matmul(&a, &b).unwrap(), &c).unwrap();
+        let rhs = linalg::matmul(&a, &linalg::matmul(&b, &c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(
+        a_data in small_vec(6),
+        b_data in small_vec(6),
+    ) {
+        // (AB)^T == B^T A^T
+        let a = Tensor::from_vec(a_data, &[2, 3]).unwrap();
+        let b = Tensor::from_vec(b_data, &[3, 2]).unwrap();
+        let lhs = linalg::matmul(&a, &b).unwrap().transpose_last2().unwrap();
+        let rhs = linalg::matmul(
+            &b.transpose_last2().unwrap(),
+            &a.transpose_last2().unwrap(),
+        )
+        .unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(data in small_vec(12)) {
+        let x = Tensor::from_vec(data, &[3, 4]).unwrap();
+        let s = x.softmax(1).unwrap();
+        for r in 0..3 {
+            let sum: f32 = (0..4).map(|c| s.at(&[r, c])).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!((0..4).all(|c| s.at(&[r, c]) >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariance(data in small_vec(8), shift in -50.0f32..50.0) {
+        let x = Tensor::from_vec(data, &[2, 4]).unwrap();
+        let a = x.softmax(1).unwrap();
+        let b = x.add_scalar(shift).softmax(1).unwrap();
+        prop_assert!(a.approx_eq(&b, 1e-4));
+    }
+
+    #[test]
+    fn rmse_dominates_mae(p_data in small_vec(10), t_data in small_vec(10)) {
+        let p = Tensor::from_vec(p_data, &[10]).unwrap();
+        let t = Tensor::from_vec(t_data, &[10]).unwrap();
+        prop_assert!(rmse(&p, &t) + 1e-5 >= mae(&p, &t));
+    }
+
+    #[test]
+    fn autograd_is_linear_in_constant_scaling(
+        data in small_vec(6),
+        scale in -3.0f32..3.0,
+    ) {
+        // d/dx sum(scale * x) == scale everywhere.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(data, &[6]).unwrap());
+        let loss = x.mul_scalar(scale).sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        let dx = g.grad(&x).unwrap();
+        prop_assert!(dx.approx_eq(&Tensor::full(&[6], scale), 1e-5));
+    }
+
+    #[test]
+    fn composed_expression_gradient_matches_numeric(data in small_vec(5)) {
+        // A random-ish composite through several op families.
+        let x = Tensor::from_vec(data.iter().map(|v| v * 0.4).collect(), &[5]).unwrap();
+        let report = check_gradient(&x, 1e-2, |v| {
+            let a = v.tanh().mul_scalar(2.0);
+            let b = v.sigmoid();
+            a.mul(&b)?.add_scalar(0.5).square()?.mean_all()
+        })
+        .unwrap();
+        prop_assert!(report.passes(5e-2), "{report:?}");
+    }
+
+    #[test]
+    fn reshape_permute_roundtrip(data in small_vec(12)) {
+        let x = Tensor::from_vec(data, &[3, 4]).unwrap();
+        let y = x
+            .permute(&[1, 0]).unwrap()
+            .reshape(&[2, 6]).unwrap()
+            .reshape(&[4, 3]).unwrap()
+            .permute(&[1, 0]).unwrap();
+        // Round trip through the same element count preserves multiset.
+        let mut a = x.data().to_vec();
+        let mut b = y.data().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        prop_assert_eq!(a, b);
+    }
+}
