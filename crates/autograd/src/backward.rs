@@ -28,6 +28,8 @@ impl Graph {
                 )));
             }
         }
+        let _span = stwa_observe::span!("backward");
+        stwa_observe::counter!("backward.calls").incr();
         let mut nodes = self.inner.borrow_mut();
         // Leaf gradients accumulate across backward calls (PyTorch-style),
         // but *intermediate* gradients are per-sweep scratch: stale values
@@ -53,7 +55,11 @@ impl Graph {
             };
             let op = nodes[id].op.clone();
             let out_value = Rc::clone(&nodes[id].value);
+            // Per-op-kind grad timing: spans aggregate by path, so e.g.
+            // every matmul VJP of this sweep folds into "backward/matmul".
+            let op_span = stwa_observe::scope(op.kind_name());
             propagate(&mut nodes, &op, &grad, &out_value)?;
+            drop(op_span);
             nodes[id].grad = Some(grad);
         }
         Ok(())

@@ -77,6 +77,43 @@ pub(crate) enum Op {
     },
 }
 
+impl Op {
+    /// Stable kind label for observability (per-op-kind backward timing).
+    pub(crate) fn kind_name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Div(..) => "div",
+            Op::Neg(..) => "neg",
+            Op::Exp(..) => "exp",
+            Op::Ln(..) => "ln",
+            Op::Sqrt(..) => "sqrt",
+            Op::Tanh(..) => "tanh",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Relu(..) => "relu",
+            Op::Abs(..) => "abs",
+            Op::Square(..) => "square",
+            Op::AddScalar(..) => "add_scalar",
+            Op::MulScalar(..) => "mul_scalar",
+            Op::Matmul(..) => "matmul",
+            Op::SumAxis { .. } => "sum_axis",
+            Op::MeanAxis { .. } => "mean_axis",
+            Op::SumAll(..) => "sum_all",
+            Op::MeanAll(..) => "mean_all",
+            Op::Softmax { .. } => "softmax",
+            Op::Reshape(..) => "reshape",
+            Op::Permute { .. } => "permute",
+            Op::Concat { .. } => "concat",
+            Op::Narrow { .. } => "narrow",
+            Op::IndexSelect { .. } => "index_select",
+            Op::BroadcastTo(..) => "broadcast_to",
+            Op::WhereMask { .. } => "where_mask",
+        }
+    }
+}
+
 pub(crate) struct Node {
     pub value: Rc<Tensor>,
     pub grad: Option<Tensor>,

@@ -257,7 +257,7 @@ mod tests {
         let ar = ArModel::fit(&train, 6, 1e-3).unwrap();
         let pred = ar.predict(&test.x, 12, &ds.scaler()).unwrap();
         let m = Metrics::compute(&pred, &test.y);
-        let zero = Tensor::zeros(&test.y.shape().to_vec());
+        let zero = Tensor::zeros(test.y.shape());
         let zero_mae = stwa_traffic::mae(&zero, &test.y);
         assert!(
             m.mae < zero_mae * 0.5,

@@ -1,0 +1,133 @@
+//! Disabled-mode cost of the `stwa_observe` instrumentation.
+//!
+//! The observability contract (DESIGN.md) is that with recording off,
+//! each `span!` / `counter!` site costs a single relaxed atomic load.
+//! This bench verifies the contract two ways:
+//!
+//! 1. `matmul/disabled` vs `matmul/enabled` criterion benchmarks show
+//!    the end-to-end cost of turning recording on.
+//! 2. In bench mode (`cargo bench --bench observe_overhead`) a direct
+//!    measurement compares the instrumented matmul against the raw
+//!    per-call instrumentation cost and prints the disabled-mode
+//!    overhead as a percentage — the acceptance bar is < 2%.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use stwa_tensor::{linalg, Tensor};
+
+const SIZE: usize = 128;
+
+fn matmul_inputs() -> (Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::randn(&[SIZE, SIZE], &mut rng);
+    let b = Tensor::randn(&[SIZE, SIZE], &mut rng);
+    (a, b)
+}
+
+fn bench_matmul_disabled(c: &mut Criterion) {
+    stwa_observe::set_enabled(false);
+    let (a, b) = matmul_inputs();
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    group.bench_function("disabled", |bench| {
+        bench.iter(|| black_box(linalg::matmul(&a, &b).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_matmul_enabled(c: &mut Criterion) {
+    stwa_observe::set_enabled(true);
+    stwa_observe::reset();
+    let (a, b) = matmul_inputs();
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    group.bench_function("enabled", |bench| {
+        bench.iter(|| black_box(linalg::matmul(&a, &b).unwrap()));
+    });
+    group.finish();
+    stwa_observe::set_enabled(false);
+    stwa_observe::reset();
+}
+
+fn bench_instrumentation_primitives(c: &mut Criterion) {
+    stwa_observe::set_enabled(false);
+    let mut group = c.benchmark_group("primitives_disabled");
+    group.sample_size(30);
+    // The exact instrumentation sequence `linalg::matmul` executes per
+    // call when recording is off.
+    group.bench_function("matmul_site", |bench| {
+        bench.iter(|| {
+            let _span = stwa_observe::span!("matmul");
+            stwa_observe::counter!("matmul.calls").incr();
+            stwa_observe::counter!("matmul.flops").add(black_box(1u64));
+        });
+    });
+    group.finish();
+}
+
+/// Direct overhead measurement, printed only under `cargo bench`: the
+/// per-call disabled-mode instrumentation cost as a fraction of one
+/// matmul call.
+fn report_overhead_percentage(_c: &mut Criterion) {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    stwa_observe::set_enabled(false);
+    let (a, b) = matmul_inputs();
+
+    let time_per_iter = |mut f: Box<dyn FnMut()>, iters: u64| -> f64 {
+        // Warm up, then take the best of 5 samples to suppress noise.
+        for _ in 0..iters / 4 {
+            f();
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            best = best.min(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        best
+    };
+
+    let matmul_ns = {
+        let (a, b) = (a.clone(), b.clone());
+        time_per_iter(
+            Box::new(move || {
+                black_box(linalg::matmul(&a, &b).unwrap());
+            }),
+            40,
+        )
+    };
+    let site_ns = time_per_iter(
+        Box::new(|| {
+            let _span = stwa_observe::span!("matmul");
+            stwa_observe::counter!("matmul.calls").incr();
+            stwa_observe::counter!("matmul.flops").add(black_box(1u64));
+        }),
+        4_000_000,
+    );
+
+    let pct = 100.0 * site_ns / matmul_ns;
+    println!(
+        "observe disabled-mode overhead: {site_ns:.1} ns/site over a \
+         {:.3} ms matmul ({SIZE}x{SIZE}) = {pct:.4}% (bar: < 2%)",
+        matmul_ns / 1e6
+    );
+    assert!(
+        pct < 2.0,
+        "disabled-mode observe overhead {pct:.3}% exceeds the 2% contract"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_disabled,
+    bench_matmul_enabled,
+    bench_instrumentation_primitives,
+    report_overhead_percentage
+);
+criterion_main!(benches);

@@ -24,6 +24,9 @@ pub struct Args {
     pub out_dir: String,
     /// Print per-epoch progress.
     pub verbose: bool,
+    /// When set, enable `stwa_observe` recording and write each run's
+    /// JSON manifest to this path (later runs overwrite earlier ones).
+    pub observe: Option<String>,
 }
 
 impl Default for Args {
@@ -39,6 +42,7 @@ impl Default for Args {
             datasets: None,
             out_dir: "results".to_string(),
             verbose: false,
+            observe: None,
         }
     }
 }
@@ -89,6 +93,7 @@ impl Args {
                     )
                 }
                 "--out-dir" => out.out_dir = value("--out-dir")?,
+                "--observe" => out.observe = Some(value("--observe")?),
                 "--verbose" | "-v" => out.verbose = true,
                 "--help" | "-h" => {
                     println!("{}", Args::usage());
@@ -107,7 +112,8 @@ impl Args {
     pub fn usage() -> String {
         "usage: <experiment> [--epochs N] [--train-stride N] [--eval-stride N] \
          [--batch-size N] [--seed N] [--full-scale] [--models a,b,c] \
-         [--datasets PEMS04,PEMS08] [--out-dir DIR] [--verbose]"
+         [--datasets PEMS04,PEMS08] [--out-dir DIR] [--observe MANIFEST.json] \
+         [--verbose]"
             .to_string()
     }
 

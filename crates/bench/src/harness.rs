@@ -27,8 +27,13 @@ pub fn dataset_for(name: &str, args: &Args) -> TrafficDataset {
     TrafficDataset::generate(config)
 }
 
-/// The trainer an experiment's `Args` describe.
+/// The trainer an experiment's `Args` describe. `--observe PATH` turns
+/// on `stwa_observe` recording process-wide and routes the trainer's
+/// manifest to that path.
 pub fn trainer_for(args: &Args) -> Trainer {
+    if args.observe.is_some() {
+        stwa_observe::set_enabled(true);
+    }
     Trainer::new(TrainConfig {
         epochs: args.epochs,
         batch_size: args.batch_size,
@@ -36,6 +41,7 @@ pub fn trainer_for(args: &Args) -> Trainer {
         eval_stride: args.eval_stride,
         seed: args.seed,
         verbose: args.verbose,
+        manifest_path: args.observe.as_ref().map(std::path::PathBuf::from),
         ..TrainConfig::default()
     })
 }

@@ -263,7 +263,9 @@ impl StGenerator {
                 self.n
             )));
         }
+        let _span = stwa_observe::span!("generator");
 
+        let latent_span = stwa_observe::span!("latent");
         let s_sample: Option<GaussianSample> = match &self.spatial {
             Some(s) => Some(s.sample(graph, mode, rng)?),
             None => None,
@@ -272,6 +274,7 @@ impl StGenerator {
             Some(t) => Some(t.sample(graph, x, mode, rng)?),
             None => None,
         };
+        drop(latent_span);
 
         // Theta_t^(i) = z^(i) + z_t^(i) (Eq. 4), in [B, N, k].
         let theta0 = combine_theta(s_sample.as_ref(), t_sample.as_ref(), b, self.n)?;
@@ -294,6 +297,7 @@ impl StGenerator {
         };
 
         // Decode each layer's K/V (and optionally theta1/theta2).
+        let decoder_span = stwa_observe::span!("decoder");
         let mut layers = Vec::with_capacity(self.decoders.len());
         for (l, (dec, &(fl, d))) in self.decoders.iter().zip(&self.layer_dims).enumerate() {
             let flat = dec.forward(graph, &theta)?; // [B, N, 2*fl*d]
@@ -317,6 +321,7 @@ impl StGenerator {
                 sca_transforms,
             });
         }
+        drop(decoder_span);
 
         // Analytic KL of Theta (sum of independent Gaussians) vs N(0, I),
         // unless the flow already produced its MC estimate.

@@ -388,6 +388,7 @@ impl ForecastModel for StwaModel {
             )));
         }
         let b = shape[0];
+        let _span = stwa_observe::span!("forward");
 
         // Generate ST-aware parameters (or nothing for the agnostic WA).
         // Evaluation collapses the latents to their means (the posterior
@@ -410,6 +411,7 @@ impl ForecastModel for StwaModel {
         let mut h = x.clone();
         let mut skip_sum: Option<Var> = None;
         for (l, layer) in self.layers.iter().enumerate() {
+            let layer_span = stwa_observe::span!("wa_layer{}", l);
             let proj = generated.as_ref().map(|g| &g.layers[l]);
             let out = layer.forward(graph, &h, proj)?; // [B, N, W, d]
             let w = layer.num_windows();
@@ -420,16 +422,19 @@ impl ForecastModel for StwaModel {
                 Some(acc) => acc.add(&skip)?,
             });
             h = out; // next layer consumes the window summaries
+            drop(layer_span);
         }
         let o = skip_sum.expect("at least one layer");
 
         // Predictor (Eq. 19): [B, N, d] -> [B, N, U * F] -> [B, N, U, F].
+        let predictor_span = stwa_observe::span!("predictor");
         let pred = self.predictor.forward(graph, &o)?.reshape(&[
             b,
             self.config.n,
             self.config.u,
             self.config.f_in,
         ])?;
+        drop(predictor_span);
 
         let regularizer = match &generated {
             Some(gp) if self.config.kl_weight > 0.0 => gp

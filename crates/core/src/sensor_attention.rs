@@ -70,6 +70,7 @@ impl SensorCorrelationAttention {
                     .into(),
             ));
         };
+        let _span = stwa_observe::span!("sensor_attention");
         let q = theta1.forward(graph, h)?; // [..., N, d]
         let k = theta2.forward(graph, h)?;
         let _ = rank;
@@ -90,6 +91,7 @@ impl SensorCorrelationAttention {
                 self.d
             )));
         }
+        let _span = stwa_observe::span!("sensor_attention");
         // Per-sensor projections: [B, N, 1, d] @ [B, N, d, d].
         let rows = h.unsqueeze(2)?;
         let q = rows.matmul(t1)?.squeeze(2)?; // [B, N, d]

@@ -8,8 +8,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::time::Instant;
 use stwa_autograd::{Graph, Var};
+use stwa_observe::{EpochRecord, RunManifest};
 use stwa_nn::batch::BatchIter;
 use stwa_nn::loss::huber;
 use stwa_nn::optim::{Adam, Optimizer};
@@ -76,6 +78,11 @@ pub struct TrainConfig {
     pub eval_stride: usize,
     /// Print progress lines.
     pub verbose: bool,
+    /// When set, write the JSON run manifest (config, per-epoch
+    /// trajectory, span tree, counters) to this path after training.
+    /// The manifest is always built and returned on [`TrainReport`];
+    /// this only controls the on-disk copy.
+    pub manifest_path: Option<PathBuf>,
 }
 
 impl Default for TrainConfig {
@@ -91,6 +98,7 @@ impl Default for TrainConfig {
             train_stride: 3,
             eval_stride: 3,
             verbose: false,
+            manifest_path: None,
         }
     }
 }
@@ -113,6 +121,10 @@ pub struct TrainReport {
     pub test: Metrics,
     /// `(train_loss, val_mae)` per epoch.
     pub history: Vec<(f32, f32)>,
+    /// The run manifest: config, seed, per-epoch trajectory, and —
+    /// when `stwa_observe` recording was enabled — the span tree and
+    /// counter/gauge snapshot.
+    pub manifest: RunManifest,
 }
 
 /// Model-agnostic trainer.
@@ -135,10 +147,24 @@ impl Trainer {
         u: usize,
     ) -> Result<TrainReport> {
         let cfg = &self.config;
+        let trainer_span = stwa_observe::span!("trainer");
         let train = dataset.train(h, u, cfg.train_stride)?;
         let val = dataset.val(h, u, cfg.eval_stride)?;
         let test = dataset.test(h, u, cfg.eval_stride)?;
         let scaler = dataset.scaler();
+
+        let mut manifest = RunManifest::new(model.name(), cfg.seed);
+        manifest
+            .config_str("model", &model.name())
+            .config_str("dataset", &dataset.config().name)
+            .config_num("epochs", cfg.epochs as f64)
+            .config_num("batch_size", cfg.batch_size as f64)
+            .config_num("lr", cfg.lr as f64)
+            .config_num("huber_delta", cfg.huber_delta as f64)
+            .config_num("h", h as f64)
+            .config_num("u", u as f64)
+            .config_num("train_stride", cfg.train_stride as f64)
+            .config_num("eval_stride", cfg.eval_stride as f64);
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut opt = Adam::new(model.store(), cfg.lr);
@@ -155,23 +181,46 @@ impl Trainer {
         let mut epochs_run = 0;
 
         for epoch in 0..cfg.epochs {
+            let epoch_span = stwa_observe::span!("epoch");
             let started = Instant::now();
             let mut epoch_loss = 0.0f64;
+            let mut epoch_kl = 0.0f64;
+            let mut kl_batches = 0usize;
             let mut batches = 0usize;
             let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed ^ (epoch as u64 + 1));
             for (bx, by) in
                 BatchIter::shuffled(&train.x, &train.y, cfg.batch_size, &mut shuffle_rng)?
             {
-                let loss_val = self.train_step(model, &mut opt, &scaler, bx, by, &mut rng)?;
+                let (loss_val, kl_val) =
+                    self.train_step(model, &mut opt, &scaler, bx, by, &mut rng)?;
                 epoch_loss += loss_val as f64;
+                if let Some(kl) = kl_val {
+                    epoch_kl += kl as f64;
+                    kl_batches += 1;
+                }
                 batches += 1;
             }
-            epoch_times.push(started.elapsed().as_secs_f64());
+            let wall = started.elapsed().as_secs_f64();
+            epoch_times.push(wall);
             epochs_run = epoch + 1;
+            drop(epoch_span);
 
+            let eval_span = stwa_observe::span!("evaluate");
             let val_metrics = self.evaluate(model, &val, &scaler, &mut rng)?;
+            drop(eval_span);
             let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
             history.push((train_loss, val_metrics.mae));
+            stwa_observe::gauge!("trainer.lr").set(cfg.lr as f64);
+            stwa_observe::gauge!("trainer.train_loss").set(train_loss as f64);
+            stwa_observe::gauge!("trainer.val_mae").set(val_metrics.mae as f64);
+            manifest.epochs.push(EpochRecord {
+                epoch,
+                train_loss: train_loss as f64,
+                val_metric: Some(val_metrics.mae as f64),
+                kl: (kl_batches > 0).then(|| epoch_kl / kl_batches as f64),
+                lr: cfg.lr as f64,
+                wall_seconds: wall,
+            });
             if cfg.verbose {
                 eprintln!(
                     "[{}] epoch {epoch}: train loss {train_loss:.4}, val {val_metrics}",
@@ -199,6 +248,19 @@ impl Trainer {
         let peak = memory::peak_bytes();
         let test_metrics = self.evaluate(model, &test, &scaler, &mut rng)?;
 
+        // Close the trainer span before snapshotting so its own timing
+        // (not just a synthesized zero-count parent) lands in the tree.
+        drop(trainer_span);
+        manifest.capture_runtime();
+        if let Some(path) = &cfg.manifest_path {
+            manifest
+                .write_to(path)
+                .map_err(|e| stwa_tensor::TensorError::Invalid(format!(
+                    "trainer: failed to write manifest to {}: {e}",
+                    path.display()
+                )))?;
+        }
+
         Ok(TrainReport {
             model: model.name(),
             dataset: dataset.config().name.clone(),
@@ -209,6 +271,7 @@ impl Trainer {
             best_val_mae: best_val,
             test: test_metrics,
             history,
+            manifest,
         })
     }
 
@@ -220,7 +283,8 @@ impl Trainer {
         bx: Tensor,
         by: Tensor,
         rng: &mut StdRng,
-    ) -> Result<f32> {
+    ) -> Result<(f32, Option<f32>)> {
+        let _span = stwa_observe::span!("train_step");
         let graph = Graph::new();
         let x = graph.constant(bx);
         let out = model.forward(&graph, &x, rng, true)?;
@@ -229,14 +293,21 @@ impl Trainer {
         let pred_raw = out.pred.mul_scalar(scaler.std).add_scalar(scaler.mean);
         let target = graph.constant(by);
         let mut loss = huber(&pred_raw, &target, self.config.huber_delta)?;
-        if let Some(reg) = out.regularizer {
-            loss = loss.add(&reg)?;
-        }
+        let kl_val = match out.regularizer {
+            Some(reg) => {
+                let kl = reg.value().item()?;
+                loss = loss.add(&reg)?;
+                Some(kl)
+            }
+            None => None,
+        };
         let loss_val = loss.value().item()?;
         graph.backward(&loss)?;
+        let opt_span = stwa_observe::span!("optimizer");
         opt.step();
         opt.finish_step();
-        Ok(loss_val)
+        drop(opt_span);
+        Ok((loss_val, kl_val))
     }
 
     /// Evaluate on a split: batched forward passes, de-normalized
@@ -400,7 +471,7 @@ mod tests {
         let trainer = quick_trainer(5);
         let report = trainer.train(&model, &dataset, 12, 3).unwrap();
         let test = dataset.test(12, 3, 6).unwrap();
-        let zero = Tensor::zeros(&test.y.shape().to_vec());
+        let zero = Tensor::zeros(test.y.shape());
         let zero_mae = stwa_traffic::mae(&zero, &test.y);
         assert!(
             report.test.mae < zero_mae * 0.6,

@@ -3,6 +3,10 @@
 //! `WindowAttentionLayer` and through plain scalar loops transcribing
 //! Eq. 10–13 directly from the paper — must agree.
 
+// The scalar reference deliberately mirrors the paper's indexed
+// notation; iterator rewrites would obscure the transcription.
+#![allow(clippy::needless_range_loop)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stwa_autograd::Graph;

@@ -1,0 +1,438 @@
+//! JSON run manifests.
+//!
+//! A [`RunManifest`] is the durable record of one training run: the
+//! config and seed it ran with, the per-epoch loss/metric trajectory,
+//! and a snapshot of the observability state (span tree, counters,
+//! gauges) at capture time. The trainer writes one next to its outputs;
+//! the golden-run regression test reads it back and asserts on the
+//! trajectory.
+
+use std::path::Path;
+
+use crate::json::{parse, Json, JsonError};
+use crate::span::SpanStat;
+
+/// One epoch's entry in the training trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    pub epoch: usize,
+    pub train_loss: f64,
+    /// Validation metric for the epoch, when evaluation ran.
+    pub val_metric: Option<f64>,
+    /// KL regularizer term, for models that have one.
+    pub kl: Option<f64>,
+    pub lr: f64,
+    pub wall_seconds: f64,
+}
+
+/// One node of the span tree: a span path segment with aggregated
+/// timing and its children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    pub name: String,
+    pub count: u64,
+    pub total_ms: f64,
+    pub children: Vec<SpanNode>,
+}
+
+/// The complete record of a run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunManifest {
+    /// Identifies what ran, e.g. `"stwa-train"` or a test name.
+    pub run: String,
+    pub seed: u64,
+    /// Flat config key/value pairs, insertion-ordered.
+    pub config: Vec<(String, Json)>,
+    pub epochs: Vec<EpochRecord>,
+    /// Span tree built from the recorder's `/`-joined paths.
+    pub spans: Vec<SpanNode>,
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl RunManifest {
+    /// A manifest with the given run name and seed, no trajectory yet.
+    pub fn new(run: impl Into<String>, seed: u64) -> RunManifest {
+        RunManifest {
+            run: run.into(),
+            seed,
+            ..RunManifest::default()
+        }
+    }
+
+    /// Record one config entry (builder-style).
+    pub fn config_num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.config.push((key.to_string(), Json::Num(value)));
+        self
+    }
+
+    /// Record one string config entry (builder-style).
+    pub fn config_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.config
+            .push((key.to_string(), Json::Str(value.to_string())));
+        self
+    }
+
+    /// Snapshot the global recorder, counters, and gauges into this
+    /// manifest, replacing any previous snapshot.
+    pub fn capture_runtime(&mut self) -> &mut Self {
+        self.spans = build_span_tree(&crate::span::Recorder::global().snapshot());
+        self.counters = crate::metrics::counters_snapshot();
+        self.gauges = crate::metrics::gauges_snapshot();
+        self
+    }
+
+    /// Final train loss, if any epochs ran.
+    pub fn final_train_loss(&self) -> Option<f64> {
+        self.epochs.last().map(|e| e.train_loss)
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("run".to_string(), Json::Str(self.run.clone())),
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+            ("config".to_string(), Json::Obj(self.config.clone())),
+            (
+                "epochs".to_string(),
+                Json::Arr(self.epochs.iter().map(epoch_to_json).collect()),
+            ),
+            (
+                "spans".to_string(),
+                Json::Arr(self.spans.iter().map(span_to_json).collect()),
+            ),
+            (
+                "counters".to_string(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(json: &Json) -> Result<RunManifest, JsonError> {
+        let field_err = |what: &str| JsonError {
+            message: format!("manifest: missing or invalid '{what}'"),
+            offset: 0,
+        };
+        let run = json
+            .get("run")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field_err("run"))?
+            .to_string();
+        let seed = json
+            .get("seed")
+            .and_then(Json::as_num)
+            .ok_or_else(|| field_err("seed"))? as u64;
+        let config = json
+            .get("config")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| field_err("config"))?
+            .to_vec();
+        let epochs = json
+            .get("epochs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| field_err("epochs"))?
+            .iter()
+            .map(epoch_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let spans = json
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| field_err("spans"))?
+            .iter()
+            .map(span_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let counters = json
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| field_err("counters"))?
+            .iter()
+            .map(|(k, v)| {
+                v.as_num()
+                    .map(|n| (k.clone(), n as u64))
+                    .ok_or_else(|| field_err("counters"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let gauges = json
+            .get("gauges")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| field_err("gauges"))?
+            .iter()
+            .map(|(k, v)| {
+                v.as_num()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| field_err("gauges"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RunManifest {
+            run,
+            seed,
+            config,
+            epochs,
+            spans,
+            counters,
+            gauges,
+        })
+    }
+
+    /// Write the pretty-printed manifest to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().pretty())
+    }
+
+    /// Read and parse a manifest previously written with [`write_to`].
+    ///
+    /// [`write_to`]: RunManifest::write_to
+    pub fn read_from(path: impl AsRef<Path>) -> std::io::Result<RunManifest> {
+        let text = std::fs::read_to_string(path)?;
+        let json = parse(&text).map_err(std::io::Error::other)?;
+        RunManifest::from_json(&json).map_err(std::io::Error::other)
+    }
+}
+
+fn epoch_to_json(e: &EpochRecord) -> Json {
+    let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+    Json::Obj(vec![
+        ("epoch".to_string(), Json::Num(e.epoch as f64)),
+        ("train_loss".to_string(), Json::Num(e.train_loss)),
+        ("val_metric".to_string(), opt(e.val_metric)),
+        ("kl".to_string(), opt(e.kl)),
+        ("lr".to_string(), Json::Num(e.lr)),
+        ("wall_seconds".to_string(), Json::Num(e.wall_seconds)),
+    ])
+}
+
+fn epoch_from_json(json: &Json) -> Result<EpochRecord, JsonError> {
+    let num = |key: &str| {
+        json.get(key).and_then(Json::as_num).ok_or(JsonError {
+            message: format!("epoch record: missing or invalid '{key}'"),
+            offset: 0,
+        })
+    };
+    let opt_num = |key: &str| json.get(key).and_then(Json::as_num);
+    Ok(EpochRecord {
+        epoch: num("epoch")? as usize,
+        train_loss: num("train_loss")?,
+        val_metric: opt_num("val_metric"),
+        kl: opt_num("kl"),
+        lr: num("lr")?,
+        wall_seconds: num("wall_seconds")?,
+    })
+}
+
+fn span_to_json(node: &SpanNode) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(node.name.clone())),
+        ("count".to_string(), Json::Num(node.count as f64)),
+        ("total_ms".to_string(), Json::Num(node.total_ms)),
+        (
+            "children".to_string(),
+            Json::Arr(node.children.iter().map(span_to_json).collect()),
+        ),
+    ])
+}
+
+fn span_from_json(json: &Json) -> Result<SpanNode, JsonError> {
+    let field_err = |what: &str| JsonError {
+        message: format!("span node: missing or invalid '{what}'"),
+        offset: 0,
+    };
+    Ok(SpanNode {
+        name: json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field_err("name"))?
+            .to_string(),
+        count: json
+            .get("count")
+            .and_then(Json::as_num)
+            .ok_or_else(|| field_err("count"))? as u64,
+        total_ms: json
+            .get("total_ms")
+            .and_then(Json::as_num)
+            .ok_or_else(|| field_err("total_ms"))?,
+        children: json
+            .get("children")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| field_err("children"))?
+            .iter()
+            .map(span_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+/// Build the span tree from flat `/`-joined paths. The input is sorted
+/// by path (as [`crate::Recorder::snapshot`] guarantees), so children
+/// always directly follow their parents; a path whose parent never
+/// exited still gets intermediate nodes with zero count.
+pub fn build_span_tree(stats: &[SpanStat]) -> Vec<SpanNode> {
+    let mut roots: Vec<SpanNode> = Vec::new();
+    for stat in stats {
+        let mut level = &mut roots;
+        let mut segments = stat.path.split('/').peekable();
+        while let Some(segment) = segments.next() {
+            let pos = match level.iter().position(|n| n.name == segment) {
+                Some(pos) => pos,
+                None => {
+                    level.push(SpanNode {
+                        name: segment.to_string(),
+                        count: 0,
+                        total_ms: 0.0,
+                        children: Vec::new(),
+                    });
+                    level.len() - 1
+                }
+            };
+            if segments.peek().is_none() {
+                level[pos].count += stat.count;
+                level[pos].total_ms += stat.total_ms();
+            }
+            level = &mut level[pos].children;
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> RunManifest {
+        let mut m = RunManifest::new("unit-test", 42);
+        m.config_num("epochs", 2.0).config_str("model", "gru");
+        m.epochs = vec![
+            EpochRecord {
+                epoch: 0,
+                train_loss: 0.5,
+                val_metric: Some(0.6),
+                kl: Some(0.01),
+                lr: 1e-3,
+                wall_seconds: 0.25,
+            },
+            EpochRecord {
+                epoch: 1,
+                train_loss: 0.25,
+                val_metric: None,
+                kl: None,
+                lr: 5e-4,
+                wall_seconds: 0.5,
+            },
+        ];
+        m.spans = vec![SpanNode {
+            name: "trainer".to_string(),
+            count: 1,
+            total_ms: 10.0,
+            children: vec![SpanNode {
+                name: "epoch".to_string(),
+                count: 2,
+                total_ms: 9.5,
+                children: Vec::new(),
+            }],
+        }];
+        m.counters = vec![("matmul.flops".to_string(), 1234)];
+        m.gauges = vec![("trainer.lr".to_string(), 5e-4)];
+        m
+    }
+
+    #[test]
+    fn manifest_json_round_trips() {
+        let m = sample_manifest();
+        let back = RunManifest::from_json(&m.to_json()).expect("from_json");
+        assert_eq!(back, m);
+        // And through the textual form, both compact and pretty.
+        let reparsed = parse(&m.to_json().to_string()).expect("compact parse");
+        assert_eq!(RunManifest::from_json(&reparsed).expect("compact"), m);
+        let reparsed = parse(&m.to_json().pretty()).expect("pretty parse");
+        assert_eq!(RunManifest::from_json(&reparsed).expect("pretty"), m);
+    }
+
+    #[test]
+    fn manifest_file_round_trips() {
+        let m = sample_manifest();
+        let path = std::env::temp_dir().join("stwa_observe_manifest_test.json");
+        m.write_to(&path).expect("write");
+        let back = RunManifest::read_from(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, m);
+        assert_eq!(back.final_train_loss(), Some(0.25));
+    }
+
+    #[test]
+    fn span_tree_builds_from_sorted_paths() {
+        let stats = vec![
+            SpanStat {
+                path: "a".to_string(),
+                count: 2,
+                total_ns: 4_000_000,
+            },
+            SpanStat {
+                path: "a/b".to_string(),
+                count: 2,
+                total_ns: 3_000_000,
+            },
+            SpanStat {
+                path: "a/b/c".to_string(),
+                count: 6,
+                total_ns: 1_000_000,
+            },
+            SpanStat {
+                path: "z".to_string(),
+                count: 1,
+                total_ns: 500_000,
+            },
+        ];
+        let tree = build_span_tree(&stats);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree[0].name, "a");
+        assert_eq!(tree[0].count, 2);
+        assert_eq!(tree[0].children[0].name, "b");
+        assert_eq!(tree[0].children[0].children[0].count, 6);
+        assert_eq!(tree[1].name, "z");
+    }
+
+    #[test]
+    fn span_tree_synthesizes_missing_parents() {
+        // A child path can appear without its parent having exited
+        // (e.g. the run was captured mid-span).
+        let stats = vec![SpanStat {
+            path: "orphan/leaf".to_string(),
+            count: 3,
+            total_ns: 9_000_000,
+        }];
+        let tree = build_span_tree(&stats);
+        assert_eq!(tree[0].name, "orphan");
+        assert_eq!(tree[0].count, 0);
+        assert_eq!(tree[0].children[0].count, 3);
+    }
+
+    #[test]
+    fn capture_runtime_snapshots_globals() {
+        crate::with_global_lock(|| {
+            crate::set_enabled(true);
+            {
+                let _outer = crate::scope("cap_outer");
+                let _inner = crate::scope("cap_inner");
+                crate::counter("cap.count").add(7);
+                crate::gauge("cap.gauge").set(2.5);
+            }
+            let mut m = RunManifest::new("capture", 1);
+            m.capture_runtime();
+            assert_eq!(m.spans[0].name, "cap_outer");
+            assert_eq!(m.spans[0].children[0].name, "cap_inner");
+            assert!(m.counters.contains(&("cap.count".to_string(), 7)));
+            assert!(m.gauges.contains(&("cap.gauge".to_string(), 2.5)));
+        });
+    }
+}

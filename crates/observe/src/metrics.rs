@@ -1,0 +1,205 @@
+//! Named counters and gauges.
+//!
+//! Handles are `&'static` atomics resolved once through a registry, so
+//! the hot path is a relaxed load of the global toggle plus one atomic
+//! RMW — race-free from any thread. The [`crate::counter!`] /
+//! [`crate::gauge!`] macros cache the registry lookup per call site.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing named count (FLOPs, bytes, invocations).
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` when recording is enabled; a single atomic load otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Shorthand for `add(1)`.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-written value (learning rate, live bytes). Stored as
+/// `f64` bits; unset gauges read as `None`.
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+/// Sentinel for "never set": a quiet NaN payload no caller can produce
+/// via [`Gauge::set`] (real NaN inputs are normalized to the standard
+/// quiet NaN, which has different bits).
+const UNSET: u64 = f64::NAN.to_bits() ^ 1;
+
+impl Gauge {
+    /// Set the gauge when recording is enabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            let v = if v.is_nan() { f64::NAN } else { v };
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Last written value, if any.
+    pub fn get(&self) -> Option<f64> {
+        let bits = self.bits.load(Ordering::Relaxed);
+        (bits != UNSET).then(|| f64::from_bits(bits))
+    }
+}
+
+struct Registry {
+    counters: Mutex<HashMap<&'static str, &'static Counter>>,
+    gauges: Mutex<HashMap<&'static str, &'static Gauge>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(HashMap::new()),
+        gauges: Mutex::new(HashMap::new()),
+    })
+}
+
+/// The counter registered under `name` (created on first use). The
+/// handle is `'static`: hold it (or use [`crate::counter!`]) instead of
+/// re-resolving in hot loops.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut counters = registry().counters.lock().expect("counter registry");
+    counters.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Counter {
+            value: AtomicU64::new(0),
+        }))
+    })
+}
+
+/// The gauge registered under `name` (created on first use).
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut gauges = registry().gauges.lock().expect("gauge registry");
+    gauges.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Gauge {
+            bits: AtomicU64::new(UNSET),
+        }))
+    })
+}
+
+/// All counters with non-zero totals, sorted by name.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    let counters = registry().counters.lock().expect("counter registry");
+    let mut out: Vec<(String, u64)> = counters
+        .iter()
+        .filter(|(_, c)| c.get() > 0)
+        .map(|(name, c)| (name.to_string(), c.get()))
+        .collect();
+    out.sort();
+    out
+}
+
+/// All gauges that have been set, sorted by name.
+pub fn gauges_snapshot() -> Vec<(String, f64)> {
+    let gauges = registry().gauges.lock().expect("gauge registry");
+    let mut out: Vec<(String, f64)> = gauges
+        .iter()
+        .filter_map(|(name, g)| g.get().map(|v| (name.to_string(), v)))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Zero all counters and clear all gauges.
+pub fn reset() {
+    for c in registry().counters.lock().expect("counter registry").values() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for g in registry().gauges.lock().expect("gauge registry").values() {
+        g.bits.store(UNSET, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        crate::with_global_lock(|| {
+            crate::set_enabled(true);
+            counter("m.b").add(2);
+            counter("m.a").add(1);
+            counter("m.zero"); // registered but never bumped
+            let snap = counters_snapshot();
+            let named: Vec<(&str, u64)> = snap
+                .iter()
+                .filter(|(n, _)| n.starts_with("m."))
+                .map(|(n, v)| (n.as_str(), *v))
+                .collect();
+            assert_eq!(named, vec![("m.a", 1), ("m.b", 2)]);
+        });
+    }
+
+    #[test]
+    fn counters_are_race_free_under_scoped_threads() {
+        crate::with_global_lock(|| {
+            crate::set_enabled(true);
+            let c = counter("race.hits");
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..1000 {
+                            c.incr();
+                        }
+                    });
+                }
+            });
+            assert_eq!(c.get(), 8000);
+        });
+    }
+
+    #[test]
+    fn gauges_hold_last_value_and_reset_clears() {
+        crate::with_global_lock(|| {
+            crate::set_enabled(true);
+            let g = gauge("g.lr");
+            assert!(g.get().is_none());
+            g.set(0.001);
+            g.set(0.0005);
+            assert_eq!(g.get(), Some(0.0005));
+            g.set(f64::NAN);
+            assert!(g.get().expect("set gauge").is_nan());
+            reset();
+            assert!(g.get().is_none());
+        });
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        crate::with_global_lock(|| {
+            counter("off.c").add(100);
+            gauge("off.g").set(3.5);
+            assert_eq!(counter("off.c").get(), 0);
+            assert!(gauge("off.g").get().is_none());
+        });
+    }
+
+    #[test]
+    fn registry_returns_the_same_handle() {
+        let a = counter("same.counter") as *const Counter;
+        let b = counter("same.counter") as *const Counter;
+        assert_eq!(a, b);
+    }
+}

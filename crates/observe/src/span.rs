@@ -1,0 +1,252 @@
+//! Hierarchical timing spans with thread-safe aggregation.
+//!
+//! Each thread keeps a stack of active span names; entering a span
+//! pushes, dropping the guard pops and folds the elapsed time into the
+//! process-global [`Recorder`] under the `/`-joined path. Aggregation is
+//! by path, so a span entered in a loop contributes `count` entries and
+//! a summed `total_ns` rather than one record per iteration.
+//!
+//! Threads spawned inside a span (e.g. the matmul worker pool) start
+//! with an empty stack: their spans root at their own names. That keeps
+//! recording race-free without propagating context across threads.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static STACK: RefCell<Vec<Cow<'static, str>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Enter a span named `name`. Prefer the [`crate::span!`] macro.
+#[inline]
+pub fn scope(name: &'static str) -> Scope {
+    if !crate::enabled() {
+        return Scope { start: None };
+    }
+    enter(Cow::Borrowed(name))
+}
+
+/// Enter a span with a lazily formatted name: the string is only built
+/// when recording is enabled. Prefer the [`crate::span!`] macro.
+#[inline]
+pub fn scope_fmt(args: std::fmt::Arguments<'_>) -> Scope {
+    if !crate::enabled() {
+        return Scope { start: None };
+    }
+    enter(Cow::Owned(args.to_string()))
+}
+
+fn enter(name: Cow<'static, str>) -> Scope {
+    STACK.with(|stack| stack.borrow_mut().push(name));
+    Scope {
+        start: Some(Instant::now()),
+    }
+}
+
+/// RAII span guard: records `enter -> drop` wall time under the span's
+/// path. Returned by [`scope`] / [`crate::span!`].
+#[must_use = "binding the guard to `_` drops it immediately; use `let _span = ...`"]
+pub struct Scope {
+    /// `None` when recording was disabled at entry — drop does nothing.
+    start: Option<Instant>,
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed = start.elapsed();
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        Recorder::global().record(path, elapsed);
+    }
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// `/`-joined span names from the thread's root, e.g.
+    /// `"trainer/epoch/step/forward"`.
+    pub path: String,
+    /// Number of times the span exited.
+    pub count: u64,
+    /// Total wall time across all exits, in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl SpanStat {
+    /// Total wall time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+}
+
+/// Process-global span aggregator.
+pub struct Recorder {
+    spans: Mutex<HashMap<String, SpanAgg>>,
+}
+
+impl Recorder {
+    /// The process-global recorder every [`Scope`] reports into.
+    pub fn global() -> &'static Recorder {
+        static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+        GLOBAL.get_or_init(|| Recorder {
+            spans: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Fold one exit of `path` into the aggregate.
+    pub fn record(&self, path: String, elapsed: Duration) {
+        let mut spans = self.spans.lock().expect("span recorder poisoned");
+        let agg = spans.entry(path).or_default();
+        agg.count += 1;
+        agg.total_ns = agg
+            .total_ns
+            .saturating_add(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// All aggregated spans, sorted by path (stable across runs).
+    pub fn snapshot(&self) -> Vec<SpanStat> {
+        let spans = self.spans.lock().expect("span recorder poisoned");
+        let mut out: Vec<SpanStat> = spans
+            .iter()
+            .map(|(path, agg)| SpanStat {
+                path: path.clone(),
+                count: agg.count,
+                total_ns: agg.total_ns,
+            })
+            .collect();
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        out
+    }
+
+    /// Drop all aggregates.
+    pub fn reset(&self) {
+        self.spans.lock().expect("span recorder poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run with recording enabled under the crate-wide test gate.
+    fn with_recording<R>(f: impl FnOnce() -> R) -> R {
+        crate::with_global_lock(|| {
+            crate::set_enabled(true);
+            f()
+        })
+    }
+
+    fn stat<'a>(stats: &'a [SpanStat], path: &str) -> &'a SpanStat {
+        stats
+            .iter()
+            .find(|s| s.path == path)
+            .unwrap_or_else(|| panic!("missing span {path}; have {stats:?}"))
+    }
+
+    #[test]
+    fn nested_spans_aggregate_by_path() {
+        with_recording(|| {
+            for _ in 0..3 {
+                let _outer = scope("outer");
+                let _inner = scope("inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let stats = Recorder::global().snapshot();
+            let outer = stat(&stats, "outer");
+            let inner = stat(&stats, "outer/inner");
+            assert_eq!(outer.count, 3);
+            assert_eq!(inner.count, 3);
+            // Inner is fully contained in outer, so outer's total must
+            // be at least inner's.
+            assert!(outer.total_ns >= inner.total_ns);
+            assert!(inner.total_ns >= 3_000_000, "slept 3ms total");
+        });
+    }
+
+    #[test]
+    fn sibling_spans_do_not_merge() {
+        with_recording(|| {
+            {
+                let _root = scope("root");
+                let _a = scope("a");
+            }
+            {
+                let _root = scope("root");
+                let _b = scope("b");
+            }
+            let stats = Recorder::global().snapshot();
+            assert_eq!(stat(&stats, "root").count, 2);
+            assert_eq!(stat(&stats, "root/a").count, 1);
+            assert_eq!(stat(&stats, "root/b").count, 1);
+        });
+    }
+
+    #[test]
+    fn spans_from_scoped_threads_are_race_free() {
+        with_recording(|| {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..50 {
+                            let _w = scope("worker");
+                            let _i = scope("item");
+                        }
+                    });
+                }
+            });
+            let stats = Recorder::global().snapshot();
+            assert_eq!(stat(&stats, "worker").count, 200);
+            assert_eq!(stat(&stats, "worker/item").count, 200);
+        });
+    }
+
+    #[test]
+    fn disabling_mid_span_still_unwinds_the_stack() {
+        with_recording(|| {
+            {
+                let _outer = scope("mid_outer");
+                crate::set_enabled(false);
+                // The guard was created while enabled: it must still pop
+                // its stack entry so later spans get correct paths.
+            }
+            crate::set_enabled(true);
+            {
+                let _clean = scope("mid_clean");
+            }
+            let stats = Recorder::global().snapshot();
+            // `mid_clean` must be a root path, not nested under the
+            // stale `mid_outer`.
+            assert!(stats.iter().any(|s| s.path == "mid_clean"), "{stats:?}");
+            assert!(
+                !stats.iter().any(|s| s.path.contains("mid_outer/mid_clean")),
+                "{stats:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn total_ms_converts_nanoseconds() {
+        let s = SpanStat {
+            path: "x".into(),
+            count: 1,
+            total_ns: 2_500_000,
+        };
+        assert!((s.total_ms() - 2.5).abs() < 1e-12);
+    }
+}

@@ -69,7 +69,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
     let mut out = vec![0f32; batch * m * n];
     let flops = batch * m * n * k;
-    let threads = if flops >= PARALLEL_FLOP_THRESHOLD && batch > 1 {
+    let split_eligible = flops >= PARALLEL_FLOP_THRESHOLD && batch > 1;
+    let threads = if split_eligible {
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
@@ -77,6 +78,16 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     } else {
         1
     };
+
+    let _span = stwa_observe::span!("matmul");
+    stwa_observe::counter!("matmul.calls").incr();
+    stwa_observe::counter!("matmul.flops").add(2 * flops as u64);
+    if split_eligible {
+        stwa_observe::counter!("matmul.split_eligible").incr();
+    }
+    if threads > 1 {
+        stwa_observe::counter!("matmul.split_fired").incr();
+    }
 
     if threads <= 1 {
         for (bi, out_mat) in out.chunks_exact_mut(m * n).enumerate() {

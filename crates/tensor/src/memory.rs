@@ -25,6 +25,8 @@ pub(crate) fn track_alloc(bytes: usize) {
             Err(p) => peak = p,
         }
     }
+    stwa_observe::counter!("tensor.allocs").incr();
+    stwa_observe::counter!("tensor.alloc_bytes").add(bytes as u64);
 }
 
 /// Record a deallocation of `bytes` tensor-buffer bytes.

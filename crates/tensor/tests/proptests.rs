@@ -169,4 +169,153 @@ proptest! {
         }
         prop_assert_eq!(memory::current_bytes(), before);
     }
+
+    #[test]
+    fn sum_axis_matches_naive_loop_per_element(t in tensor_with(vec![3, 4, 2]), axis in 0usize..3) {
+        // Element-wise reference, not just the grand total: every output
+        // entry is the sum over the reduced axis at its own coordinates.
+        let s = t.sum_axis(axis, true).unwrap();
+        let shape = t.shape().to_vec();
+        for i in 0..shape[0] {
+            for j in 0..shape[1] {
+                for k in 0..shape[2] {
+                    if [i, j, k][axis] != 0 {
+                        continue;
+                    }
+                    let mut expect = 0.0f32;
+                    for r in 0..shape[axis] {
+                        let mut idx = [i, j, k];
+                        idx[axis] = r;
+                        expect += t.at(&idx);
+                    }
+                    let got = s.at(&[i, j, k]);
+                    prop_assert!(
+                        (got - expect).abs() < 1e-3,
+                        "axis {axis} at [{i},{j},{k}]: {got} vs {expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_axis_is_sum_over_len(t in tensor_with(vec![2, 5, 3]), axis in 0usize..3) {
+        let mean = t.mean_axis(axis, false).unwrap();
+        let sum = t.sum_axis(axis, false).unwrap();
+        let n = t.shape()[axis] as f32;
+        for (m, s) in mean.data().iter().zip(sum.data()) {
+            prop_assert!((m * n - s).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn keepdim_only_changes_shape(t in tensor_with(vec![3, 2, 4]), axis in 0usize..3) {
+        let kept = t.sum_axis(axis, true).unwrap();
+        let dropped = t.sum_axis(axis, false).unwrap();
+        prop_assert_eq!(kept.data(), dropped.data());
+        prop_assert_eq!(kept.shape()[axis], 1);
+        prop_assert_eq!(kept.len(), dropped.len());
+    }
+
+    #[test]
+    fn max_axis_bounds_every_slice_element(t in tensor_with(vec![2, 3, 4]), axis in 0usize..3) {
+        let maxed = t.max_axis(axis, true).unwrap();
+        let b = maxed.broadcast_to(t.shape()).unwrap();
+        for (x, m) in t.data().iter().zip(b.data()) {
+            prop_assert!(x <= m, "{x} exceeds its slice max {m}");
+        }
+        // The max is attained: the global max survives the reduction.
+        prop_assert_eq!(t.max_all(), maxed.max_all());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor_with(vec![2, 3, 5]), axis in 0usize..3) {
+        let sm = t.softmax(axis).unwrap();
+        prop_assert!(sm.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let sums = sm.sum_axis(axis, false).unwrap();
+        for &s in sums.data() {
+            prop_assert!((s - 1.0).abs() < 1e-4, "softmax sums to {s}");
+        }
+    }
+
+    #[test]
+    fn permute_then_inverse_is_identity(t in tensor_with(vec![2, 4, 3]), choice in 0usize..6) {
+        const PERMS: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perm = PERMS[choice];
+        let mut inverse = [0usize; 3];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        let back = t.permute(&perm).unwrap().permute(&inverse).unwrap();
+        prop_assert_eq!(back.shape(), t.shape());
+        prop_assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn reshape_round_trips_and_preserves_order(t in tensor_with(vec![2, 3, 4])) {
+        let flat = t.reshape(&[24]).unwrap();
+        prop_assert_eq!(flat.data(), t.data());
+        // Through a different factorization it is still lossless.
+        let other = t.reshape(&[4, 6]).unwrap().reshape(&[2, 3, 4]).unwrap();
+        prop_assert_eq!(other.data(), t.data());
+    }
+
+    #[test]
+    fn unsqueeze_squeeze_round_trip(t in tensor_with(vec![3, 2, 2]), axis in 0usize..4) {
+        let up = t.unsqueeze(axis).unwrap();
+        prop_assert_eq!(up.rank(), 4);
+        prop_assert_eq!(up.shape()[axis], 1);
+        let down = up.squeeze(axis).unwrap();
+        prop_assert_eq!(down.shape(), t.shape());
+        prop_assert_eq!(down.data(), t.data());
+    }
+
+    #[test]
+    fn broadcast_to_repeats_without_mixing(t in tensor_with(vec![1, 3, 1]), reps in 2usize..5) {
+        let b = t.broadcast_to(&[reps, 3, 2]).unwrap();
+        for r in 0..reps {
+            for j in 0..3 {
+                for c in 0..2 {
+                    prop_assert_eq!(b.at(&[r, j, c]), t.at(&[0, j, 0]));
+                }
+            }
+        }
+        // Summing the broadcast axes recovers the original scaled by the
+        // repeat count.
+        let collapsed = b.sum_axis(2, false).unwrap().sum_axis(0, false).unwrap();
+        for (got, orig) in collapsed.data().iter().zip(t.data()) {
+            prop_assert!((got - orig * (reps * 2) as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_last2_matches_swap_axes(t in tensor_with(vec![2, 3, 4])) {
+        let a = t.transpose_last2().unwrap();
+        let b = t.swap_axes(1, 2).unwrap();
+        prop_assert_eq!(a.shape(), b.shape());
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn index_select_identity_and_double_reverse(t in tensor_with(vec![2, 3, 3]), axis in 0usize..3) {
+        let all: Vec<usize> = (0..t.shape()[axis]).collect();
+        let same = t.index_select(axis, &all).unwrap();
+        prop_assert_eq!(same.data(), t.data());
+        let rev: Vec<usize> = all.iter().rev().copied().collect();
+        let back = t
+            .index_select(axis, &rev).unwrap()
+            .index_select(axis, &rev).unwrap();
+        prop_assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn stack_then_narrow_recovers_parts(t in tensor_with(vec![2, 3, 2]), u in tensor_with(vec![2, 3, 2])) {
+        let s = manip::stack(&[&t, &u], 0).unwrap();
+        prop_assert_eq!(s.shape(), &[2, 2, 3, 2]);
+        let t_back = s.narrow(0, 0, 1).unwrap().squeeze(0).unwrap();
+        let u_back = s.narrow(0, 1, 1).unwrap().squeeze(0).unwrap();
+        prop_assert_eq!(t_back.data(), t.data());
+        prop_assert_eq!(u_back.data(), u.data());
+    }
 }

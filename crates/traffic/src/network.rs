@@ -211,7 +211,7 @@ mod tests {
         for i in 0..n.num_sensors() {
             for j in 0..n.num_sensors() {
                 let v = a.at(&[i, j]);
-                assert!(v >= 0.0 && v <= 1.0);
+                assert!((0.0..=1.0).contains(&v));
                 assert!((v - a.at(&[j, i])).abs() < 1e-6);
             }
         }

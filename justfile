@@ -1,0 +1,24 @@
+# Development workflow recipes. `just verify` is the tier-1 gate every
+# change must pass before merging.
+
+# Full verification: release build, complete test suite, lint-clean.
+verify:
+    cargo build --release
+    cargo test -q
+    cargo clippy --workspace -- -D warnings
+
+# Fast inner-loop check.
+check:
+    cargo check --workspace
+
+# Everything the workspace tests, including per-crate suites.
+test:
+    cargo test --workspace
+
+# Micro-benchmarks (complexity claims + observe overhead contract).
+bench:
+    cargo bench -p stwa-bench
+
+# Regenerate every paper table/figure CSV under results/.
+experiments:
+    ./run_experiments.sh

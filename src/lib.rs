@@ -13,11 +13,14 @@
 //! - [`model`] — the ST-WA model itself ([`stwa_core`])
 //! - [`baselines`] — the paper's comparison models ([`stwa_baselines`])
 //! - [`tsne`] — t-SNE for the latent-space figures ([`stwa_tsne`])
+//! - [`observe`] — training observability: spans, counters, run
+//!   manifests ([`stwa_observe`])
 
 pub use stwa_autograd as autograd;
 pub use stwa_baselines as baselines;
 pub use stwa_core as model;
 pub use stwa_nn as nn;
+pub use stwa_observe as observe;
 pub use stwa_tensor as tensor;
 pub use stwa_traffic as traffic;
 pub use stwa_tsne as tsne;

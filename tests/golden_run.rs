@@ -1,0 +1,100 @@
+//! Golden-run regression test: a fixed-seed training run must reproduce
+//! its loss trajectory exactly (the vendored xoshiro256++ `StdRng` and
+//! the single-threaded-per-matrix matmul kernel make training bitwise
+//! deterministic), and the trainer's JSON manifest must round-trip the
+//! run's record through disk.
+//!
+//! If a refactor changes numerics — kernel summation order, RNG stream,
+//! initialization — this test fails and the golden value below must be
+//! re-derived deliberately, not silently.
+
+use st_wa::baselines::EnhancedGru;
+use st_wa::model::{AwarenessFlags, TrainConfig, Trainer};
+use st_wa::observe::RunManifest;
+use st_wa::traffic::{DatasetConfig, TrafficDataset};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Final-epoch mean training loss of the run below, recorded at the
+/// introduction of this test. Tolerance 1e-4 allows for float noise from
+/// benign compiler changes while still catching real numeric drift.
+const GOLDEN_FINAL_TRAIN_LOSS: f64 = 47.19935607910156;
+
+#[test]
+fn fixed_seed_run_matches_golden_loss_via_manifest() {
+    // Integration tests run in their own process, so flipping the global
+    // observe toggle cannot race other tests.
+    st_wa::observe::set_enabled(true);
+    st_wa::observe::reset();
+
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = EnhancedGru::new(AwarenessFlags::s_aware(), n, 12, 3, 1, 16, 8, &mut rng);
+
+    let manifest_path = std::env::temp_dir().join("stwa_golden_run_manifest.json");
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        train_stride: 12,
+        eval_stride: 12,
+        seed: 7,
+        patience: 10,
+        manifest_path: Some(manifest_path.clone()),
+        ..TrainConfig::default()
+    });
+
+    let report = trainer.train(&model, &dataset, 12, 3).unwrap();
+    st_wa::observe::set_enabled(false);
+
+    // The manifest the trainer wrote is the artifact under test: consume
+    // it from disk rather than the in-memory report.
+    let manifest = RunManifest::read_from(&manifest_path).unwrap();
+    std::fs::remove_file(&manifest_path).ok();
+
+    // The on-disk record agrees with the live run.
+    assert_eq!(manifest.seed, 7);
+    assert_eq!(manifest.epochs.len(), report.history.len());
+    let final_loss = manifest.final_train_loss().unwrap();
+    let live_final = report.history.last().unwrap().0 as f64;
+    assert!(
+        (final_loss - live_final).abs() < 1e-6,
+        "manifest loss {final_loss} != live loss {live_final}"
+    );
+
+    // The run reproduces the golden trajectory.
+    assert!(
+        (final_loss - GOLDEN_FINAL_TRAIN_LOSS).abs() < 1e-4,
+        "final train loss {final_loss} drifted from golden {GOLDEN_FINAL_TRAIN_LOSS}"
+    );
+
+    // The manifest carries the observability snapshot: the trainer span
+    // tree and the matmul counters populated during the run.
+    let trainer_node = manifest
+        .spans
+        .iter()
+        .find(|s| s.name == "trainer")
+        .expect("span tree must contain the trainer root");
+    assert!(
+        trainer_node.children.iter().any(|c| c.name == "epoch"),
+        "trainer span should nest epochs: {:?}",
+        trainer_node.children
+    );
+    assert!(
+        manifest
+            .counters
+            .iter()
+            .any(|(name, v)| name == "matmul.calls" && *v > 0),
+        "matmul.calls counter missing: {:?}",
+        manifest.counters
+    );
+    // Config keys written by the trainer survive the round trip.
+    let cfg_keys: Vec<&str> = manifest.config.iter().map(|(k, _)| k.as_str()).collect();
+    for key in ["model", "dataset", "epochs", "batch_size", "lr", "seed"] {
+        if key == "seed" {
+            continue; // seed is a top-level field, not a config entry
+        }
+        assert!(cfg_keys.contains(&key), "missing config key {key}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!` / `criterion_main!` macros — with two modes,
+//! mirroring upstream behaviour:
+//!
+//! - **Bench mode** (`cargo bench`, detected by the `--bench` flag cargo
+//!   passes): auto-calibrated iteration counts, `sample_size` timed
+//!   samples, median/mean/min report per benchmark.
+//! - **Test mode** (`cargo test`, no `--bench` flag): each benchmark
+//!   body runs exactly once so the suite stays fast and green.
+//!
+//! A positional CLI filter (substring match on the benchmark id, as in
+//! upstream) is honoured in both modes.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per collected sample in bench mode.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Bench,
+    Test,
+}
+
+/// Top-level harness handle, one per bench binary.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut mode = Mode::Test;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => mode = Mode::Bench,
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Criterion {
+        let id = id.to_string();
+        run_one(self.mode, &self.filter, &id, 100, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2, got {n}");
+        self.sample_size = n;
+        self
+    }
+
+    /// No-op in this stand-in; samples are bounded by count, not time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// No-op in this stand-in; warm-up is a fixed fraction of sampling.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            self.criterion.mode,
+            &self.criterion.filter,
+            &full,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// `function_name/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Hands the benchmark body its timing loop.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Median / mean / min nanoseconds per iteration, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            return;
+        }
+        // Calibrate: how many iterations fill one sample window?
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters_per_sample >= 1 << 24 {
+                break;
+            }
+            // Grow geometrically toward the target window.
+            iters_per_sample = if elapsed.is_zero() {
+                iters_per_sample * 16
+            } else {
+                let scale = SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64();
+                ((iters_per_sample as f64 * scale.min(16.0)).ceil() as u64).max(iters_per_sample + 1)
+            };
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.result = Some((median, mean, samples[0]));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    mode: Mode,
+    filter: &Option<String>,
+    id: &str,
+    sample_size: usize,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !id.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        mode,
+        sample_size,
+        result: None,
+    };
+    f(&mut bencher);
+    match (mode, bencher.result) {
+        (Mode::Test, _) => println!("test {id} ... ok"),
+        (Mode::Bench, Some((median, mean, min))) => println!(
+            "{id:<48} median {:>12}  mean {:>12}  min {:>12}",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min)
+        ),
+        (Mode::Bench, None) => println!("{id:<48} (no measurement: iter was never called)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collect benchmark functions into one runner, as in upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("square", 64).to_string(), "square/64");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut calls = 0usize;
+        let mut b = Bencher {
+            mode: Mode::Test,
+            sample_size: 10,
+            result: None,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.result.is_none());
+    }
+
+    #[test]
+    fn bench_mode_measures_and_reports() {
+        let mut b = Bencher {
+            mode: Mode::Bench,
+            sample_size: 3,
+            result: None,
+        };
+        b.iter(|| black_box(2u64.pow(10)));
+        let (median, mean, min) = b.result.expect("bench mode must record a result");
+        assert!(median > 0.0 && mean > 0.0 && min > 0.0);
+        assert!(min <= median);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(1.2e4).ends_with("µs"));
+        assert!(fmt_ns(3.4e6).ends_with("ms"));
+        assert!(fmt_ns(2.5e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Slice helpers: Fisher-Yates shuffle and uniform choice.
+
+use crate::Rng;
+
+pub trait SliceRandom {
+    type Item;
+
+    /// Uniform in-place permutation (Fisher-Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+
+    #[test]
+    fn choose_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
