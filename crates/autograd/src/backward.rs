@@ -226,10 +226,23 @@ fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result
         Op::Matmul(a, b) => {
             let av = value_of(nodes, a);
             let bv = value_of(nodes, b);
-            // dA = g @ B^T, reduced over broadcast batch dims; dB = A^T @ g.
-            let ga_full = linalg::matmul(grad, &bv.transpose_last2()?)?;
+            // dA = g @ Bᵀ and dB = Aᵀ @ g, both through the fused
+            // transposed kernels (no materialized transpose copies),
+            // reduced over broadcast batch dims.
+            let ga_full = linalg::matmul_nt(grad, &bv)?;
             accumulate(nodes, a, reduce_to_shape(&ga_full, av.shape())?)?;
-            let gb_full = linalg::matmul(&av.transpose_last2()?, grad)?;
+            let gb_full = linalg::matmul_tn(&av, grad)?;
+            accumulate(nodes, b, reduce_to_shape(&gb_full, bv.shape())?)
+        }
+
+        Op::MatmulNT(a, b) => {
+            let av = value_of(nodes, a);
+            let bv = value_of(nodes, b);
+            // C = A @ Bᵀ with B stored [..., n, k]:
+            // dA = g @ B (the transposes cancel), dB = gᵀ @ A.
+            let ga_full = linalg::matmul(grad, &bv)?;
+            accumulate(nodes, a, reduce_to_shape(&ga_full, av.shape())?)?;
+            let gb_full = linalg::matmul_tn(grad, &av)?;
             accumulate(nodes, b, reduce_to_shape(&gb_full, bv.shape())?)
         }
 

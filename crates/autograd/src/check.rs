@@ -207,6 +207,17 @@ mod tests {
         v.matmul(&w)?.square()?.sum_all()
     });
 
+    grad_test!(gc_matmul_nt, input(&[2, 4, 3], 24), |v| {
+        // Both operands depend on v so the check exercises the dA and
+        // dB paths of the fused A·Bᵀ backward at once.
+        let w = v.graph().constant(Tensor::from_fn(&[2, 5, 3], |i| {
+            0.2 * (i[0] as f32 + 1.0) - 0.1 * (i[1] as f32) + 0.05 * (i[2] as f32)
+        }));
+        let scores = v.matmul_nt(&w)?; // [2, 4, 5]
+        let self_scores = v.matmul_nt(v)?; // [2, 4, 4]
+        scores.square()?.sum_all()?.add(&self_scores.tanh().sum_all()?)
+    });
+
     grad_test!(gc_huber_like, signed_input(&[6], 23), |v| {
         // Same structure as the Huber loss in stwa-nn: mask from values,
         // quadratic inside, linear outside.

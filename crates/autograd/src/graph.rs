@@ -33,6 +33,9 @@ pub(crate) enum Op {
     AddScalar(Id),
     MulScalar(Id, f32),
     Matmul(Id, Id),
+    /// Fused `A · Bᵀ` (see [`stwa_tensor::linalg::matmul_nt`]): `b` is
+    /// stored `[..., n, k]` and never materialized transposed.
+    MatmulNT(Id, Id),
     SumAxis {
         x: Id,
         axis: usize,
@@ -98,6 +101,7 @@ impl Op {
             Op::AddScalar(..) => "add_scalar",
             Op::MulScalar(..) => "mul_scalar",
             Op::Matmul(..) => "matmul",
+            Op::MatmulNT(..) => "matmul_nt",
             Op::SumAxis { .. } => "sum_axis",
             Op::MeanAxis { .. } => "mean_axis",
             Op::SumAll(..) => "sum_all",

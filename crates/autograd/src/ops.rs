@@ -105,6 +105,17 @@ impl Var {
         Ok(self.binary(rhs, v, Op::Matmul(self.id, rhs.id)))
     }
 
+    /// Fused `self · rhsᵀ` over the trailing two axes: `rhs` keeps its
+    /// `[..., n, k]` layout and is read transposed inside the kernel,
+    /// bitwise identical to `self.matmul(&rhs.transpose_last2()?)` but
+    /// without materializing the transposed copy. This is the natural
+    /// form of attention scores (`Q · Kᵀ`).
+    pub fn matmul_nt(&self, rhs: &Var) -> Result<Var> {
+        self.same_graph(rhs, "matmul_nt")?;
+        let v = linalg::matmul_nt(&self.value(), &rhs.value())?;
+        Ok(self.binary(rhs, v, Op::MatmulNT(self.id, rhs.id)))
+    }
+
     // ---------------------------------------------------------------
     // Reductions
     // ---------------------------------------------------------------

@@ -202,7 +202,7 @@ impl ForecastModel for LongFormerLite {
             let k = self.wk[l].forward(graph, &hdn)?;
             let v = self.wv[l].forward(graph, &hdn)?;
             let scores = q
-                .matmul(&k.transpose_last2()?)?
+                .matmul_nt(&k)?
                 .mul_scalar(1.0 / (self.d as f32).sqrt())
                 .add(&mask)?; // band restriction
             let attn = scores.softmax(scores.shape().len() - 1)?;

@@ -582,7 +582,7 @@ impl ForecastModel for AgcrnLite {
         check_input(x, self.n, self.h, self.f)?;
         let b = x.shape()[0];
         let embed = self.embeddings.leaf(graph); // [N, e]
-        let adj = embed.matmul(&embed.transpose_last2()?)?.relu().softmax(1)?; // [N, N]
+        let adj = embed.matmul_nt(&embed)?.relu().softmax(1)?; // [N, N]
         let pools: Vec<Var> = self.pools.iter().map(|p| p.leaf(graph)).collect();
         let biases: Vec<Var> = self.biases.iter().map(|p| p.leaf(graph)).collect();
         let mut hdn = graph.constant(Tensor::zeros(&[b, self.n, self.d]));

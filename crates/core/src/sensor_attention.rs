@@ -105,7 +105,7 @@ impl SensorCorrelationAttention {
     /// normalization absorbs; it only adds numerical headroom.
     fn attend(&self, q: &Var, k: &Var, h: &Var) -> Result<Var> {
         let scores = q
-            .matmul(&k.transpose_last2()?)?
+            .matmul_nt(k)?
             .mul_scalar(1.0 / (self.d as f32).sqrt()); // [..., N, N]
         let weights = scores.softmax(scores.shape().len() - 1)?;
         weights.matmul(h)

@@ -115,7 +115,7 @@ pub fn scaled_dot_attention(q: &Var, k: &Var, v: &Var, heads: usize) -> Result<V
     let vh = split(v, tk)?;
 
     let scores = qh
-        .matmul(&kh.transpose_last2()?)?
+        .matmul_nt(&kh)?
         .mul_scalar(1.0 / (dh as f32).sqrt()); // [..., heads, Tq, Tk]
     let attn = scores.softmax(scores.shape().len() - 1)?;
     let ctx = attn.matmul(&vh)?; // [..., heads, Tq, dh]

@@ -286,14 +286,14 @@ impl AdaptiveGraphConv {
     /// The learned adjacency (for inspection / the latent visualizations).
     pub fn adjacency(&self) -> Result<Tensor> {
         let e = self.embeddings.value();
-        let logits = linalg::matmul(&e, &e.transpose_last2()?)?.relu();
+        let logits = linalg::matmul_nt(&e, &e)?.relu();
         logits.softmax(1)
     }
 
     pub fn forward(&self, graph: &Graph, x: &Var) -> Result<Var> {
         check_node_feature_shape("AdaptiveGraphConv", x, self.n, self.in_dim)?;
         let e = self.embeddings.leaf(graph);
-        let logits = e.matmul(&e.transpose_last2()?)?.relu();
+        let logits = e.matmul_nt(&e)?.relu();
         let a = logits.softmax(1)?;
         let mixed = a.matmul(x)?;
         mixed.matmul(&self.w.leaf(graph))?.add(&self.b.leaf(graph))

@@ -1,7 +1,16 @@
 //! Reductions and softmax.
+//!
+//! Axis reductions and softmax parallelize over *outer lanes* (the
+//! product of the dimensions before the reduced axis): each lane's
+//! output region is disjoint and its fold order is fixed (ascending
+//! along the axis), so results are bitwise identical at any thread
+//! count. `sum_all`/`mean_all` stay strictly sequential — a tree or
+//! chunked global sum would reassociate f32 addition and change bits.
 
 use crate::shape::check_axis;
+use crate::tensor::{elementwise_chunks, PARALLEL_ELEMS};
 use crate::{Result, Tensor};
+use stwa_pool::SendPtr;
 
 impl Tensor {
     /// Sum along `axis`. With `keepdim` the axis is kept at length 1,
@@ -47,8 +56,8 @@ impl Tensor {
         axis: usize,
         keepdim: bool,
         init: f32,
-        fold: impl Fn(f32, f32) -> f32,
-        finish: impl Fn(f32, usize) -> f32,
+        fold: impl Fn(f32, f32) -> f32 + Sync,
+        finish: impl Fn(f32, usize) -> f32 + Sync,
     ) -> Result<Tensor> {
         check_axis(op, axis, self.rank())?;
         let axis_len = self.shape()[axis];
@@ -63,18 +72,39 @@ impl Tensor {
         let outer: usize = self.shape()[..axis].iter().product();
         let inner: usize = self.shape()[axis + 1..].iter().product();
         let mut data = vec![init; outer * inner];
-        for o in 0..outer {
+        // One lane = one output row; fold order is always ascending `a`.
+        let run_lane = |o: usize, out_row: &mut [f32]| {
             for a in 0..axis_len {
                 let base = (o * axis_len + a) * inner;
                 let row = &self.data()[base..base + inner];
-                let out_row = &mut data[o * inner..(o + 1) * inner];
                 for (acc, &x) in out_row.iter_mut().zip(row.iter()) {
                     *acc = fold(*acc, x);
                 }
             }
-        }
-        for v in &mut data {
-            *v = finish(*v, axis_len);
+            for v in out_row.iter_mut() {
+                *v = finish(*v, axis_len);
+            }
+        };
+        let total = outer * axis_len * inner;
+        if total >= PARALLEL_ELEMS && outer > 1 && inner > 0 && stwa_pool::current_threads() > 1 {
+            let groups = elementwise_chunks().min(outer);
+            let per = outer.div_ceil(groups);
+            let out_ptr = SendPtr(data.as_mut_ptr());
+            stwa_pool::parallel_for(groups, |g| {
+                let o1 = ((g + 1) * per).min(outer);
+                for o in g * per..o1 {
+                    // Safety: lanes own disjoint output rows, and the
+                    // pool joins before `data` is consumed.
+                    let out_row = unsafe {
+                        std::slice::from_raw_parts_mut(out_ptr.get().add(o * inner), inner)
+                    };
+                    run_lane(o, out_row);
+                }
+            });
+        } else {
+            for o in 0..outer {
+                run_lane(o, &mut data[o * inner..(o + 1) * inner]);
+            }
         }
         let mut shape = self.shape().to_vec();
         if keepdim {
@@ -127,23 +157,49 @@ impl Tensor {
         let outer: usize = self.shape()[..axis].iter().product();
         let inner: usize = self.shape()[axis + 1..].iter().product();
         let mut data = self.data().to_vec();
-        // For each (outer, inner) lane: max, exp-shift, normalize.
-        for o in 0..outer {
+        // For each (outer, inner) lane: max, exp-shift, normalize. One
+        // outer block (`axis_len * inner` elements) is self-contained.
+        let run_outer = |block: &mut [f32]| {
             for i in 0..inner {
                 let mut m = f32::NEG_INFINITY;
                 for a in 0..axis_len {
-                    m = m.max(data[(o * axis_len + a) * inner + i]);
+                    m = m.max(block[a * inner + i]);
                 }
                 let mut z = 0.0;
                 for a in 0..axis_len {
-                    let idx = (o * axis_len + a) * inner + i;
-                    let e = (data[idx] - m).exp();
-                    data[idx] = e;
+                    let idx = a * inner + i;
+                    let e = (block[idx] - m).exp();
+                    block[idx] = e;
                     z += e;
                 }
                 for a in 0..axis_len {
-                    data[(o * axis_len + a) * inner + i] /= z;
+                    block[a * inner + i] /= z;
                 }
+            }
+        };
+        let block_len = axis_len * inner;
+        if data.len() >= PARALLEL_ELEMS
+            && outer > 1
+            && block_len > 0
+            && stwa_pool::current_threads() > 1
+        {
+            let groups = elementwise_chunks().min(outer);
+            let per = outer.div_ceil(groups);
+            let out_ptr = SendPtr(data.as_mut_ptr());
+            stwa_pool::parallel_for(groups, |g| {
+                let o1 = ((g + 1) * per).min(outer);
+                for o in g * per..o1 {
+                    // Safety: outer blocks are disjoint, and the pool
+                    // joins before `data` is consumed.
+                    let block = unsafe {
+                        std::slice::from_raw_parts_mut(out_ptr.get().add(o * block_len), block_len)
+                    };
+                    run_outer(block);
+                }
+            });
+        } else if block_len > 0 {
+            for block in data.chunks_exact_mut(block_len) {
+                run_outer(block);
             }
         }
         Tensor::from_vec(data, self.shape())

@@ -5,6 +5,16 @@ use crate::shape::{broadcast_shapes, broadcast_strides, volume};
 use crate::{Result, TensorError};
 use std::fmt;
 
+/// Elementwise kernels with at least this many output elements run
+/// through the worker pool; below it, dispatch overhead dominates.
+pub(crate) const PARALLEL_ELEMS: usize = 1 << 16;
+
+/// Chunk-count target for pool-split elementwise work: ~2 chunks per
+/// thread lets the self-scheduling pool absorb uneven progress.
+pub(crate) fn elementwise_chunks() -> usize {
+    stwa_pool::current_threads() * 2
+}
+
 /// A dense, row-major, contiguous `f32` n-dimensional array.
 ///
 /// The empty shape `[]` denotes a scalar holding exactly one element.
@@ -179,16 +189,40 @@ impl Tensor {
     // Elementwise unary
     // ---------------------------------------------------------------
 
-    /// Apply `f` to every element, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data: Vec<f32> = self.data.iter().map(|&x| f(x)).collect();
-        Tensor::from_vec(data, &self.shape).expect("map preserves shape")
+    /// Apply `f` to every element, producing a new tensor. Large
+    /// tensors split across the worker pool; chunk boundaries depend
+    /// only on the element count, so results are identical at any
+    /// thread count.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let n = self.data.len();
+        let mut out = vec![0f32; n];
+        if n >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
+            let src = &self.data;
+            stwa_pool::parallel_chunks(&mut out, elementwise_chunks(), |start, chunk| {
+                for (dst, &x) in chunk.iter_mut().zip(src[start..].iter()) {
+                    *dst = f(x);
+                }
+            });
+        } else {
+            for (dst, &x) in out.iter_mut().zip(self.data.iter()) {
+                *dst = f(x);
+            }
+        }
+        Tensor::from_vec(out, &self.shape).expect("map preserves shape")
     }
 
     /// Apply `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        if self.data.len() >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
+            stwa_pool::parallel_chunks(&mut self.data, elementwise_chunks(), |_, chunk| {
+                for x in chunk {
+                    *x = f(*x);
+                }
+            });
+        } else {
+            for x in &mut self.data {
+                *x = f(*x);
+            }
         }
     }
 
@@ -243,34 +277,72 @@ impl Tensor {
     // ---------------------------------------------------------------
 
     /// Apply `f` elementwise over the broadcast of `self` and `rhs`.
+    /// The aligned fast paths run through the worker pool above
+    /// [`PARALLEL_ELEMS`]; chunking depends only on element counts, so
+    /// results do not vary with thread count.
     pub fn zip(
         &self,
         rhs: &Tensor,
         op: &'static str,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Result<Tensor> {
         // Fast path: identical shapes.
         if self.shape == rhs.shape {
-            let data: Vec<f32> = self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let n = self.data.len();
+            let mut data = vec![0f32; n];
+            if n >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
+                let (lhs, rhs_d) = (&self.data, &rhs.data);
+                stwa_pool::parallel_chunks(&mut data, elementwise_chunks(), |start, chunk| {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = f(lhs[start + i], rhs_d[start + i]);
+                    }
+                });
+            } else {
+                for ((slot, &a), &b) in data.iter_mut().zip(self.data.iter()).zip(rhs.data.iter())
+                {
+                    *slot = f(a, b);
+                }
+            }
             return Tensor::from_vec(data, &self.shape);
         }
         // Fast path: rhs is a scalar.
         if rhs.data.len() == 1 {
             let b = rhs.data[0];
-            let data: Vec<f32> = self.data.iter().map(|&a| f(a, b)).collect();
             let out_shape = broadcast_shapes(op, &self.shape, &rhs.shape)?;
+            let n = self.data.len();
+            let mut data = vec![0f32; n];
+            if n >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
+                let src = &self.data;
+                stwa_pool::parallel_chunks(&mut data, elementwise_chunks(), |start, chunk| {
+                    for (slot, &a) in chunk.iter_mut().zip(src[start..].iter()) {
+                        *slot = f(a, b);
+                    }
+                });
+            } else {
+                for (slot, &a) in data.iter_mut().zip(self.data.iter()) {
+                    *slot = f(a, b);
+                }
+            }
             return Tensor::from_vec(data, &out_shape);
         }
         // Fast path: lhs is a scalar.
         if self.data.len() == 1 {
             let a = self.data[0];
-            let data: Vec<f32> = rhs.data.iter().map(|&b| f(a, b)).collect();
             let out_shape = broadcast_shapes(op, &self.shape, &rhs.shape)?;
+            let n = rhs.data.len();
+            let mut data = vec![0f32; n];
+            if n >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
+                let src = &rhs.data;
+                stwa_pool::parallel_chunks(&mut data, elementwise_chunks(), |start, chunk| {
+                    for (slot, &b) in chunk.iter_mut().zip(src[start..].iter()) {
+                        *slot = f(a, b);
+                    }
+                });
+            } else {
+                for (slot, &b) in data.iter_mut().zip(rhs.data.iter()) {
+                    *slot = f(a, b);
+                }
+            }
             return Tensor::from_vec(data, &out_shape);
         }
         // Fast path: rhs shape is an exact suffix of lhs shape
@@ -279,10 +351,43 @@ impl Tensor {
             && self.shape[self.shape.len() - rhs.shape.len()..] == rhs.shape[..]
         {
             let chunk = rhs.data.len();
-            if chunk > 0 {
-                let mut data = Vec::with_capacity(self.data.len());
-                for block in self.data.chunks_exact(chunk) {
-                    data.extend(block.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)));
+            let n = self.data.len();
+            if let Some(blocks) = n.checked_div(chunk) {
+                let mut data = vec![0f32; n];
+                if n >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 && blocks > 1 {
+                    let groups = elementwise_chunks().min(blocks);
+                    let per = blocks.div_ceil(groups);
+                    let (src, small) = (&self.data, &rhs.data);
+                    let out_ptr = stwa_pool::SendPtr(data.as_mut_ptr());
+                    stwa_pool::parallel_for(groups, |g| {
+                        let b1 = ((g + 1) * per).min(blocks);
+                        for bi in g * per..b1 {
+                            let base = bi * chunk;
+                            // Safety: block groups are disjoint, and the
+                            // pool joins before `data` is consumed.
+                            let dst = unsafe {
+                                std::slice::from_raw_parts_mut(out_ptr.get().add(base), chunk)
+                            };
+                            let block = &src[base..base + chunk];
+                            for ((slot, &a), &b) in
+                                dst.iter_mut().zip(block.iter()).zip(small.iter())
+                            {
+                                *slot = f(a, b);
+                            }
+                        }
+                    });
+                } else {
+                    for (block, dst) in self
+                        .data
+                        .chunks_exact(chunk)
+                        .zip(data.chunks_exact_mut(chunk))
+                    {
+                        for ((slot, &a), &b) in
+                            dst.iter_mut().zip(block.iter()).zip(rhs.data.iter())
+                        {
+                            *slot = f(a, b);
+                        }
+                    }
                 }
                 return Tensor::from_vec(data, &self.shape);
             }

@@ -1,11 +1,15 @@
 # Development workflow recipes. `just verify` is the tier-1 gate every
 # change must pass before merging.
 
-# Full verification: release build, complete test suite, lint-clean.
+# Full verification: release build, complete test suite, lint-clean,
+# and no kernel-throughput regression beyond 15% of the checked-in
+# baseline (normalized against the in-tree reference kernel, so the
+# gate is portable across hosts of different absolute speed).
 verify:
     cargo build --release
     cargo test -q
     cargo clippy --workspace -- -D warnings
+    cargo run --release -p stwa-bench --bin bench_kernels -- --check BENCH_kernels.json
 
 # Fast inner-loop check.
 check:
@@ -15,9 +19,11 @@ check:
 test:
     cargo test --workspace
 
-# Micro-benchmarks (complexity claims + observe overhead contract).
+# Micro-benchmarks: kernel + attention scaling criterion suites, then
+# the GEMM throughput report (refreshes BENCH_kernels.json).
 bench:
-    cargo bench -p stwa-bench
+    cargo bench -p stwa-bench --bench kernels --bench attention_scaling
+    cargo run --release -p stwa-bench --bin bench_kernels -- --out BENCH_kernels.json
 
 # Regenerate every paper table/figure CSV under results/.
 experiments:

@@ -1,0 +1,58 @@
+//! Thread-count determinism: training must be bitwise reproducible
+//! whether the kernels run on one thread or many.
+//!
+//! Every parallel path in the tensor crate (matmul batch/row splits,
+//! elementwise chunking, reduction lanes) partitions work by problem
+//! shape only and keeps each output element's f32 summation order
+//! fixed, so `STWA_THREADS=1` and `STWA_THREADS=8` must produce the
+//! same losses bit for bit. This test flips the pool cap in-process via
+//! `stwa_pool::set_threads` — the env var is read once at startup — and
+//! compares full loss trajectories exactly.
+
+use st_wa::baselines::EnhancedGru;
+use st_wa::model::{AwarenessFlags, TrainConfig, Trainer};
+use st_wa::traffic::{DatasetConfig, TrafficDataset};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_once(dataset: &TrafficDataset) -> Vec<(f32, f32)> {
+    let n = dataset.num_sensors();
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = EnhancedGru::new(AwarenessFlags::s_aware(), n, 12, 3, 1, 16, 8, &mut rng);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        train_stride: 12,
+        eval_stride: 12,
+        seed: 11,
+        patience: 10,
+        ..TrainConfig::default()
+    });
+    trainer.train(&model, dataset, 12, 3).unwrap().history
+}
+
+#[test]
+fn losses_are_bitwise_identical_across_thread_counts() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+
+    stwa_pool::set_threads(1);
+    let serial = run_once(&dataset);
+    stwa_pool::set_threads(8);
+    let parallel = run_once(&dataset);
+    stwa_pool::set_threads(stwa_pool::configured_threads());
+
+    assert_eq!(serial.len(), parallel.len(), "epoch counts differ");
+    for (e, ((t1, v1), (t8, v8))) in serial.iter().zip(parallel.iter()).enumerate() {
+        assert_eq!(
+            t1.to_bits(),
+            t8.to_bits(),
+            "epoch {e}: train loss drifted across thread counts ({t1} vs {t8})"
+        );
+        assert_eq!(
+            v1.to_bits(),
+            v8.to_bits(),
+            "epoch {e}: val loss drifted across thread counts ({v1} vs {v8})"
+        );
+    }
+}

@@ -89,6 +89,17 @@ fn fixed_seed_run_matches_golden_loss_via_manifest() {
         "matmul.calls counter missing: {:?}",
         manifest.counters
     );
+    // Every matmul dispatch is accounted through the worker pool (the
+    // sequential fallback included), so a training run must record pool
+    // activity even on a single-core host.
+    assert!(
+        manifest
+            .counters
+            .iter()
+            .any(|(name, v)| name == "pool.tasks" && *v > 0),
+        "pool.tasks counter missing: {:?}",
+        manifest.counters
+    );
     // Config keys written by the trainer survive the round trip.
     let cfg_keys: Vec<&str> = manifest.config.iter().map(|(k, _)| k.as_str()).collect();
     for key in ["model", "dataset", "epochs", "batch_size", "lr", "seed"] {
