@@ -1,7 +1,18 @@
 //! The backward sweep: one VJP per recorded op.
+//!
+//! Two memory disciplines matter here. Gradients accumulate **in
+//! place**: every contribution lands via `add_assign` (an axpy into the
+//! existing buffer) and the only clone left is the unavoidable one that
+//! materializes the first contribution into an empty slot. And the hot
+//! elementwise VJPs have **fused** forms — single `zip` passes spelling
+//! the same per-element expressions as the reference chains — dispatched
+//! when [`stwa_tensor::memory::fused_enabled`] is on. The reference
+//! chains stay in-tree as the `else` branches; the equality proptests
+//! toggle the flag and assert bitwise-identical gradients.
 
-use crate::graph::{Graph, Id, Node, Op, Var};
+use crate::graph::{ActKind, Graph, Id, Node, Op, Var};
 use std::rc::Rc;
+use stwa_tensor::memory::fused_enabled;
 use stwa_tensor::{linalg, Result, Tensor, TensorError};
 
 impl Graph {
@@ -81,6 +92,8 @@ fn seed(nodes: &mut [Node], id: Id) {
     }
 }
 
+/// Accumulate an owned gradient contribution: axpy into the existing
+/// buffer, or move the tensor into an empty slot (no copy at all).
 fn accumulate(nodes: &mut [Node], id: Id, grad: Tensor) -> Result<()> {
     if !nodes[id].requires_grad {
         return Ok(());
@@ -91,6 +104,40 @@ fn accumulate(nodes: &mut [Node], id: Id, grad: Tensor) -> Result<()> {
             *slot = Some(grad);
             Ok(())
         }
+    }
+}
+
+/// Accumulate a borrowed gradient contribution in place. Cloning happens
+/// only when the slot is empty (the buffer has to come from somewhere —
+/// and then it comes from the pool); an occupied slot takes the in-place
+/// axpy.
+fn accumulate_ref(nodes: &mut [Node], id: Id, grad: &Tensor) -> Result<()> {
+    if !nodes[id].requires_grad {
+        return Ok(());
+    }
+    match &mut nodes[id].grad {
+        Some(existing) => existing.add_assign(grad),
+        slot @ None => {
+            *slot = Some(grad.clone());
+            Ok(())
+        }
+    }
+}
+
+/// Reduce `grad` down to `id`'s value shape (inverting broadcasting) and
+/// accumulate it. The common case — shapes already equal — takes the
+/// by-reference path with no intermediate tensor; only genuinely
+/// broadcast ops pay for the summed reduction.
+fn accumulate_reduced(nodes: &mut [Node], id: Id, grad: &Tensor) -> Result<()> {
+    if !nodes[id].requires_grad {
+        return Ok(());
+    }
+    let target = Rc::clone(&nodes[id].value);
+    if grad.shape() == target.shape() {
+        accumulate_ref(nodes, id, grad)
+    } else {
+        let g = reduce_to_shape(grad, target.shape())?;
+        accumulate(nodes, id, g)
     }
 }
 
@@ -131,38 +178,30 @@ fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result
         Op::Leaf => Ok(()),
 
         Op::Add(a, b) => {
-            let ga = reduce_to_shape(grad, value_of(nodes, a).shape())?;
-            accumulate(nodes, a, ga)?;
-            let gb = reduce_to_shape(grad, value_of(nodes, b).shape())?;
-            accumulate(nodes, b, gb)
+            accumulate_reduced(nodes, a, grad)?;
+            accumulate_reduced(nodes, b, grad)
         }
 
         Op::Sub(a, b) => {
-            let ga = reduce_to_shape(grad, value_of(nodes, a).shape())?;
-            accumulate(nodes, a, ga)?;
-            let gb = reduce_to_shape(&grad.neg(), value_of(nodes, b).shape())?;
-            accumulate(nodes, b, gb)
+            accumulate_reduced(nodes, a, grad)?;
+            accumulate_reduced(nodes, b, &grad.neg())
         }
 
         Op::Mul(a, b) => {
             let av = value_of(nodes, a);
             let bv = value_of(nodes, b);
-            let ga = reduce_to_shape(&grad.mul(&bv)?, av.shape())?;
-            accumulate(nodes, a, ga)?;
-            let gb = reduce_to_shape(&grad.mul(&av)?, bv.shape())?;
-            accumulate(nodes, b, gb)
+            accumulate_reduced(nodes, a, &grad.mul(&bv)?)?;
+            accumulate_reduced(nodes, b, &grad.mul(&av)?)
         }
 
         Op::Div(a, b) => {
             let av = value_of(nodes, a);
             let bv = value_of(nodes, b);
             // d(a/b)/da = 1/b ; d(a/b)/db = -a/b^2
-            let ga = reduce_to_shape(&grad.div(&bv)?, av.shape())?;
-            accumulate(nodes, a, ga)?;
+            accumulate_reduced(nodes, a, &grad.div(&bv)?)?;
             let b2 = bv.square();
             let gb_full = grad.mul(&av)?.div(&b2)?.neg();
-            let gb = reduce_to_shape(&gb_full, bv.shape())?;
-            accumulate(nodes, b, gb)
+            accumulate_reduced(nodes, b, &gb_full)
         }
 
         Op::Neg(x) => accumulate(nodes, x, grad.neg()),
@@ -182,27 +221,44 @@ fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result
             accumulate(nodes, x, gx)
         }
 
-        // tanh'(x) = 1 - out^2
+        // tanh'(x) = 1 - out^2. Fused: one zip spelling the reference's
+        // exact expression g * ((y*y)*(-1) + 1), replacing the
+        // square/affine/mul three-tensor chain.
         Op::Tanh(x) => {
-            let gx = grad.mul(&out.square().affine(-1.0, 1.0))?;
+            let gx = if fused_enabled() {
+                grad.zip(out, "tanh_vjp", |g, y| g * (-(y * y) + 1.0))?
+            } else {
+                grad.mul(&out.square().affine(-1.0, 1.0))?
+            };
             accumulate(nodes, x, gx)
         }
 
         // sigmoid'(x) = out (1 - out)
         Op::Sigmoid(x) => {
-            let gx = grad.mul(&out.mul(&out.affine(-1.0, 1.0))?)?;
+            let gx = if fused_enabled() {
+                grad.zip(out, "sigmoid_vjp", |g, y| g * (y * (-y + 1.0)))?
+            } else {
+                grad.mul(&out.mul(&out.affine(-1.0, 1.0))?)?
+            };
             accumulate(nodes, x, gx)
         }
 
         Op::Relu(x) => {
             let xv = value_of(nodes, x);
-            let mask = xv.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-            accumulate(nodes, x, grad.mul(&mask)?)
+            let gx = if fused_enabled() {
+                grad.zip(&xv, "relu_vjp", |g, v| {
+                    g * (if v > 0.0 { 1.0 } else { 0.0 })
+                })?
+            } else {
+                let mask = xv.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                grad.mul(&mask)?
+            };
+            accumulate(nodes, x, gx)
         }
 
         Op::Abs(x) => {
             let xv = value_of(nodes, x);
-            let sign = xv.map(|v| {
+            let sign_of = |v: f32| {
                 if v > 0.0 {
                     1.0
                 } else if v < 0.0 {
@@ -210,16 +266,27 @@ fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result
                 } else {
                     0.0
                 }
-            });
-            accumulate(nodes, x, grad.mul(&sign)?)
+            };
+            let gx = if fused_enabled() {
+                grad.zip(&xv, "abs_vjp", |g, v| g * sign_of(v))?
+            } else {
+                let sign = xv.map(sign_of);
+                grad.mul(&sign)?
+            };
+            accumulate(nodes, x, gx)
         }
 
         Op::Square(x) => {
             let xv = value_of(nodes, x);
-            accumulate(nodes, x, grad.mul(&xv.mul_scalar(2.0))?)
+            let gx = if fused_enabled() {
+                grad.zip(&xv, "square_vjp", |g, v| g * (v * 2.0))?
+            } else {
+                grad.mul(&xv.mul_scalar(2.0))?
+            };
+            accumulate(nodes, x, gx)
         }
 
-        Op::AddScalar(x) => accumulate(nodes, x, grad.clone()),
+        Op::AddScalar(x) => accumulate_ref(nodes, x, grad),
 
         Op::MulScalar(x, s) => accumulate(nodes, x, grad.mul_scalar(s)),
 
@@ -230,9 +297,10 @@ fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result
             // transposed kernels (no materialized transpose copies),
             // reduced over broadcast batch dims.
             let ga_full = linalg::matmul_nt(grad, &bv)?;
-            accumulate(nodes, a, reduce_to_shape(&ga_full, av.shape())?)?;
+            accumulate_reduced(nodes, a, &ga_full)?;
+            drop(ga_full);
             let gb_full = linalg::matmul_tn(&av, grad)?;
-            accumulate(nodes, b, reduce_to_shape(&gb_full, bv.shape())?)
+            accumulate_reduced(nodes, b, &gb_full)
         }
 
         Op::MatmulNT(a, b) => {
@@ -241,30 +309,31 @@ fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result
             // C = A @ Bᵀ with B stored [..., n, k]:
             // dA = g @ B (the transposes cancel), dB = gᵀ @ A.
             let ga_full = linalg::matmul(grad, &bv)?;
-            accumulate(nodes, a, reduce_to_shape(&ga_full, av.shape())?)?;
+            accumulate_reduced(nodes, a, &ga_full)?;
+            drop(ga_full);
             let gb_full = linalg::matmul_tn(grad, &av)?;
-            accumulate(nodes, b, reduce_to_shape(&gb_full, bv.shape())?)
+            accumulate_reduced(nodes, b, &gb_full)
         }
 
         Op::SumAxis { x, axis, keepdim } => {
             let xv = value_of(nodes, x);
             let g = if keepdim {
-                grad.clone()
+                grad.broadcast_to(xv.shape())?
             } else {
-                grad.unsqueeze(axis)?
+                grad.unsqueeze(axis)?.broadcast_to(xv.shape())?
             };
-            accumulate(nodes, x, g.broadcast_to(xv.shape())?)
+            accumulate(nodes, x, g)
         }
 
         Op::MeanAxis { x, axis, keepdim } => {
             let xv = value_of(nodes, x);
             let n = xv.shape()[axis] as f32;
             let g = if keepdim {
-                grad.clone()
+                grad.broadcast_to(xv.shape())?
             } else {
-                grad.unsqueeze(axis)?
+                grad.unsqueeze(axis)?.broadcast_to(xv.shape())?
             };
-            accumulate(nodes, x, g.broadcast_to(xv.shape())?.mul_scalar(1.0 / n))
+            accumulate(nodes, x, g.mul_scalar(1.0 / n))
         }
 
         Op::SumAll(x) => {
@@ -281,10 +350,17 @@ fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result
 
         // Softmax Jacobian-vector product:
         //   dx = y * (g - sum(g * y, axis))
+        // The last axis — every attention softmax — takes the fused row
+        // kernel; other axes (and fused-off mode) run the reference
+        // four-tensor chain. Bitwise identical either way.
         Op::Softmax { x, axis } => {
-            let gy = grad.mul(out)?;
-            let s = gy.sum_axis(axis, true)?;
-            let gx = out.mul(&grad.sub(&s.broadcast_to(grad.shape())?)?)?;
+            let gx = if axis + 1 == out.rank() && fused_enabled() {
+                out.softmax_vjp_lastdim(grad)?
+            } else {
+                let gy = grad.mul(out)?;
+                let s = gy.sum_axis(axis, true)?;
+                out.mul(&grad.sub(&s.broadcast_to(grad.shape())?)?)?
+            };
             accumulate(nodes, x, gx)
         }
 
@@ -315,13 +391,34 @@ fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result
         }
 
         Op::Narrow { x, axis, start } => {
-            // Scatter the gradient back into a zero tensor of the input
-            // shape at the narrowed range.
+            // Scatter the gradient back into the input's gradient at the
+            // narrowed range.
             let xv = value_of(nodes, x);
             let len = grad.shape()[axis];
             let axis_len = xv.shape()[axis];
             let outer: usize = xv.shape()[..axis].iter().product();
             let inner: usize = xv.shape()[axis + 1..].iter().product();
+            // Fused path: when a gradient buffer already exists (windows
+            // overlap, so most narrow VJPs land on a live buffer), add the
+            // slice straight into it instead of materializing a full-size
+            // zero tensor and paying a whole-volume axpy for a sliver of
+            // nonzeros.
+            if fused_enabled() && nodes[x].requires_grad && nodes[x].grad.is_some() {
+                let src = grad.data();
+                let existing = nodes[x].grad.as_mut().expect("checked above");
+                let dst = existing.data_mut();
+                for o in 0..outer {
+                    let src_base = o * len * inner;
+                    let dst_base = o * axis_len * inner + start * inner;
+                    for (d, &s) in dst[dst_base..dst_base + len * inner]
+                        .iter_mut()
+                        .zip(src[src_base..src_base + len * inner].iter())
+                    {
+                        *d += s;
+                    }
+                }
+                return Ok(());
+            }
             let mut gx = Tensor::zeros(xv.shape());
             let dst = gx.data_mut();
             for o in 0..outer {
@@ -357,17 +454,72 @@ fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result
             accumulate(nodes, x, gx)
         }
 
-        Op::BroadcastTo(x) => {
-            let xv = value_of(nodes, x);
-            accumulate(nodes, x, reduce_to_shape(grad, xv.shape())?)
-        }
+        Op::BroadcastTo(x) => accumulate_reduced(nodes, x, grad),
 
         Op::WhereMask { ref mask, a, b } => {
             let ga = grad.mul(mask)?;
-            accumulate(nodes, a, reduce_to_shape(&ga, value_of(nodes, a).shape())?)?;
+            accumulate_reduced(nodes, a, &ga)?;
+            drop(ga);
             let inv = mask.affine(-1.0, 1.0);
             let gb = grad.mul(&inv)?;
-            accumulate(nodes, b, reduce_to_shape(&gb, value_of(nodes, b).shape())?)
+            accumulate_reduced(nodes, b, &gb)
+        }
+
+        // Fused Huber VJP: replays the reference chain's reverse sweep
+        // (mean → where-mask → {·0.5 → square, ·δ → +c → abs} → sub)
+        // node by node per element, in the same accumulation order —
+        // quadratic-branch contribution first, then linear-branch — so
+        // gradients are bitwise-equal to the unfused chain's.
+        Op::Huber {
+            pred,
+            target,
+            delta,
+        } => {
+            let pv = value_of(nodes, pred);
+            let tv = value_of(nodes, target);
+            let g0 = grad.item()? / pv.len() as f32;
+            let ddiff = pv.zip(&tv, "huber_vjp", |p, t| {
+                let d = p - t;
+                let ad = d.abs();
+                let m = if ad <= delta { 1.0 } else { 0.0 };
+                let ga = g0 * m;
+                let gb = g0 * (-m + 1.0);
+                let sign = if d > 0.0 {
+                    1.0
+                } else if d < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                };
+                // Square-branch (via ·0.5 then ·2d) + abs-branch (via ·δ
+                // then sign), summed in the reverse-sweep's visit order.
+                (ga * 0.5) * (d * 2.0) + (gb * delta) * sign
+            })?;
+            accumulate_ref(nodes, pred, &ddiff)?;
+            accumulate(nodes, target, ddiff.neg())
+        }
+
+        // Fused bias+activation VJP: g_pre = g * act'(out) in one zip
+        // (expressions matching each activation's standalone VJP), then
+        // the Add node's reduce-to-operand-shape accumulation.
+        Op::BiasAddAct { x, b, act } => {
+            let g_pre = match act {
+                ActKind::Identity => None,
+                ActKind::Tanh => Some(grad.zip(out, "tanh_vjp", |g, y| {
+                    g * (-(y * y) + 1.0)
+                })?),
+                ActKind::Sigmoid => Some(grad.zip(out, "sigmoid_vjp", |g, y| {
+                    g * (y * (-y + 1.0))
+                })?),
+                // relu(s) > 0 iff s > 0, so the output doubles as the
+                // pre-activation mask.
+                ActKind::Relu => Some(grad.zip(out, "relu_vjp", |g, y| {
+                    g * (if y > 0.0 { 1.0 } else { 0.0 })
+                })?),
+            };
+            let g_pre = g_pre.as_ref().unwrap_or(grad);
+            accumulate_reduced(nodes, x, g_pre)?;
+            accumulate_reduced(nodes, b, g_pre)
         }
     }
 }

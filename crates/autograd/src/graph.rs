@@ -8,6 +8,33 @@ use stwa_tensor::{Result, Tensor, TensorError};
 /// valid topological order of the dataflow DAG.
 pub(crate) type Id = usize;
 
+/// Activation applied inside the fused bias-add ([`Var::bias_add_act`]).
+///
+/// The closed set matches `stwa_nn`'s `Activation`; each variant's
+/// forward expression and VJP replicate the corresponding standalone op
+/// bit for bit, so fusing is invisible to loss trajectories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActKind {
+    Identity,
+    Relu,
+    Tanh,
+    Sigmoid,
+}
+
+impl ActKind {
+    /// The scalar forward function — exactly the expression the unfused
+    /// elementwise ops apply.
+    #[inline]
+    pub(crate) fn apply(self, x: f32) -> f32 {
+        match self {
+            ActKind::Identity => x,
+            ActKind::Relu => x.max(0.0),
+            ActKind::Tanh => x.tanh(),
+            ActKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+}
+
 /// The recorded operation that produced a node.
 ///
 /// Each variant stores the input ids plus whatever metadata the backward
@@ -78,6 +105,21 @@ pub(crate) enum Op {
         a: Id,
         b: Id,
     },
+    /// Fused mean Huber loss over equal-shape `pred`/`target`; forward
+    /// and VJP replicate the reference sub/abs/square/where/mean chain
+    /// bit for bit without materializing its intermediates.
+    Huber {
+        pred: Id,
+        target: Id,
+        delta: f32,
+    },
+    /// Fused `act(x + bias)` (bias broadcast against `x`), replacing an
+    /// Add node plus an activation node with a single tape entry.
+    BiasAddAct {
+        x: Id,
+        b: Id,
+        act: ActKind,
+    },
 }
 
 impl Op {
@@ -114,6 +156,8 @@ impl Op {
             Op::IndexSelect { .. } => "index_select",
             Op::BroadcastTo(..) => "broadcast_to",
             Op::WhereMask { .. } => "where_mask",
+            Op::Huber { .. } => "huber",
+            Op::BiasAddAct { .. } => "bias_add_act",
         }
     }
 }

@@ -28,5 +28,5 @@ mod graph;
 mod ops;
 
 pub use check::{check_gradient, GradCheckReport};
-pub use graph::{Graph, Var};
+pub use graph::{ActKind, Graph, Var};
 pub use ops::{concat, stack};

@@ -1,7 +1,7 @@
 //! Forward operations on [`Var`]: each computes its value eagerly and
 //! records the op on the tape for the backward sweep.
 
-use crate::graph::{Op, Var};
+use crate::graph::{ActKind, Op, Var};
 use std::rc::Rc;
 use stwa_tensor::{linalg, manip, Result, Tensor, TensorError};
 
@@ -276,6 +276,86 @@ impl Var {
             },
         ))
     }
+
+    // ---------------------------------------------------------------
+    // Fused ops
+    // ---------------------------------------------------------------
+
+    /// Fused mean Huber loss: one pass over `pred`/`target` computing
+    /// the per-element branch and the sequential mean, recorded as a
+    /// single tape node. Shapes must match exactly (the loss chains it
+    /// replaces always compare like with like).
+    ///
+    /// Each element evaluates exactly the expressions of the reference
+    /// chain `where(|d|<=δ, 0.5 d², δ|d| - 0.5 δ²).mean()` in the same
+    /// order, and the mean folds sequentially in index order — so the
+    /// fused loss is bitwise-equal to the unfused one.
+    pub fn huber_loss(&self, target: &Var, delta: f32) -> Result<Var> {
+        self.same_graph(target, "huber_loss")?;
+        let p = self.value();
+        let t = target.value();
+        if p.shape() != t.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "huber_loss",
+                lhs: p.shape().to_vec(),
+                rhs: t.shape().to_vec(),
+            });
+        }
+        if p.is_empty() {
+            return Err(TensorError::Invalid(
+                "huber_loss: cannot reduce an empty tensor into a loss".into(),
+            ));
+        }
+        // Sequential fold, like `mean_all` (a parallel sum would
+        // reassociate f32 addition and change bits).
+        let mut sum = 0.0f32;
+        for (&pv, &tv) in p.data().iter().zip(t.data().iter()) {
+            sum += huber_point(pv, tv, delta);
+        }
+        let v = Tensor::scalar(sum / p.len() as f32);
+        Ok(self.binary(
+            target,
+            v,
+            Op::Huber {
+                pred: self.id,
+                target: target.id,
+                delta,
+            },
+        ))
+    }
+
+    /// Fused `act(self + bias)`: the bias add (broadcast) and the
+    /// activation evaluate in one elementwise pass and record one node.
+    /// Bitwise-identical to `self.add(bias)` followed by the activation
+    /// op — same per-element expressions, same broadcast pairing.
+    pub fn bias_add_act(&self, bias: &Var, act: ActKind) -> Result<Var> {
+        self.same_graph(bias, "bias_add_act")?;
+        let v = self
+            .value()
+            .zip(&bias.value(), "bias_add_act", |a, b| act.apply(a + b))?;
+        Ok(self.binary(
+            bias,
+            v,
+            Op::BiasAddAct {
+                x: self.id,
+                b: bias.id,
+                act,
+            },
+        ))
+    }
+}
+
+/// The per-element Huber value, spelled as the exact expression sequence
+/// of the reference chain (sub → abs → mask → 0.5·d² → δ|d|−0.5δ² →
+/// where-mask select).
+#[inline]
+pub(crate) fn huber_point(p: f32, t: f32, delta: f32) -> f32 {
+    let d = p - t;
+    let ad = d.abs();
+    let m = if ad <= delta { 1.0 } else { 0.0 };
+    let quad = (d * d) * 0.5;
+    let lin = ad * delta + (-0.5 * delta * delta);
+    quad * m + lin * (-m + 1.0)
 }
 
 /// Concatenate variables along `axis`.

@@ -24,7 +24,7 @@ use crate::sensor_attention::SensorCorrelationAttention;
 use rand::Rng;
 use stwa_autograd::{concat, Graph, Var};
 use stwa_nn::layers::attention::scaled_dot_attention;
-use stwa_nn::layers::Linear;
+use stwa_nn::layers::{Activation, Linear};
 use stwa_nn::{init, Param, ParamStore};
 use stwa_tensor::{Result, TensorError};
 
@@ -244,7 +244,7 @@ impl WindowAttentionLayer {
                     let fusion = self.fusion.as_ref().expect("w > 1 implies fusion");
                     let tiled = h_prev.unsqueeze(2)?.broadcast_to(&[b, self.n, p, d])?;
                     let stacked = concat(&[&tiled, &p_base], 3)?; // [B,N,p,2d]
-                    fusion.forward(graph, &stacked)?.tanh()
+                    fusion.forward_act(graph, &stacked, Activation::Tanh)?
                 }
             };
             // Eq. 10: each timestamp attends to each proxy.

@@ -4,8 +4,8 @@
 use crate::init;
 use crate::param::{Param, ParamStore};
 use rand::Rng;
-use stwa_autograd::{Graph, Var};
-use stwa_tensor::{Result, TensorError};
+use stwa_autograd::{ActKind, Graph, Var};
+use stwa_tensor::{memory, Result, TensorError};
 
 /// Pointwise nonlinearity selector for [`Mlp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +23,16 @@ impl Activation {
             Activation::Relu => x.relu(),
             Activation::Tanh => x.tanh(),
             Activation::Sigmoid => x.sigmoid(),
+        }
+    }
+
+    /// The autograd-side fused-kernel selector for this activation.
+    fn kind(&self) -> ActKind {
+        match self {
+            Activation::Identity => ActKind::Identity,
+            Activation::Relu => ActKind::Relu,
+            Activation::Tanh => ActKind::Tanh,
+            Activation::Sigmoid => ActKind::Sigmoid,
         }
     }
 }
@@ -93,6 +103,15 @@ impl Linear {
 
     /// Apply to `x` of shape `[..., in_dim]`, producing `[..., out_dim]`.
     pub fn forward(&self, graph: &Graph, x: &Var) -> Result<Var> {
+        self.forward_act(graph, x, Activation::Identity)
+    }
+
+    /// `act(x W + b)` in one call. With a bias present and the fused
+    /// switch on, the bias add and the activation collapse into a single
+    /// tape node ([`Var::bias_add_act`]), which skips one intermediate
+    /// tensor per layer; the result is bit-identical to
+    /// `act.apply(&forward(..))`.
+    pub fn forward_act(&self, graph: &Graph, x: &Var, act: Activation) -> Result<Var> {
         let shape = x.shape();
         let rank = shape.len();
         if rank == 0 || shape[rank - 1] != self.in_dim {
@@ -106,8 +125,18 @@ impl Linear {
         let lead: usize = shape[..rank - 1].iter().product();
         let flat = x.reshape(&[lead, self.in_dim])?;
         let mut y = flat.matmul(&w)?;
+        let mut applied = false;
         if let Some(b) = &self.b {
-            y = y.add(&b.leaf(graph))?;
+            let b = b.leaf(graph);
+            if memory::fused_enabled() {
+                y = y.bias_add_act(&b, act.kind())?;
+                applied = true;
+            } else {
+                y = y.add(&b)?;
+            }
+        }
+        if !applied {
+            y = act.apply(&y);
         }
         let mut out_shape = shape[..rank - 1].to_vec();
         out_shape.push(self.out_dim);
@@ -151,7 +180,7 @@ impl Mlp {
     pub fn forward(&self, graph: &Graph, x: &Var) -> Result<Var> {
         let mut h = x.clone();
         for (layer, act) in self.layers.iter().zip(&self.activations) {
-            h = act.apply(&layer.forward(graph, &h)?);
+            h = layer.forward_act(graph, &h, *act)?;
         }
         Ok(h)
     }

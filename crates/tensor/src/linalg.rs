@@ -104,14 +104,35 @@ pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if plan.is_empty() {
         return Tensor::from_vec(Vec::new(), &plan.out_shape);
     }
-    let mut out = vec![0f32; plan.batch * plan.m * plan.n];
+    let mut out = crate::memory::take_filled(plan.batch * plan.m * plan.n, 0.0);
     let (m, k, n) = (plan.m, plan.k, plan.n);
     for (bi, out_mat) in out.chunks_exact_mut(m * n).enumerate() {
-        let a_mat = &a.data()[plan.a_offsets[bi]..plan.a_offsets[bi] + m * k];
-        let b_mat = &b.data()[plan.b_offsets[bi]..plan.b_offsets[bi] + k * n];
+        let a_mat = &a.data()[plan.a_offsets.get(bi)..plan.a_offsets.get(bi) + m * k];
+        let b_mat = &b.data()[plan.b_offsets.get(bi)..plan.b_offsets.get(bi) + k * n];
         naive_nn(a_mat, b_mat, out_mat, 0, m, k, n);
     }
     Tensor::from_vec(out, &plan.out_shape)
+}
+
+/// Per-batch element offsets of one operand. The no-broadcast case —
+/// nearly every product in the model — is a constant stride, so nothing
+/// is materialized; only genuinely broadcast leads pay for the odometer
+/// walk and its `Vec`.
+enum Offsets {
+    /// Batch `bi` starts at `bi * stride`.
+    Strided(usize),
+    /// Arbitrary broadcast pattern, one entry per batch.
+    Explicit(Vec<usize>),
+}
+
+impl Offsets {
+    #[inline(always)]
+    fn get(&self, bi: usize) -> usize {
+        match self {
+            Offsets::Strided(stride) => bi * stride,
+            Offsets::Explicit(v) => v[bi],
+        }
+    }
 }
 
 /// Resolved shapes and per-batch element offsets for one product.
@@ -121,8 +142,8 @@ struct Plan {
     n: usize,
     batch: usize,
     out_shape: Vec<usize>,
-    a_offsets: Vec<usize>,
-    b_offsets: Vec<usize>,
+    a_offsets: Offsets,
+    b_offsets: Offsets,
 }
 
 impl Plan {
@@ -167,8 +188,6 @@ impl Plan {
         out_shape.push(n);
         let a_offsets = batch_offsets(lead_a, &lead_out, m * k);
         let b_offsets = batch_offsets(lead_b, &lead_out, k * n);
-        debug_assert_eq!(a_offsets.len(), batch);
-        debug_assert_eq!(b_offsets.len(), batch);
         Ok(Plan {
             m,
             k,
@@ -253,7 +272,7 @@ fn run(a: &Tensor, b: &Tensor, ak: AKind, bk: BKind, op: &'static str) -> Result
         stwa_observe::counter!("matmul.split_fired").incr();
     }
 
-    let mut out = vec![0f32; batch * m * n];
+    let mut out = crate::memory::take_filled(batch * m * n, 0.0);
     let blocked_min = if bk == BKind::Transposed {
         BLOCKED_MIN_FLOPS_NT
     } else {
@@ -265,8 +284,8 @@ fn run(a: &Tensor, b: &Tensor, ak: AKind, bk: BKind, op: &'static str) -> Result
     let out_ptr = SendPtr(out.as_mut_ptr());
 
     let run_rows = |bi: usize, r0: usize, r1: usize| {
-        let a_mat = &a_data[plan.a_offsets[bi]..plan.a_offsets[bi] + m * k];
-        let b_mat = &b_data[plan.b_offsets[bi]..plan.b_offsets[bi] + k * n];
+        let a_mat = &a_data[plan.a_offsets.get(bi)..plan.a_offsets.get(bi) + m * k];
+        let b_mat = &b_data[plan.b_offsets.get(bi)..plan.b_offsets.get(bi) + k * n];
         // Safety: tasks cover disjoint `[r0, r1)` row ranges of disjoint
         // batch matrices, and the pool joins before `out` is consumed.
         let c = unsafe {
@@ -292,6 +311,38 @@ fn run(a: &Tensor, b: &Tensor, ak: AKind, bk: BKind, op: &'static str) -> Result
         // Sequential path, still routed through the pool so manifests
         // account for every kernel dispatch (`pool.tasks`).
         stwa_pool::parallel_for(1, |_| {
+            // Attention-sized products (a handful of FLOPs, a huge
+            // batch) are dominated by per-batch dispatch, so for plain
+            // strided layouts hoist the kernel selection out of the
+            // batch loop. Same kernels, same per-matrix order — bitwise
+            // identical to the generic walk below.
+            if let (false, &Offsets::Strided(sa), &Offsets::Strided(sb)) =
+                (use_blocked, &plan.a_offsets, &plan.b_offsets)
+            {
+                let c_all =
+                    unsafe { std::slice::from_raw_parts_mut(out_ptr.get(), batch * m * n) };
+                match (ak, bk) {
+                    (AKind::Normal, BKind::Normal) => {
+                        for (bi, c) in c_all.chunks_exact_mut(m * n).enumerate() {
+                            naive_nn(&a_data[bi * sa..], &b_data[bi * sb..], c, 0, m, k, n);
+                        }
+                    }
+                    (AKind::Normal, BKind::Transposed) => {
+                        for (bi, c) in c_all.chunks_exact_mut(m * n).enumerate() {
+                            naive_nt(&a_data[bi * sa..], &b_data[bi * sb..], c, 0, m, k, n);
+                        }
+                    }
+                    (AKind::Transposed, BKind::Normal) => {
+                        for (bi, c) in c_all.chunks_exact_mut(m * n).enumerate() {
+                            naive_tn(&a_data[bi * sa..], &b_data[bi * sb..], c, 0, m, m, k, n);
+                        }
+                    }
+                    (AKind::Transposed, BKind::Transposed) => {
+                        unreachable!("no Aᵀ·Bᵀ entry point")
+                    }
+                }
+                return;
+            }
             for bi in 0..batch {
                 run_rows(bi, 0, m);
             }
@@ -623,10 +674,24 @@ fn microkernel_body(
 }
 
 /// Flat element offset of every broadcast batch's matrix start.
-fn batch_offsets(lead: &[usize], lead_out: &[usize], mat_elems: usize) -> Vec<usize> {
+fn batch_offsets(lead: &[usize], lead_out: &[usize], mat_elems: usize) -> Offsets {
     let batch = volume(lead_out);
     if lead_out.is_empty() {
-        return vec![0];
+        return Offsets::Strided(0);
+    }
+    // Strided fast paths eliminate the per-call offset `Vec` — part of
+    // the zero-churn allocator work, so the pool toggle also restores
+    // the original materialized form for A/B runs.
+    if crate::memory::pool_enabled() {
+        // No broadcasting: consecutive batches are consecutive matrices.
+        if lead == lead_out {
+            return Offsets::Strided(mat_elems);
+        }
+        // One matrix shared by every batch (e.g. a weight applied across
+        // a batched activation): constant offset 0.
+        if volume(lead) == 1 {
+            return Offsets::Strided(0);
+        }
     }
     // Broadcast strides in units of matrices; scaled to element offsets
     // when pushed.
@@ -647,7 +712,7 @@ fn batch_offsets(lead: &[usize], lead_out: &[usize], mat_elems: usize) -> Vec<us
             off -= bcast[ax] * lead_out[ax];
         }
     }
-    offsets
+    Offsets::Explicit(offsets)
 }
 
 #[cfg(test)]

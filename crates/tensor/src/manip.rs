@@ -3,11 +3,16 @@
 //! All operations materialize their result (no aliased views); see the
 //! crate docs for why.
 
+use crate::memory;
 use crate::shape::{broadcast_shapes, broadcast_strides, check_axis, strides, volume};
 use crate::{Result, Tensor, TensorError};
 
 impl Tensor {
     /// Reinterpret the buffer under a new shape with the same volume.
+    ///
+    /// With the pool enabled this shares the buffer (O(1), copy-on-write
+    /// protected); with it disabled it materializes a copy, matching the
+    /// pre-pool allocator behaviour exactly.
     pub fn reshape(&self, new_shape: &[usize]) -> Result<Tensor> {
         if volume(new_shape) != self.len() {
             return Err(TensorError::InvalidReshape {
@@ -15,7 +20,10 @@ impl Tensor {
                 to: new_shape.to_vec(),
             });
         }
-        Tensor::from_vec(self.data().to_vec(), new_shape)
+        if memory::pool_enabled() {
+            return Ok(self.share(new_shape));
+        }
+        Tensor::from_vec(memory::take_copy(self.data()), new_shape)
     }
 
     /// Insert a length-1 axis at `axis` (which may equal the rank, to
@@ -71,19 +79,49 @@ impl Tensor {
         // Input stride to advance when the o-th *output* axis increments.
         let walk: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
         let n = self.len();
-        let mut data = vec![0f32; n];
-        let mut idx = vec![0usize; rank];
-        let mut src = 0usize;
-        for slot in data.iter_mut() {
-            *slot = self.data()[src];
-            for ax in (0..rank).rev() {
-                idx[ax] += 1;
-                src += walk[ax];
-                if idx[ax] < out_shape[ax] {
-                    break;
+        // Trailing axes the permutation leaves in place stay contiguous
+        // with equal strides on both sides, so they move as one
+        // `copy_from_slice` block per odometer step instead of
+        // element-by-element. Attention-style permutes keep the feature
+        // axis last, making this the common case. Part of the fused
+        // kernel family: gated so the toggled-off build exercises the
+        // original element walk, the reference for A/B runs.
+        let mut k = rank;
+        while k > 0 && perm[k - 1] == k - 1 {
+            k -= 1;
+        }
+        let inner: usize = self.shape()[k..].iter().product();
+        let mut data = memory::take_scratch(n);
+        if inner > 1 && memory::fused_enabled() {
+            let src_all = self.data();
+            let mut idx = vec![0usize; k];
+            let mut src = 0usize;
+            for block in data.chunks_exact_mut(inner) {
+                block.copy_from_slice(&src_all[src..src + inner]);
+                for ax in (0..k).rev() {
+                    idx[ax] += 1;
+                    src += walk[ax];
+                    if idx[ax] < out_shape[ax] {
+                        break;
+                    }
+                    idx[ax] = 0;
+                    src -= walk[ax] * out_shape[ax];
                 }
-                idx[ax] = 0;
-                src -= walk[ax] * out_shape[ax];
+            }
+        } else {
+            let mut idx = vec![0usize; rank];
+            let mut src = 0usize;
+            for slot in data.iter_mut() {
+                *slot = self.data()[src];
+                for ax in (0..rank).rev() {
+                    idx[ax] += 1;
+                    src += walk[ax];
+                    if idx[ax] < out_shape[ax] {
+                        break;
+                    }
+                    idx[ax] = 0;
+                    src -= walk[ax] * out_shape[ax];
+                }
             }
         }
         Tensor::from_vec(data, &out_shape)
@@ -125,10 +163,11 @@ impl Tensor {
         }
         let outer: usize = self.shape()[..axis].iter().product();
         let inner: usize = self.shape()[axis + 1..].iter().product();
-        let mut data = Vec::with_capacity(outer * len * inner);
+        let run = len * inner;
+        let mut data = memory::take_scratch(outer * run);
         for o in 0..outer {
             let base = o * axis_len * inner + start * inner;
-            data.extend_from_slice(&self.data()[base..base + len * inner]);
+            data[o * run..(o + 1) * run].copy_from_slice(&self.data()[base..base + run]);
         }
         let mut shape = self.shape().to_vec();
         shape[axis] = len;
@@ -150,11 +189,13 @@ impl Tensor {
         }
         let outer: usize = self.shape()[..axis].iter().product();
         let inner: usize = self.shape()[axis + 1..].iter().product();
-        let mut data = Vec::with_capacity(outer * indices.len() * inner);
+        let mut data = memory::take_scratch(outer * indices.len() * inner);
+        let mut dst = 0;
         for o in 0..outer {
             for &i in indices {
                 let base = o * axis_len * inner + i * inner;
-                data.extend_from_slice(&self.data()[base..base + inner]);
+                data[dst..dst + inner].copy_from_slice(&self.data()[base..base + inner]);
+                dst += inner;
             }
         }
         let mut shape = self.shape().to_vec();
@@ -178,7 +219,7 @@ impl Tensor {
         let rank = out_shape.len();
         let walk = broadcast_strides(self.shape(), &out_shape);
         let n = volume(&out_shape);
-        let mut data = vec![0f32; n];
+        let mut data = memory::take_scratch(n);
         let mut idx = vec![0usize; rank];
         let mut src = 0usize;
         for slot in data.iter_mut() {
@@ -238,12 +279,14 @@ pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
     }
     let outer: usize = first.shape()[..axis].iter().product();
     let inner: usize = first.shape()[axis + 1..].iter().product();
-    let mut data = Vec::with_capacity(outer * axis_total * inner);
+    let mut data = memory::take_scratch(outer * axis_total * inner);
+    let mut dst = 0;
     for o in 0..outer {
         for t in tensors {
-            let rows = t.shape()[axis];
-            let base = o * rows * inner;
-            data.extend_from_slice(&t.data()[base..base + rows * inner]);
+            let run = t.shape()[axis] * inner;
+            let base = o * run;
+            data[dst..dst + run].copy_from_slice(&t.data()[base..base + run]);
+            dst += run;
         }
     }
     let mut shape = first.shape().to_vec();

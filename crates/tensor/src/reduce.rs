@@ -7,6 +7,7 @@
 //! count. `sum_all`/`mean_all` stay strictly sequential — a tree or
 //! chunked global sum would reassociate f32 addition and change bits.
 
+use crate::memory;
 use crate::shape::check_axis;
 use crate::tensor::{elementwise_chunks, PARALLEL_ELEMS};
 use crate::{Result, Tensor};
@@ -71,12 +72,15 @@ impl Tensor {
         }
         let outer: usize = self.shape()[..axis].iter().product();
         let inner: usize = self.shape()[axis + 1..].iter().product();
-        let mut data = vec![init; outer * inner];
+        let mut data = memory::take_filled(outer * inner, init);
+        // Capture the raw slice, not `&self`: the shared `Rc` buffer makes
+        // `Tensor` itself `!Sync`, but a borrowed `&[f32]` crosses threads.
+        let src: &[f32] = self.data();
         // One lane = one output row; fold order is always ascending `a`.
         let run_lane = |o: usize, out_row: &mut [f32]| {
             for a in 0..axis_len {
                 let base = (o * axis_len + a) * inner;
-                let row = &self.data()[base..base + inner];
+                let row = &src[base..base + inner];
                 for (acc, &x) in out_row.iter_mut().zip(row.iter()) {
                     *acc = fold(*acc, x);
                 }
@@ -150,8 +154,136 @@ impl Tensor {
     /// Numerically stable softmax along `axis`.
     ///
     /// Rows are shifted by their maximum before exponentiation, so large
-    /// attention logits cannot overflow.
+    /// attention logits cannot overflow. The last axis — the shape every
+    /// attention score matrix reduces over — dispatches to the fused
+    /// [`Tensor::softmax_lastdim`]; other axes run the strided reference
+    /// kernel. Both orders of operations are identical, so the dispatch
+    /// is invisible bit-for-bit.
     pub fn softmax(&self, axis: usize) -> Result<Tensor> {
+        check_axis("softmax", axis, self.rank())?;
+        if axis + 1 == self.rank() && memory::fused_enabled() {
+            return self.softmax_lastdim();
+        }
+        self.softmax_reference(axis)
+    }
+
+    /// Fused softmax over the last axis: one contiguous pass per row
+    /// (max, exp-shift accumulating the normalizer, divide), rows split
+    /// across the worker pool. Produces bitwise-identical results to
+    /// [`Tensor::softmax_reference`] — the per-element expressions and
+    /// fold orders are the same — while touching each row once and
+    /// drawing its output from the buffer pool.
+    pub fn softmax_lastdim(&self) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(crate::TensorError::RankTooSmall {
+                op: "softmax_lastdim",
+                required: 1,
+                actual: 0,
+            });
+        }
+        let row_len = self.shape()[self.rank() - 1];
+        let mut data = memory::take_copy(self.data());
+        if let Some(rows) = data.len().checked_div(row_len) {
+            let run_row = |row: &mut [f32]| {
+                let mut m = f32::NEG_INFINITY;
+                for &x in row.iter() {
+                    m = m.max(x);
+                }
+                let mut z = 0.0;
+                for x in row.iter_mut() {
+                    let e = (*x - m).exp();
+                    *x = e;
+                    z += e;
+                }
+                for x in row.iter_mut() {
+                    *x /= z;
+                }
+            };
+            if data.len() >= PARALLEL_ELEMS && rows > 1 && stwa_pool::current_threads() > 1 {
+                let groups = elementwise_chunks().min(rows);
+                let per = rows.div_ceil(groups);
+                let out_ptr = SendPtr(data.as_mut_ptr());
+                stwa_pool::parallel_for(groups, |g| {
+                    let r1 = ((g + 1) * per).min(rows);
+                    for r in g * per..r1 {
+                        // Safety: rows are disjoint, and the pool joins
+                        // before `data` is consumed.
+                        let row = unsafe {
+                            std::slice::from_raw_parts_mut(out_ptr.get().add(r * row_len), row_len)
+                        };
+                        run_row(row);
+                    }
+                });
+            } else {
+                for row in data.chunks_exact_mut(row_len) {
+                    run_row(row);
+                }
+            }
+        }
+        Tensor::from_vec(data, self.shape())
+    }
+
+    /// Fused softmax Jacobian-vector product over the last axis.
+    ///
+    /// `self` is the softmax *output* `y` and `grad` the upstream
+    /// gradient `g`; the result is `y * (g - Σ_j g_j y_j)` per row.
+    /// Bitwise-identical to the reference chain
+    /// `y.mul(&g.sub(&(g*y).sum_axis(last, true).broadcast_to(..)))` —
+    /// same products, same ascending summation — but touches each row
+    /// once and materializes one tensor instead of four.
+    pub fn softmax_vjp_lastdim(&self, grad: &Tensor) -> Result<Tensor> {
+        if self.rank() == 0 || self.shape() != grad.shape() {
+            return Err(crate::TensorError::ShapeMismatch {
+                op: "softmax_vjp_lastdim",
+                lhs: self.shape().to_vec(),
+                rhs: grad.shape().to_vec(),
+            });
+        }
+        let row_len = self.shape()[self.rank() - 1];
+        let mut data = memory::take_scratch(self.len());
+        if let Some(rows) = data.len().checked_div(row_len) {
+            let y_all = self.data();
+            let g_all = grad.data();
+            let run_row = |r: usize, out_row: &mut [f32]| {
+                let base = r * row_len;
+                let y = &y_all[base..base + row_len];
+                let g = &g_all[base..base + row_len];
+                let mut s = 0.0f32;
+                for i in 0..row_len {
+                    s += g[i] * y[i];
+                }
+                for i in 0..row_len {
+                    out_row[i] = y[i] * (g[i] - s);
+                }
+            };
+            if data.len() >= PARALLEL_ELEMS && rows > 1 && stwa_pool::current_threads() > 1 {
+                let groups = elementwise_chunks().min(rows);
+                let per = rows.div_ceil(groups);
+                let out_ptr = SendPtr(data.as_mut_ptr());
+                stwa_pool::parallel_for(groups, |gi| {
+                    let r1 = ((gi + 1) * per).min(rows);
+                    for r in gi * per..r1 {
+                        // Safety: rows are disjoint, and the pool joins
+                        // before `data` is consumed.
+                        let out_row = unsafe {
+                            std::slice::from_raw_parts_mut(out_ptr.get().add(r * row_len), row_len)
+                        };
+                        run_row(r, out_row);
+                    }
+                });
+            } else {
+                for r in 0..rows {
+                    run_row(r, &mut data[r * row_len..(r + 1) * row_len]);
+                }
+            }
+        }
+        Tensor::from_vec(data, self.shape())
+    }
+
+    /// Reference softmax along any `axis` — the seed's strided kernel,
+    /// kept verbatim both to serve non-last axes and as the equality
+    /// oracle the fused-path proptests compare against.
+    pub fn softmax_reference(&self, axis: usize) -> Result<Tensor> {
         check_axis("softmax", axis, self.rank())?;
         let axis_len = self.shape()[axis];
         let outer: usize = self.shape()[..axis].iter().product();
@@ -285,6 +417,22 @@ mod tests {
         assert!(!s.has_non_finite());
         let y = t(&[0.0, 1.0, 2.0], &[1, 3]).softmax(1).unwrap();
         assert!(s.approx_eq(&y, 1e-6));
+    }
+
+    #[test]
+    fn fused_lastdim_softmax_is_bitwise_identical_to_reference() {
+        let x = Tensor::from_fn(&[3, 5, 7], |i| {
+            ((i[0] * 31 + i[1] * 17 + i[2] * 7) % 13) as f32 * 0.37 - 2.0
+        });
+        let fused = x.softmax(2).unwrap();
+        let reference = x.softmax_reference(2).unwrap();
+        assert_eq!(fused, reference, "PartialEq on f32 slices is bitwise here");
+        // Large enough to engage the parallel row path.
+        let big = Tensor::from_fn(&[64, 16, 128], |i| ((i[0] + i[1] * 3 + i[2]) % 29) as f32);
+        assert_eq!(
+            big.softmax(2).unwrap(),
+            big.softmax_reference(2).unwrap()
+        );
     }
 
     #[test]

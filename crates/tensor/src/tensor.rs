@@ -4,6 +4,7 @@ use crate::memory;
 use crate::shape::{broadcast_shapes, broadcast_strides, volume};
 use crate::{Result, TensorError};
 use std::fmt;
+use std::rc::Rc;
 
 /// Elementwise kernels with at least this many output elements run
 /// through the worker pool; below it, dispatch overhead dominates.
@@ -18,15 +19,60 @@ pub(crate) fn elementwise_chunks() -> usize {
 /// A dense, row-major, contiguous `f32` n-dimensional array.
 ///
 /// The empty shape `[]` denotes a scalar holding exactly one element.
+///
+/// The buffer sits behind an `Rc` with copy-on-write semantics: clones
+/// and reshapes share it (O(1) when the pool is enabled), and any
+/// mutation of a shared buffer copies first, so value semantics are
+/// indistinguishable from a deep copy.
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Rc<Vec<f32>>,
     shape: Vec<usize>,
+    /// Bytes registered with [`memory::track_alloc`] at construction.
+    /// Deallocation must release exactly this figure: `data.capacity()`
+    /// is not trustworthy at drop time (`into_vec` takes the buffer,
+    /// and a pooled buffer's capacity may exceed its original class).
+    tracked_bytes: usize,
 }
 
 impl Tensor {
     // ---------------------------------------------------------------
     // Constructors
     // ---------------------------------------------------------------
+
+    /// Wrap an already-validated buffer, registering its bytes.
+    pub(crate) fn wrap(data: Vec<f32>, shape: &[usize]) -> Tensor {
+        debug_assert_eq!(data.len(), volume(shape), "wrap: length/shape mismatch");
+        let tracked_bytes = data.capacity() * 4;
+        memory::track_alloc(tracked_bytes);
+        Tensor {
+            data: Rc::new(data),
+            shape: shape.to_vec(),
+            tracked_bytes,
+        }
+    }
+
+    /// A tensor sharing this one's buffer under a (volume-preserving)
+    /// new shape — the zero-copy path behind `reshape` and `clone`.
+    /// Registers the same byte figure a copy would, so `peak_bytes`
+    /// reports what the unshared implementation would have used.
+    pub(crate) fn share(&self, shape: &[usize]) -> Tensor {
+        debug_assert_eq!(self.data.len(), volume(shape), "share: volume mismatch");
+        memory::track_alloc(self.tracked_bytes);
+        Tensor {
+            data: Rc::clone(&self.data),
+            shape: shape.to_vec(),
+            tracked_bytes: self.tracked_bytes,
+        }
+    }
+
+    /// Exclusive access to the buffer, copying out of shared storage
+    /// first (copy-on-write). Every mutation funnels through here.
+    fn buf_mut(&mut self) -> &mut Vec<f32> {
+        if Rc::strong_count(&self.data) > 1 {
+            self.data = Rc::new(memory::take_copy(&self.data));
+        }
+        Rc::get_mut(&mut self.data).expect("buffer is unique after copy-on-write")
+    }
 
     /// Build a tensor from raw data and a shape.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Tensor> {
@@ -37,21 +83,12 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        memory::track_alloc(data.capacity() * 4);
-        Ok(Tensor {
-            data,
-            shape: shape.to_vec(),
-        })
+        Ok(Tensor::wrap(data, shape))
     }
 
-    /// A tensor filled with `value`.
+    /// A tensor filled with `value`, drawn from the buffer pool.
     pub fn full(shape: &[usize], value: f32) -> Tensor {
-        let data = vec![value; volume(shape)];
-        memory::track_alloc(data.capacity() * 4);
-        Tensor {
-            data,
-            shape: shape.to_vec(),
-        }
+        Tensor::wrap(memory::take_filled(volume(shape), value), shape)
     }
 
     /// A tensor of zeros.
@@ -71,11 +108,11 @@ impl Tensor {
 
     /// A tensor whose element at multi-index `i` is `f(i)`.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Tensor {
-        let mut out = Tensor::zeros(shape);
+        let mut data = memory::take_scratch(volume(shape));
         let rank = shape.len();
         let mut idx = vec![0usize; rank];
-        for o in 0..out.data.len() {
-            out.data[o] = f(&idx);
+        for slot in data.iter_mut() {
+            *slot = f(&idx);
             for ax in (0..rank).rev() {
                 idx[ax] += 1;
                 if idx[ax] < shape[ax] {
@@ -84,7 +121,7 @@ impl Tensor {
                 idx[ax] = 0;
             }
         }
-        out
+        Tensor::wrap(data, shape)
     }
 
     /// `[0, 1, ..., n-1]` as a rank-1 tensor.
@@ -126,17 +163,25 @@ impl Tensor {
         &self.data
     }
 
-    /// Flat mutable view of the underlying buffer (row-major).
+    /// Flat mutable view of the underlying buffer (row-major). Copies
+    /// out of shared storage first when the buffer has other owners.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.buf_mut()
     }
 
-    /// Consume the tensor, returning its buffer.
+    /// Consume the tensor, returning its buffer (copied out when other
+    /// tensors still share it).
     pub fn into_vec(mut self) -> Vec<f32> {
         // Release this tensor's bytes from the gauge now; Drop will then
-        // see an empty buffer and deallocate zero.
-        memory::track_dealloc(self.data.capacity() * 4);
-        std::mem::take(&mut self.data)
+        // see zero tracked bytes and an empty (capacity-0) buffer, so it
+        // neither double-deallocates nor recycles.
+        memory::track_dealloc(self.tracked_bytes);
+        self.tracked_bytes = 0;
+        let rc = std::mem::replace(&mut self.data, Rc::new(Vec::new()));
+        match Rc::try_unwrap(rc) {
+            Ok(buf) => buf,
+            Err(shared) => shared.as_slice().to_vec(),
+        }
     }
 
     /// Element at a multi-index.
@@ -155,7 +200,7 @@ impl Tensor {
         self.check_index(index);
         let strides = crate::shape::strides(&self.shape);
         let off = crate::shape::offset(index, &strides);
-        self.data[off] = value;
+        self.buf_mut()[off] = value;
     }
 
     /// Per-axis bounds check for `at`/`set`: an out-of-range coordinate
@@ -195,9 +240,10 @@ impl Tensor {
     /// thread count.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let n = self.data.len();
-        let mut out = vec![0f32; n];
+        let mut out = memory::take_scratch(n);
         if n >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
-            let src = &self.data;
+            // `&[f32]`, not `&Rc<..>`: the Rc would make the closure !Sync.
+            let src: &[f32] = &self.data;
             stwa_pool::parallel_chunks(&mut out, elementwise_chunks(), |start, chunk| {
                 for (dst, &x) in chunk.iter_mut().zip(src[start..].iter()) {
                     *dst = f(x);
@@ -208,19 +254,20 @@ impl Tensor {
                 *dst = f(x);
             }
         }
-        Tensor::from_vec(out, &self.shape).expect("map preserves shape")
+        Tensor::wrap(out, &self.shape)
     }
 
     /// Apply `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
-        if self.data.len() >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
-            stwa_pool::parallel_chunks(&mut self.data, elementwise_chunks(), |_, chunk| {
+        let buf = self.buf_mut();
+        if buf.len() >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
+            stwa_pool::parallel_chunks(buf, elementwise_chunks(), |_, chunk| {
                 for x in chunk {
                     *x = f(*x);
                 }
             });
         } else {
-            for x in &mut self.data {
+            for x in buf.iter_mut() {
                 *x = f(*x);
             }
         }
@@ -289,9 +336,9 @@ impl Tensor {
         // Fast path: identical shapes.
         if self.shape == rhs.shape {
             let n = self.data.len();
-            let mut data = vec![0f32; n];
+            let mut data = memory::take_scratch(n);
             if n >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
-                let (lhs, rhs_d) = (&self.data, &rhs.data);
+                let (lhs, rhs_d): (&[f32], &[f32]) = (&self.data, &rhs.data);
                 stwa_pool::parallel_chunks(&mut data, elementwise_chunks(), |start, chunk| {
                     for (i, slot) in chunk.iter_mut().enumerate() {
                         *slot = f(lhs[start + i], rhs_d[start + i]);
@@ -310,9 +357,9 @@ impl Tensor {
             let b = rhs.data[0];
             let out_shape = broadcast_shapes(op, &self.shape, &rhs.shape)?;
             let n = self.data.len();
-            let mut data = vec![0f32; n];
+            let mut data = memory::take_scratch(n);
             if n >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
-                let src = &self.data;
+                let src: &[f32] = &self.data;
                 stwa_pool::parallel_chunks(&mut data, elementwise_chunks(), |start, chunk| {
                     for (slot, &a) in chunk.iter_mut().zip(src[start..].iter()) {
                         *slot = f(a, b);
@@ -330,9 +377,9 @@ impl Tensor {
             let a = self.data[0];
             let out_shape = broadcast_shapes(op, &self.shape, &rhs.shape)?;
             let n = rhs.data.len();
-            let mut data = vec![0f32; n];
+            let mut data = memory::take_scratch(n);
             if n >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
-                let src = &rhs.data;
+                let src: &[f32] = &rhs.data;
                 stwa_pool::parallel_chunks(&mut data, elementwise_chunks(), |start, chunk| {
                     for (slot, &b) in chunk.iter_mut().zip(src[start..].iter()) {
                         *slot = f(a, b);
@@ -353,11 +400,11 @@ impl Tensor {
             let chunk = rhs.data.len();
             let n = self.data.len();
             if let Some(blocks) = n.checked_div(chunk) {
-                let mut data = vec![0f32; n];
+                let mut data = memory::take_scratch(n);
                 if n >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 && blocks > 1 {
                     let groups = elementwise_chunks().min(blocks);
                     let per = blocks.div_ceil(groups);
-                    let (src, small) = (&self.data, &rhs.data);
+                    let (src, small): (&[f32], &[f32]) = (&self.data, &rhs.data);
                     let out_ptr = stwa_pool::SendPtr(data.as_mut_ptr());
                     stwa_pool::parallel_for(groups, |g| {
                         let b1 = ((g + 1) * per).min(blocks);
@@ -398,7 +445,7 @@ impl Tensor {
         let ls = broadcast_strides(&self.shape, &out_shape);
         let rs = broadcast_strides(&rhs.shape, &out_shape);
         let n = volume(&out_shape);
-        let mut data = vec![0f32; n];
+        let mut data = memory::take_scratch(n);
         let mut idx = vec![0usize; rank];
         let (mut lo, mut ro) = (0usize, 0usize);
         for slot in data.iter_mut() {
@@ -442,17 +489,42 @@ impl Tensor {
         self.zip(rhs, "gt_mask", |a, b| if a > b { 1.0 } else { 0.0 })
     }
 
-    /// Accumulate `rhs` into `self`; shapes must match exactly.
+    /// Accumulate `rhs` into `self`; shapes must match exactly. This is
+    /// the in-place axpy the backward sweep uses to sum gradient
+    /// contributions without cloning.
     pub fn add_assign(&mut self, rhs: &Tensor) -> Result<()> {
+        self.zip_inplace(rhs, "add_assign", |a, b| a + b)
+    }
+
+    /// Combine `rhs` into `self` elementwise, in place: `a = f(a, b)`.
+    /// Shapes must match exactly (no broadcasting — in-place rules out
+    /// shape growth). Large tensors split across the worker pool with
+    /// the same thread-count-independent chunking as [`Tensor::zip`].
+    pub fn zip_inplace(
+        &mut self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Result<()> {
         if self.shape != rhs.shape {
             return Err(TensorError::ShapeMismatch {
-                op: "add_assign",
+                op,
                 lhs: self.shape.clone(),
                 rhs: rhs.shape.clone(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
-            *a += b;
+        let buf = self.buf_mut();
+        if buf.len() >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
+            let src: &[f32] = &rhs.data;
+            stwa_pool::parallel_chunks(buf, elementwise_chunks(), |start, chunk| {
+                for (i, a) in chunk.iter_mut().enumerate() {
+                    *a = f(*a, src[start + i]);
+                }
+            });
+        } else {
+            for (a, &b) in buf.iter_mut().zip(rhs.data.iter()) {
+                *a = f(*a, b);
+            }
         }
         Ok(())
     }
@@ -488,18 +560,25 @@ impl Tensor {
 
 impl Clone for Tensor {
     fn clone(&self) -> Tensor {
-        let data = self.data.clone();
-        memory::track_alloc(data.capacity() * 4);
-        Tensor {
-            data,
-            shape: self.shape.clone(),
+        if memory::pool_enabled() {
+            // O(1): share the buffer; copy-on-write preserves deep-copy
+            // semantics if either side is later mutated.
+            self.share(&self.shape)
+        } else {
+            // Pool off = pre-pool behaviour: every tensor owns a buffer.
+            Tensor::wrap(memory::take_copy(&self.data), &self.shape)
         }
     }
 }
 
 impl Drop for Tensor {
     fn drop(&mut self) {
-        memory::track_dealloc(self.data.capacity() * 4);
+        memory::track_dealloc(self.tracked_bytes);
+        // Recycle only as the last owner; earlier owners just drop their
+        // reference.
+        if let Some(buf) = Rc::get_mut(&mut self.data) {
+            memory::recycle(std::mem::take(buf));
+        }
     }
 }
 
@@ -660,5 +739,38 @@ mod tests {
         let mut b = a.clone();
         b.data_mut()[0] = 9.0;
         assert_eq!(a.data()[0], 1.0);
+    }
+
+    #[test]
+    fn zip_inplace_matches_zip() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[4]).unwrap();
+        let b = Tensor::from_vec(vec![0.25, 4.0, -1.0, 2.0], &[4]).unwrap();
+        let expect = a.zip(&b, "t", |x, y| x * y + 1.0).unwrap();
+        let mut c = a.clone();
+        c.zip_inplace(&b, "t", |x, y| x * y + 1.0).unwrap();
+        assert_eq!(c, expect);
+        assert!(c.zip_inplace(&Tensor::zeros(&[2, 2]), "t", |x, _| x).is_err());
+    }
+
+    #[test]
+    fn byte_accounting_survives_capacity_drift() {
+        // Satellite: `tracked_bytes` is recorded at construction and
+        // released verbatim. Wrap buffers whose capacity exceeds their
+        // length, reshape (which copies), and drop — if alloc/dealloc
+        // ever went asymmetric the global usize counter would wrap to
+        // an astronomically large value.
+        for _ in 0..64 {
+            let mut v = Vec::with_capacity(1000);
+            v.extend((0..24).map(|i| i as f32));
+            let t = Tensor::from_vec(v, &[4, 6]).unwrap();
+            let r = t.reshape(&[2, 12]).unwrap();
+            let back = r.into_vec(); // strips tracking before Drop
+            drop(back);
+            drop(t);
+        }
+        assert!(
+            memory::current_bytes() < (1 << 60),
+            "global live-bytes counter underflowed (alloc/dealloc asymmetry)"
+        );
     }
 }

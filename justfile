@@ -10,6 +10,7 @@ verify:
     cargo test -q
     cargo clippy --workspace -- -D warnings
     cargo run --release -p stwa-bench --bin bench_kernels -- --check BENCH_kernels.json
+    cargo run --release -p stwa-bench --bin bench_train_step -- --check BENCH_train_step.json
 
 # Fast inner-loop check.
 check:
@@ -24,6 +25,7 @@ test:
 bench:
     cargo bench -p stwa-bench --bench kernels --bench attention_scaling
     cargo run --release -p stwa-bench --bin bench_kernels -- --out BENCH_kernels.json
+    cargo run --release -p stwa-bench --bin bench_train_step -- --out BENCH_train_step.json
 
 # Regenerate every paper table/figure CSV under results/.
 experiments:
