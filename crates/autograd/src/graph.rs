@@ -23,14 +23,15 @@ pub enum ActKind {
 
 impl ActKind {
     /// The scalar forward function — exactly the expression the unfused
-    /// elementwise ops apply.
+    /// elementwise ops apply. Public so tape-free forwards (the
+    /// inference path) can reuse the identical scalar expression.
     #[inline]
-    pub(crate) fn apply(self, x: f32) -> f32 {
+    pub fn apply(self, x: f32) -> f32 {
         match self {
             ActKind::Identity => x,
             ActKind::Relu => x.max(0.0),
-            ActKind::Tanh => x.tanh(),
-            ActKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            ActKind::Tanh => stwa_tensor::mathfn::tanh_f32(x),
+            ActKind::Sigmoid => stwa_tensor::mathfn::sigmoid_f32(x),
         }
     }
 }

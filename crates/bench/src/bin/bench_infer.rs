@@ -1,0 +1,273 @@
+//! Inference-engine harness: serves the default ST-WA configuration
+//! through both eval paths on synthetic PEMS-shaped requests —
+//!
+//! - **graph**: the training-time eval forward (autograd tape built and
+//!   discarded per call), and
+//! - **infer**: the frozen `stwa-infer` session (tape-free, frozen
+//!   latents, pre-decoded projections where input-independent, packed
+//!   GEMM panels, plan arena),
+//!
+//! at batch sizes 1, 8, and 64, reporting p50/p99 latency and rows/sec
+//! for each. Every measured pair is asserted bitwise identical before
+//! timing begins — the engine is only fast because it skips bookkeeping,
+//! never because it changes arithmetic.
+//!
+//! The speedups are same-run ratios, so the `--check` gate is portable
+//! across hosts of different absolute speed, exactly like
+//! `bench_kernels` and `bench_train_step`. The batch-1 speedup is also
+//! a hard floor: below 2x the engine has lost its reason to exist.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_autograd::Graph;
+use stwa_core::{ForecastModel, StwaConfig, StwaModel};
+use stwa_infer::InferSession;
+use stwa_tensor::Tensor;
+
+/// Allowed relative loss of a baseline ratio before `--check` fails.
+const REGRESSION_TOLERANCE: f64 = 0.15;
+/// Hard floor on the batch-1 speedup, independent of any baseline.
+const MIN_SPEEDUP_B1: f64 = 2.0;
+
+const SENSORS: usize = 32;
+const HISTORY: usize = 12;
+const HORIZON: usize = 3;
+const BATCHES: [usize; 3] = [1, 8, 64];
+
+const WARMUP: usize = 3;
+/// Per-batch measured iterations, scaled down as rows per call grow.
+fn iters_for(batch: usize) -> usize {
+    match batch {
+        1 => 120,
+        8 => 24,
+        _ => 8,
+    }
+}
+
+struct PathStats {
+    p50_ms: f64,
+    p99_ms: f64,
+    rows_per_sec: f64,
+}
+
+struct BatchResult {
+    batch: usize,
+    graph: PathStats,
+    infer: PathStats,
+}
+
+impl BatchResult {
+    /// Graph-path p50 over infer-path p50 (same run).
+    fn speedup(&self) -> f64 {
+        self.graph.p50_ms / self.infer.p50_ms
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 * q).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted_ms.len() - 1);
+    sorted_ms[idx]
+}
+
+/// Time the two paths with their iterations interleaved pairwise, so a
+/// noisy-neighbour burst (or a frequency-scaling step) lands on both
+/// sides of the ratio instead of skewing one whole phase.
+fn measure_pair(
+    batch: usize,
+    mut graph: impl FnMut(),
+    mut infer: impl FnMut(),
+) -> (PathStats, PathStats) {
+    for _ in 0..WARMUP {
+        graph();
+        infer();
+    }
+    let iters = iters_for(batch);
+    let mut graph_ms = Vec::with_capacity(iters);
+    let mut infer_ms = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        graph();
+        graph_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        infer();
+        infer_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let stats = |ms: &mut Vec<f64>| {
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let p50 = percentile(ms, 0.50);
+        PathStats {
+            p50_ms: p50,
+            p99_ms: percentile(ms, 0.99),
+            rows_per_sec: batch as f64 / (p50 / 1e3),
+        }
+    };
+    (stats(&mut graph_ms), stats(&mut infer_ms))
+}
+
+fn graph_eval(model: &StwaModel, x: &Tensor) -> Tensor {
+    let g = Graph::new();
+    let xv = g.constant(x.clone());
+    let mut rng = StdRng::seed_from_u64(0);
+    let out = model.forward(&g, &xv, &mut rng, false).expect("forward");
+    out.pred.value().as_ref().clone()
+}
+
+fn run_suite() -> Vec<BatchResult> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let model =
+        StwaModel::new(StwaConfig::st_wa(SENSORS, HISTORY, HORIZON), &mut rng).expect("model");
+    let session = InferSession::new(&model).expect("freeze");
+
+    BATCHES
+        .iter()
+        .map(|&batch| {
+            let x = Tensor::randn(&[batch, SENSORS, HISTORY, 1], &mut rng);
+            // Correctness first: the two paths must agree bit-for-bit.
+            let want = graph_eval(&model, &x);
+            let got = session.run(&x).expect("infer");
+            assert_eq!(
+                want.data(),
+                got.data(),
+                "batch {batch}: frozen path diverged from graph eval"
+            );
+            let (graph, infer) = measure_pair(
+                batch,
+                || {
+                    std::hint::black_box(graph_eval(&model, &x));
+                },
+                || {
+                    std::hint::black_box(session.run(&x).expect("infer"));
+                },
+            );
+            BatchResult {
+                batch,
+                graph,
+                infer,
+            }
+        })
+        .collect()
+}
+
+fn render_json(results: &[BatchResult]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"threads\": {},\n  \"shape\": \"[B,{SENSORS},{HISTORY},1] -> [B,{SENSORS},{HORIZON},1]\",\n",
+        stwa_pool::current_threads()
+    ));
+    for r in results {
+        let b = r.batch;
+        s.push_str(&format!(
+            "  \"b{b}_graph_p50_ms\": {:.3},\n  \"b{b}_graph_p99_ms\": {:.3},\n  \
+             \"b{b}_infer_p50_ms\": {:.3},\n  \"b{b}_infer_p99_ms\": {:.3},\n  \
+             \"b{b}_infer_rows_per_sec\": {:.1},\n  \"b{b}_speedup\": {:.3},\n",
+            r.graph.p50_ms,
+            r.graph.p99_ms,
+            r.infer.p50_ms,
+            r.infer.p99_ms,
+            r.infer.rows_per_sec,
+            r.speedup(),
+        ));
+    }
+    s.push_str(&format!(
+        "  \"min_speedup_b1\": {MIN_SPEEDUP_B1:.1}\n}}\n"
+    ));
+    s
+}
+
+/// Pull a `"key": value` number back out of a report written by
+/// [`render_json`] (one key per line — no JSON dependency needed).
+fn parse_number(json: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    for line in json.lines() {
+        if let Some(at) = line.find(&tag) {
+            let s: String = line[at + tag.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            return s.parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_infer.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args.get(i + 1).expect("--out needs a path").clone();
+                i += 2;
+            }
+            "--check" => {
+                check_path = Some(args.get(i + 1).expect("--check needs a path").clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: bench_infer [--out PATH | --check PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let results = run_suite();
+    for r in &results {
+        println!(
+            "batch {:>2}  graph p50 {:>7.2} ms  infer p50 {:>7.2} ms  p99 {:>7.2} ms  \
+             {:>9.0} rows/s  speedup {:.2}x",
+            r.batch,
+            r.graph.p50_ms,
+            r.infer.p50_ms,
+            r.infer.p99_ms,
+            r.infer.rows_per_sec,
+            r.speedup()
+        );
+    }
+
+    let b1 = results.iter().find(|r| r.batch == 1).expect("batch 1 run");
+    if b1.speedup() < MIN_SPEEDUP_B1 {
+        eprintln!(
+            "REGRESSION: batch-1 speedup {:.2}x fell below the {MIN_SPEEDUP_B1:.1}x floor",
+            b1.speedup()
+        );
+        std::process::exit(1);
+    }
+
+    if let Some(baseline_path) = check_path {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let mut failed = false;
+        for r in &results {
+            let key = format!("b{}_speedup", r.batch);
+            let Some(old_val) = parse_number(&baseline, &key) else {
+                println!("note: no baseline value for {key}, skipping");
+                continue;
+            };
+            let new_val = r.speedup();
+            let floor = old_val * (1.0 - REGRESSION_TOLERANCE);
+            if new_val < floor {
+                eprintln!(
+                    "REGRESSION {key}: {new_val:.2} fell below {floor:.2} \
+                     (baseline {old_val:.2} - {:.0}% tolerance)",
+                    REGRESSION_TOLERANCE * 100.0
+                );
+                failed = true;
+            } else {
+                println!("ok {key}: {new_val:.2} vs baseline {old_val:.2} (floor {floor:.2})");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("infer check passed");
+    } else {
+        std::fs::write(&out_path, render_json(&results))
+            .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+        println!("wrote {out_path}");
+    }
+}

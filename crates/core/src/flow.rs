@@ -24,7 +24,7 @@
 use rand::Rng;
 use stwa_autograd::{Graph, Var};
 use stwa_nn::{init, Param, ParamStore};
-use stwa_tensor::{Result, TensorError};
+use stwa_tensor::{linalg, Result, Tensor, TensorError};
 
 /// One planar flow layer with learnable `u, w ∈ R^k`, `b ∈ R`.
 struct PlanarLayer {
@@ -112,6 +112,64 @@ impl FlowStack {
             });
         }
         Ok((current, logdet_sum.expect("depth >= 1")))
+    }
+
+    /// Tape-free transform: the same `z'` arithmetic as
+    /// [`FlowStack::forward`] on plain tensors, with the log-determinant
+    /// terms skipped — they feed only the KL, which eval never computes,
+    /// and their arithmetic never touches `current`, so dropping them
+    /// leaves the transformed latent bitwise identical.
+    pub fn transform_nograd(&self, z: &Tensor) -> Result<Tensor> {
+        let shape = z.shape();
+        let rank = shape.len();
+        if rank < 2 || shape[rank - 1] != self.k {
+            return Err(TensorError::Invalid(format!(
+                "FlowStack: expected rank >= 2 with last dim {}, got {shape:?}",
+                self.k
+            )));
+        }
+        let mut current = z.clone();
+        for layer in &self.layers {
+            let (u, w_col, b) = layer.constrained_nograd(self.k)?;
+            let pre = linalg::matmul(&current, &w_col)?.add(&b)?;
+            let t = pre.tanh();
+            let step = t.mul(&u)?;
+            current = current.add(&step)?;
+        }
+        Ok(current)
+    }
+
+    /// Per-layer frozen flow constants for the inference engine: the
+    /// constrained `u_hat` (`[k]`), the column weight (`[k, 1]`), and the
+    /// bias (`[1]`). These depend only on parameters, so a frozen session
+    /// computes them once; per request only `matmul / add / tanh / mul /
+    /// add` remain.
+    pub fn frozen_layers_nograd(&self) -> Result<Vec<(Tensor, Tensor, Tensor)>> {
+        self.layers
+            .iter()
+            .map(|layer| layer.constrained_nograd(self.k))
+            .collect()
+    }
+}
+
+impl PlanarLayer {
+    /// The invertibility-constrained `u_hat`, plus `w` as a `[k, 1]`
+    /// column and the bias — the identical tensor expressions the graph
+    /// path evaluates, so downstream arithmetic stays bitwise equal.
+    fn constrained_nograd(&self, k: usize) -> Result<(Tensor, Tensor, Tensor)> {
+        let u_raw = self.u.value(); // [k]
+        let w = self.w.value(); // [k]
+        let b = self.b.value(); // [1]
+        let w_row = w.reshape(&[1, k])?;
+        let u_col = u_raw.reshape(&[k, 1])?;
+        let uw = linalg::matmul(&w_row, &u_col)?.reshape(&[1])?;
+        let softplus = uw.exp().add_scalar(1.0).ln();
+        let m_uw = softplus.add_scalar(-1.0);
+        let w_norm_sq = linalg::matmul(&w_row, &w.reshape(&[k, 1])?)?.reshape(&[1])?;
+        let coeff = m_uw.sub(&uw)?.div(&w_norm_sq.add_scalar(1e-8))?;
+        let u = u_raw.add(&coeff.mul(&w)?)?;
+        let w_col = w.reshape(&[k, 1])?;
+        Ok((u, w_col, b))
     }
 }
 
@@ -223,6 +281,18 @@ mod tests {
         // The constraint itself: u_hat . w >= -1 guarantees a positive
         // Jacobian argument for any t in (-1, 1).
         assert!(u_hat * w > -1.0);
+    }
+
+    #[test]
+    fn transform_nograd_bitwise_matches_graph_forward() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let flow = FlowStack::new(&store, "f", 6, 3, &mut rng);
+        let z = Tensor::randn(&[2, 5, 6], &mut rng);
+        let g = Graph::new();
+        let (graph_out, _) = flow.forward(&g, &g.constant(z.clone())).unwrap();
+        let nograd_out = flow.transform_nograd(&z).unwrap();
+        assert_eq!(graph_out.value().data(), nograd_out.data());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod window_attention;
 pub use flow::{flow_kl, FlowStack};
 pub use generator::{
     combine_theta, combined_kl, combined_moments, AwarenessFlags, GeneratedProjections,
-    ParamDecoder, StGenerator,
+    GeneratedTensors, ParamDecoder, StGenerator,
 };
 pub use latent::{GaussianSample, LatentMode, SpatialLatent, TemporalEncoder};
 pub use model::{AggregatorKind, StwaConfig, StwaModel};

@@ -5,7 +5,7 @@ use rand::Rng;
 use stwa_autograd::{Graph, Var};
 use stwa_nn::layers::Linear;
 use stwa_nn::ParamStore;
-use stwa_tensor::{Result, TensorError};
+use stwa_tensor::{linalg, Result, Tensor, TensorError};
 
 /// `B(h_i, h_j) = softmax_j( theta1(h_i)^T theta2(h_j) )`, followed by
 /// `h̄_i = sum_j B(h_i, h_j) * h_j` — i.e. each sensor re-weights the
@@ -109,6 +109,66 @@ impl SensorCorrelationAttention {
             .mul_scalar(1.0 / (self.d as f32).sqrt()); // [..., N, N]
         let weights = scores.softmax(scores.shape().len() - 1)?;
         weights.matmul(h)
+    }
+
+    /// Tape-free [`SensorCorrelationAttention::forward`]: identical
+    /// kernels and order, no graph nodes.
+    pub fn forward_nograd(&self, h: &Tensor) -> Result<Tensor> {
+        let shape = h.shape();
+        let rank = shape.len();
+        if rank < 2 || shape[rank - 1] != self.d {
+            return Err(TensorError::Invalid(format!(
+                "SensorCorrelationAttention: expected [..., N, {}], got {shape:?}",
+                self.d
+            )));
+        }
+        let (Some(theta1), Some(theta2)) = (&self.theta1, &self.theta2) else {
+            return Err(TensorError::Invalid(
+                "SensorCorrelationAttention built for generated transforms \
+                 requires forward_with"
+                    .into(),
+            ));
+        };
+        let _span = stwa_observe::span!("sensor_attention");
+        let q = theta1.forward_nograd(h)?;
+        let k = theta2.forward_nograd(h)?;
+        self.attend_nograd(&q, &k, h)
+    }
+
+    /// Tape-free [`SensorCorrelationAttention::forward_with`]. `t1`/`t2`
+    /// may carry any leading axes that broadcast against `[B, N]` under
+    /// batched matmul — per-sensor `[N, d, d]` frozen transforms included.
+    pub fn forward_with_nograd(&self, h: &Tensor, t1: &Tensor, t2: &Tensor) -> Result<Tensor> {
+        let shape = h.shape();
+        if shape.len() != 3 || shape[2] != self.d {
+            return Err(TensorError::Invalid(format!(
+                "SensorCorrelationAttention::forward_with: expected [B, N, {}], got {shape:?}",
+                self.d
+            )));
+        }
+        let _span = stwa_observe::span!("sensor_attention");
+        let rows = h.unsqueeze(2)?;
+        let q = linalg::matmul(&rows, t1)?.squeeze(2)?;
+        let k = linalg::matmul(&rows, t2)?.squeeze(2)?;
+        self.attend_nograd(&q, &k, h)
+    }
+
+    /// Tape-free twin of [`SensorCorrelationAttention::attend`].
+    fn attend_nograd(&self, q: &Tensor, k: &Tensor, h: &Tensor) -> Result<Tensor> {
+        let scores = linalg::matmul_nt(q, k)?.mul_scalar(1.0 / (self.d as f32).sqrt());
+        let weights = scores.softmax(scores.rank() - 1)?;
+        linalg::matmul(&weights, h)
+    }
+
+    /// Shared embedding transforms, when present — read by the inference
+    /// engine when packing frozen weights.
+    pub fn shared_transforms(&self) -> (Option<&Linear>, Option<&Linear>) {
+        (self.theta1.as_ref(), self.theta2.as_ref())
+    }
+
+    /// Feature width `d`.
+    pub fn dim(&self) -> usize {
+        self.d
     }
 }
 

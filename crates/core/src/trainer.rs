@@ -57,6 +57,24 @@ pub trait ForecastModel {
         rng: &mut StdRng,
         training: bool,
     ) -> Result<ForwardOutput>;
+
+    /// Eval-mode forward on a raw normalized tensor, returning the
+    /// normalized predictions `[B, N, U, F]`.
+    ///
+    /// The default implementation runs the graph path with
+    /// `training == false` and discards the tape. Evaluation never
+    /// samples latents (posterior means), so the RNG is not consulted
+    /// and the fixed seed below is inert. Models with a tape-free
+    /// mirror (e.g. `StwaModel::forward_nograd`) override this to skip
+    /// graph construction entirely; overrides must stay bitwise
+    /// identical to the graph path.
+    fn forward_eval(&self, x: &Tensor) -> Result<Tensor> {
+        let graph = Graph::new();
+        let xv = graph.constant(x.clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = self.forward(&graph, &xv, &mut rng, false)?;
+        Ok(out.pred.value().as_ref().clone())
+    }
 }
 
 /// Training hyperparameters (paper Section V-A defaults, scaled down in
@@ -401,10 +419,17 @@ impl Trainer {
         while start < num {
             let take = bs.min(num - start);
             let bx = x.narrow(0, start, take)?;
-            let graph = Graph::new();
-            let xv = graph.constant(bx);
-            let out = model.forward(&graph, &xv, rng, training)?;
-            chunks.push(scaler.inverse(&out.pred.value()));
+            let pred = if training {
+                let graph = Graph::new();
+                let xv = graph.constant(bx);
+                let out = model.forward(&graph, &xv, rng, training)?;
+                out.pred.value().as_ref().clone()
+            } else {
+                // Evaluation takes the tape-free path: no autograd
+                // nodes, same kernels, bitwise-identical predictions.
+                model.forward_eval(&bx)?
+            };
+            chunks.push(scaler.inverse(&pred));
             start += take;
         }
         let refs: Vec<&Tensor> = chunks.iter().collect();
@@ -513,6 +538,44 @@ mod tests {
         assert!(trainer
             .predict_with_uncertainty(&sto, &split.x, &dataset.scaler(), &mut rng, 0)
             .is_err());
+    }
+
+    #[test]
+    fn evaluate_uses_nograd_path_with_bitwise_identical_metrics() {
+        // Rewiring evaluation onto the tape-free forward must not move
+        // a single bit of the reported metrics: compare against a
+        // manual graph-path evaluation of the same split.
+        let dataset = TrafficDataset::generate(DatasetConfig::small());
+        let n = dataset.num_sensors();
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+        let trainer = quick_trainer(1);
+        let split = dataset.test(12, 3, 6).unwrap();
+        let scaler = dataset.scaler();
+
+        let via_eval = trainer.evaluate(&model, &split, &scaler, &mut rng).unwrap();
+
+        // Manual graph-path reference, batched identically.
+        let num = split.x.shape()[0];
+        let bs = trainer.config.batch_size;
+        let mut chunks: Vec<Tensor> = Vec::new();
+        let mut start = 0;
+        while start < num {
+            let take = bs.min(num - start);
+            let bx = split.x.narrow(0, start, take).unwrap();
+            let graph = Graph::new();
+            let xv = graph.constant(bx);
+            let out = model.forward(&graph, &xv, &mut rng, false).unwrap();
+            chunks.push(scaler.inverse(&out.pred.value()));
+            start += take;
+        }
+        let refs: Vec<&Tensor> = chunks.iter().collect();
+        let graph_preds = stwa_tensor::manip::concat(&refs, 0).unwrap();
+        let via_graph = Metrics::compute(&graph_preds, &split.y);
+
+        assert_eq!(via_eval.mae.to_bits(), via_graph.mae.to_bits());
+        assert_eq!(via_eval.rmse.to_bits(), via_graph.rmse.to_bits());
+        assert_eq!(via_eval.mape.to_bits(), via_graph.mape.to_bits());
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! # stwa-infer
+//!
+//! Tape-free inference engine for the ST-WA model family.
+//!
+//! Training evaluates models through the autograd graph, paying for
+//! tape nodes, gradient bookkeeping, and per-call GEMM packing that
+//! eval never uses. This crate serves a *frozen* model instead:
+//!
+//! - [`FrozenStwa::freeze`] snapshots the trained parameters, collapses
+//!   the stochastic latents to their posterior means, pre-decodes the
+//!   per-sensor K/V projections when they are input-independent (S-WA),
+//!   precomputes the planar-flow constrained parameters, and re-lays
+//!   every static dense weight into packed GEMM panels;
+//! - [`InferSession`] executes the frozen op sequence with a
+//!   per-batch-size plan arena and refuses to serve once the source
+//!   parameters are mutated (version-counter staleness guard);
+//! - [`InferQueue`] coalesces single-sample requests into micro-batches
+//!   (`max_batch` / `max_wait`) in front of a session.
+//!
+//! The engine's contract is **bitwise equality**: every forward here
+//! runs the same tensor kernels in the same order as the training
+//! graph's eval path, so `InferSession::run` and
+//! `model.forward(graph, x, rng, false)` agree bit-for-bit. The
+//! property tests in `tests/` enforce this across random
+//! configurations.
+
+pub mod frozen;
+pub mod packed;
+pub mod queue;
+pub mod session;
+
+pub use frozen::{BatchPlan, FrozenStwa};
+pub use packed::{PackedDense, PackedMlp, PackedWeight};
+pub use queue::{InferQueue, QueueConfig, RequestId};
+pub use session::InferSession;

@@ -1,0 +1,216 @@
+//! Pre-packed dense layers: frozen `Linear`/`Mlp` weights re-laid into
+//! the GEMM panel format at freeze time, so serving skips the per-call
+//! B-matrix pack entirely.
+//!
+//! Every forward here mirrors the corresponding tape-free path in
+//! `stwa-nn` branch-for-branch; `matmul_packed_lean` is bitwise
+//! identical to `matmul` by the kernel accumulation-order contract (the
+//! lean entry runs the same prepacked kernel minus the per-call
+//! span/counter/pool dispatch), so a packed layer's output matches the
+//! training-graph eval path bit-for-bit.
+
+use stwa_nn::layers::{Activation, Linear, Mlp};
+use stwa_tensor::linalg::{matmul_packed_lean, PackedMatrix};
+use stwa_tensor::{mathfn, Result, Tensor, TensorError};
+
+/// A frozen [`Linear`]: panel-packed weight plus a bias snapshot.
+pub struct PackedDense {
+    packed: PackedMatrix,
+    bias: Option<Tensor>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl PackedDense {
+    /// Snapshot and pack a linear layer's current parameters.
+    pub fn from_linear(layer: &Linear) -> Result<PackedDense> {
+        let w = layer.weight_param().value();
+        Ok(PackedDense {
+            packed: PackedMatrix::pack(&w)?,
+            bias: layer.bias_param().map(|b| b.value()),
+            in_dim: layer.in_dim(),
+            out_dim: layer.out_dim(),
+        })
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Bytes held by the packed weight panels.
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.packed_bytes()
+    }
+
+    /// [`Linear::forward_nograd`] on the packed weight.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        self.forward_act(x, Activation::Identity)
+    }
+
+    /// [`Linear::forward_act_nograd`] on the packed weight. The bias
+    /// add and activation run in place on the uniquely-owned GEMM
+    /// output — the same `kind.apply(a + bias)` scalar chain as both
+    /// the fused `bias_add_act` zip and the unfused add-then-activate
+    /// branch of the graph path (which agree bitwise), minus a dispatch
+    /// and a materialization per call.
+    pub fn forward_act(&self, x: &Tensor, act: Activation) -> Result<Tensor> {
+        let shape = x.shape().to_vec();
+        let rank = shape.len();
+        if rank == 0 || shape[rank - 1] != self.in_dim {
+            return Err(TensorError::Invalid(format!(
+                "PackedDense: expected last dim {}, got shape {:?}",
+                self.in_dim, shape
+            )));
+        }
+        let lead: usize = shape[..rank - 1].iter().product();
+        let flat = x.reshape(&[lead, self.in_dim])?;
+        let mut y = matmul_packed_lean(&flat, &self.packed)?;
+        // Bias pass, then one wide activation pass over the whole
+        // buffer — per element the same add-then-apply chain as the
+        // interleaved `kind.apply(a + bias)` zip, so both the fused and
+        // unfused graph branches (which agree bitwise) are matched.
+        if let Some(b) = &self.bias {
+            let bd = b.data();
+            for row in y.data_mut().chunks_exact_mut(self.out_dim) {
+                for (o, &bv) in row.iter_mut().zip(bd.iter()) {
+                    *o += bv;
+                }
+            }
+        }
+        match act {
+            Activation::Identity => {}
+            Activation::Tanh => mathfn::tanh_slice(y.data_mut()),
+            Activation::Sigmoid => mathfn::sigmoid_slice(y.data_mut()),
+            Activation::Relu => {
+                for o in y.data_mut().iter_mut() {
+                    *o = o.max(0.0);
+                }
+            }
+        }
+        let mut out_shape = shape[..rank - 1].to_vec();
+        out_shape.push(self.out_dim);
+        y.reshape(&out_shape)
+    }
+}
+
+/// A frozen [`Mlp`]: every layer packed, activations snapshotted.
+pub struct PackedMlp {
+    layers: Vec<PackedDense>,
+    activations: Vec<Activation>,
+}
+
+impl PackedMlp {
+    pub fn from_mlp(mlp: &Mlp) -> Result<PackedMlp> {
+        Ok(PackedMlp {
+            layers: mlp
+                .layers()
+                .iter()
+                .map(PackedDense::from_linear)
+                .collect::<Result<Vec<_>>>()?,
+            activations: mlp.activations().to_vec(),
+        })
+    }
+
+    /// [`Mlp::forward_nograd`] over the packed layers.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let mut h = x.clone();
+        for (layer, act) in self.layers.iter().zip(&self.activations) {
+            h = layer.forward_act(&h, *act)?;
+        }
+        Ok(h)
+    }
+
+    pub fn packed_bytes(&self) -> usize {
+        self.layers.iter().map(PackedDense::packed_bytes).sum()
+    }
+}
+
+/// A frozen bias-free square weight used outside the `Linear` shape
+/// discipline (the Eq. 12 gate matrices): packed panels applied to any
+/// `[..., k]` input by flattening the leading axes, exactly as the
+/// graph path's broadcast matmul does.
+pub struct PackedWeight {
+    packed: PackedMatrix,
+}
+
+impl PackedWeight {
+    pub fn pack(w: &Tensor) -> Result<PackedWeight> {
+        Ok(PackedWeight {
+            packed: PackedMatrix::pack(w)?,
+        })
+    }
+
+    pub fn matmul(&self, x: &Tensor) -> Result<Tensor> {
+        matmul_packed_lean(x, &self.packed)
+    }
+
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.packed_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stwa_nn::ParamStore;
+    use stwa_tensor::{linalg, memory};
+
+    #[test]
+    fn packed_dense_bitwise_matches_linear_nograd() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(&store, "l", 9, 13, &mut rng);
+        let packed = PackedDense::from_linear(&layer).unwrap();
+        let x = Tensor::randn(&[4, 6, 9], &mut rng);
+        for fused in [true, false] {
+            let prev = memory::fused_enabled();
+            memory::set_fused_enabled(fused);
+            let want = layer
+                .forward_act_nograd(&x, Activation::Tanh)
+                .unwrap();
+            let got = packed.forward_act(&x, Activation::Tanh).unwrap();
+            memory::set_fused_enabled(prev);
+            assert_eq!(want.data(), got.data());
+        }
+        assert!(packed.packed_bytes() > 0);
+        // Wrong trailing dim rejected.
+        assert!(packed.forward(&Tensor::zeros(&[2, 8])).is_err());
+    }
+
+    #[test]
+    fn packed_mlp_bitwise_matches_mlp_nograd() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(
+            &store,
+            "m",
+            &[7, 11, 5],
+            &[Activation::Relu, Activation::Identity],
+            &mut rng,
+        );
+        let packed = PackedMlp::from_mlp(&mlp).unwrap();
+        let x = Tensor::randn(&[3, 7], &mut rng);
+        assert_eq!(
+            mlp.forward_nograd(&x).unwrap().data(),
+            packed.forward(&x).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn packed_weight_bitwise_matches_broadcast_matmul() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Tensor::randn(&[8, 8], &mut rng);
+        let packed = PackedWeight::pack(&w).unwrap();
+        let x = Tensor::randn(&[2, 3, 4, 8], &mut rng);
+        assert_eq!(
+            linalg::matmul(&x, &w).unwrap().data(),
+            packed.matmul(&x).unwrap().data()
+        );
+    }
+}

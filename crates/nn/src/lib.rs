@@ -22,4 +22,4 @@ pub mod loss;
 pub mod optim;
 pub mod param;
 
-pub use param::{Param, ParamStore};
+pub use param::{Param, ParamStore, StoreVersion};

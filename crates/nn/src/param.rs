@@ -1,9 +1,28 @@
 //! Parameters and the parameter store.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use stwa_autograd::{Graph, Var};
 use stwa_tensor::Tensor;
+
+/// Monotonic mutation counter shared by a [`ParamStore`] and every
+/// parameter it registered. Any `set_value` — an optimizer step, a
+/// checkpoint restore — bumps it, so consumers that cached derived
+/// state (packed inference weights, decoded projections) can detect
+/// staleness with a single integer compare.
+#[derive(Clone, Default)]
+pub struct StoreVersion(Rc<Cell<u64>>);
+
+impl StoreVersion {
+    /// Current mutation count.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    fn bump(&self) {
+        self.0.set(self.0.get() + 1);
+    }
+}
 
 struct ParamInner {
     name: String,
@@ -11,6 +30,8 @@ struct ParamInner {
     /// The leaf `Var` this parameter was bound to on the most recent
     /// graph; the optimizer reads gradients through it after backward.
     bound: RefCell<Option<Var>>,
+    /// The owning store's mutation counter; bumped on every `set_value`.
+    version: StoreVersion,
 }
 
 /// A trainable tensor.
@@ -100,6 +121,7 @@ impl Param {
         );
         *self.0.value.borrow_mut() = value;
         *self.0.bound.borrow_mut() = None;
+        self.0.version.bump();
     }
 
     /// Drop the remembered graph binding (frees the old tape).
@@ -115,6 +137,7 @@ impl Param {
 #[derive(Default)]
 pub struct ParamStore {
     params: RefCell<Vec<Param>>,
+    version: StoreVersion,
 }
 
 impl ParamStore {
@@ -128,9 +151,23 @@ impl ParamStore {
             name: name.into(),
             value: RefCell::new(value),
             bound: RefCell::new(None),
+            version: self.version.clone(),
         }));
         self.params.borrow_mut().push(p.clone());
         p
+    }
+
+    /// Current mutation count: incremented whenever any registered
+    /// parameter's value is overwritten.
+    pub fn version(&self) -> u64 {
+        self.version.get()
+    }
+
+    /// Cheap handle to the mutation counter, independent of the store's
+    /// lifetime — what a frozen inference session holds to detect that
+    /// its cached weights went stale.
+    pub fn version_handle(&self) -> StoreVersion {
+        self.version.clone()
     }
 
     /// Handles to all registered parameters, in registration order.
@@ -221,6 +258,24 @@ mod tests {
         let store = ParamStore::new();
         let p = store.param("w", Tensor::zeros(&[2]));
         p.set_value(Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn set_value_bumps_store_version() {
+        let store = ParamStore::new();
+        let p = store.param("w", Tensor::zeros(&[2]));
+        let q = store.param("b", Tensor::zeros(&[1]));
+        let handle = store.version_handle();
+        assert_eq!(store.version(), 0);
+        p.set_value(Tensor::ones(&[2]));
+        assert_eq!(store.version(), 1);
+        q.set_value(Tensor::ones(&[1]));
+        assert_eq!(store.version(), 2);
+        assert_eq!(handle.get(), 2, "handle tracks the same counter");
+        // Reads do not bump.
+        let _ = p.value();
+        p.unbind();
+        assert_eq!(store.version(), 2);
     }
 
     #[test]

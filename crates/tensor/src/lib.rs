@@ -21,6 +21,7 @@
 pub mod error;
 pub mod linalg;
 pub mod manip;
+pub mod mathfn;
 pub mod memory;
 pub mod random;
 pub mod reduce;

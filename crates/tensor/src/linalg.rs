@@ -96,6 +96,22 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     run(a, b, AKind::Transposed, BKind::Normal, "matmul_tn")
 }
 
+/// Serving-path [`matmul`]: the same plan, kernel choice, and
+/// accumulation order, with none of the per-call instrumentation or
+/// pool dispatch. The inference engine's products are tiny and
+/// latency-critical — a span guard, three counters, and a pool
+/// round-trip cost more than the arithmetic — while the training path
+/// keeps full observability. Bitwise identical to [`matmul`].
+pub fn matmul_lean(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    run_lean(a, b, AKind::Normal, BKind::Normal, "matmul")
+}
+
+/// Serving-path [`matmul_nt`]; see [`matmul_lean`]. Bitwise identical
+/// to [`matmul_nt`].
+pub fn matmul_nt_lean(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    run_lean(a, b, AKind::Normal, BKind::Transposed, "matmul_nt")
+}
+
 /// The seed kernel, kept as the independent reference implementation:
 /// single-threaded i-k-j over every broadcast batch. Property tests and
 /// the kernel benchmark compare the production paths against this.
@@ -311,41 +327,10 @@ fn run(a: &Tensor, b: &Tensor, ak: AKind, bk: BKind, op: &'static str) -> Result
         // Sequential path, still routed through the pool so manifests
         // account for every kernel dispatch (`pool.tasks`).
         stwa_pool::parallel_for(1, |_| {
-            // Attention-sized products (a handful of FLOPs, a huge
-            // batch) are dominated by per-batch dispatch, so for plain
-            // strided layouts hoist the kernel selection out of the
-            // batch loop. Same kernels, same per-matrix order — bitwise
-            // identical to the generic walk below.
-            if let (false, &Offsets::Strided(sa), &Offsets::Strided(sb)) =
-                (use_blocked, &plan.a_offsets, &plan.b_offsets)
-            {
-                let c_all =
-                    unsafe { std::slice::from_raw_parts_mut(out_ptr.get(), batch * m * n) };
-                match (ak, bk) {
-                    (AKind::Normal, BKind::Normal) => {
-                        for (bi, c) in c_all.chunks_exact_mut(m * n).enumerate() {
-                            naive_nn(&a_data[bi * sa..], &b_data[bi * sb..], c, 0, m, k, n);
-                        }
-                    }
-                    (AKind::Normal, BKind::Transposed) => {
-                        for (bi, c) in c_all.chunks_exact_mut(m * n).enumerate() {
-                            naive_nt(&a_data[bi * sa..], &b_data[bi * sb..], c, 0, m, k, n);
-                        }
-                    }
-                    (AKind::Transposed, BKind::Normal) => {
-                        for (bi, c) in c_all.chunks_exact_mut(m * n).enumerate() {
-                            naive_tn(&a_data[bi * sa..], &b_data[bi * sb..], c, 0, m, m, k, n);
-                        }
-                    }
-                    (AKind::Transposed, BKind::Transposed) => {
-                        unreachable!("no Aᵀ·Bᵀ entry point")
-                    }
-                }
-                return;
-            }
-            for bi in 0..batch {
-                run_rows(bi, 0, m);
-            }
+            // Safety: single task, and the pool joins before `out` is
+            // consumed.
+            let c_all = unsafe { std::slice::from_raw_parts_mut(out_ptr.get(), batch * m * n) };
+            seq_exec(&plan, a_data, b_data, c_all, use_blocked, ak, bk);
         });
     } else {
         stwa_pool::parallel_for(tasks.len(), |t| {
@@ -355,6 +340,171 @@ fn run(a: &Tensor, b: &Tensor, ak: AKind, bk: BKind, op: &'static str) -> Result
     }
 
     Tensor::from_vec(out, &plan.out_shape)
+}
+
+/// Sequential execution of one planned product: every broadcast batch
+/// matrix in order, through the same kernel the threaded path would
+/// pick. Attention-sized products (a handful of FLOPs, a huge batch)
+/// are dominated by per-batch dispatch, so for plain strided layouts
+/// the kernel selection is hoisted out of the batch loop. Same kernels,
+/// same per-matrix order — bitwise identical to the generic walk.
+fn seq_exec(
+    plan: &Plan,
+    a_data: &[f32],
+    b_data: &[f32],
+    out: &mut [f32],
+    use_blocked: bool,
+    ak: AKind,
+    bk: BKind,
+) {
+    let (m, k, n) = (plan.m, plan.k, plan.n);
+    if let (false, &Offsets::Strided(sa), &Offsets::Strided(sb)) =
+        (use_blocked, &plan.a_offsets, &plan.b_offsets)
+    {
+        match (ak, bk) {
+            (AKind::Normal, BKind::Normal) => {
+                for (bi, c) in out.chunks_exact_mut(m * n).enumerate() {
+                    naive_nn(&a_data[bi * sa..], &b_data[bi * sb..], c, 0, m, k, n);
+                }
+            }
+            (AKind::Normal, BKind::Transposed) => {
+                for (bi, c) in out.chunks_exact_mut(m * n).enumerate() {
+                    naive_nt(&a_data[bi * sa..], &b_data[bi * sb..], c, 0, m, k, n);
+                }
+            }
+            (AKind::Transposed, BKind::Normal) => {
+                for (bi, c) in out.chunks_exact_mut(m * n).enumerate() {
+                    naive_tn(&a_data[bi * sa..], &b_data[bi * sb..], c, 0, m, m, k, n);
+                }
+            }
+            (AKind::Transposed, BKind::Transposed) => {
+                unreachable!("no Aᵀ·Bᵀ entry point")
+            }
+        }
+        return;
+    }
+    for (bi, c) in out.chunks_exact_mut(m * n).enumerate() {
+        let a_mat = &a_data[plan.a_offsets.get(bi)..plan.a_offsets.get(bi) + m * k];
+        let b_mat = &b_data[plan.b_offsets.get(bi)..plan.b_offsets.get(bi) + k * n];
+        if use_blocked {
+            gemm_blocked(a_mat, b_mat, c, 0, m, m, k, n, ak, bk);
+        } else {
+            match (ak, bk) {
+                (AKind::Normal, BKind::Normal) => naive_nn(a_mat, b_mat, c, 0, m, k, n),
+                (AKind::Normal, BKind::Transposed) => naive_nt(a_mat, b_mat, c, 0, m, k, n),
+                (AKind::Transposed, BKind::Normal) => naive_tn(a_mat, b_mat, c, 0, m, m, k, n),
+                (AKind::Transposed, BKind::Transposed) => {
+                    unreachable!("no Aᵀ·Bᵀ entry point")
+                }
+            }
+        }
+    }
+}
+
+/// [`run`] without the span, counters, or pool round-trip — the
+/// serving-path variant behind [`matmul_lean`] / [`matmul_nt_lean`].
+/// Always sequential: the inference engine's per-request products sit
+/// far below [`PARALLEL_FLOP_THRESHOLD`], where pool dispatch costs
+/// more than it buys, and sequential execution is bitwise identical to
+/// any split by construction.
+fn run_lean(a: &Tensor, b: &Tensor, ak: AKind, bk: BKind, op: &'static str) -> Result<Tensor> {
+    // Plan-free fast path: same-rank operands with identical leading
+    // axes. No broadcast resolution, no offset table, no intermediate
+    // vectors — consecutive batches are consecutive matrices on both
+    // sides, so the kernels run straight off constant strides. Same
+    // kernel choice and per-matrix order as the planned walk below,
+    // hence bitwise identical; mismatched inner dims fall through to
+    // `Plan::build` for the canonical error.
+    let (ar, br) = (a.rank(), b.rank());
+    if ar >= 2 && ar == br && a.shape()[..ar - 2] == b.shape()[..br - 2] {
+        let (m, ka) = match ak {
+            AKind::Normal => (a.shape()[ar - 2], a.shape()[ar - 1]),
+            AKind::Transposed => (a.shape()[ar - 1], a.shape()[ar - 2]),
+        };
+        let (kb, n) = match bk {
+            BKind::Normal => (b.shape()[br - 2], b.shape()[br - 1]),
+            BKind::Transposed => (b.shape()[br - 1], b.shape()[br - 2]),
+        };
+        if ka == kb {
+            let k = ka;
+            let batch: usize = a.shape()[..ar - 2].iter().product();
+            let flops = batch * m * n * k;
+            if flops >= PARALLEL_FLOP_THRESHOLD && stwa_pool::current_threads() > 1 {
+                return run(a, b, ak, bk, op);
+            }
+            if flops > 0 {
+                let blocked_min = if bk == BKind::Transposed {
+                    BLOCKED_MIN_FLOPS_NT
+                } else {
+                    BLOCKED_MIN_FLOPS
+                };
+                let use_blocked = m * n * k >= blocked_min;
+                let mut out = crate::memory::take_filled(batch * m * n, 0.0);
+                let (a_data, b_data) = (a.data(), b.data());
+                let (sa, sb) = (m * k, k * n);
+                for (bi, c) in out.chunks_exact_mut(m * n).enumerate() {
+                    let a_mat = &a_data[bi * sa..(bi + 1) * sa];
+                    let b_mat = &b_data[bi * sb..(bi + 1) * sb];
+                    if use_blocked {
+                        gemm_blocked(a_mat, b_mat, c, 0, m, m, k, n, ak, bk);
+                    } else {
+                        match (ak, bk) {
+                            (AKind::Normal, BKind::Normal) => naive_nn(a_mat, b_mat, c, 0, m, k, n),
+                            (AKind::Normal, BKind::Transposed) => {
+                                naive_nt(a_mat, b_mat, c, 0, m, k, n)
+                            }
+                            (AKind::Transposed, BKind::Normal) => {
+                                naive_tn(a_mat, b_mat, c, 0, m, m, k, n)
+                            }
+                            (AKind::Transposed, BKind::Transposed) => {
+                                unreachable!("no Aᵀ·Bᵀ entry point")
+                            }
+                        }
+                    }
+                }
+                let mut out_shape = a.shape()[..ar - 2].to_vec();
+                out_shape.push(m);
+                out_shape.push(n);
+                return Tensor::from_vec(out, &out_shape);
+            }
+        }
+    }
+    let plan = Plan::build(a, b, ak, bk, op)?;
+    if plan.is_empty() {
+        return Tensor::from_vec(Vec::new(), &plan.out_shape);
+    }
+    let (m, k, n, batch) = (plan.m, plan.k, plan.n, plan.batch);
+    // Products big enough to split (large serving batches on multi-core
+    // hosts) go back through the full path: the pool win dwarfs the
+    // instrumentation cost there, and both paths are bitwise identical.
+    if batch * m * n * k >= PARALLEL_FLOP_THRESHOLD && stwa_pool::current_threads() > 1 {
+        return run(a, b, ak, bk, op);
+    }
+    let blocked_min = if bk == BKind::Transposed {
+        BLOCKED_MIN_FLOPS_NT
+    } else {
+        BLOCKED_MIN_FLOPS
+    };
+    let use_blocked = m * n * k >= blocked_min;
+    let mut out = crate::memory::take_filled(batch * m * n, 0.0);
+    seq_exec(&plan, a.data(), b.data(), &mut out, use_blocked, ak, bk);
+    Tensor::from_vec(out, &plan.out_shape)
+}
+
+/// Slice-level serving product: `C += A @ B` for one `[m, k] x [k, n]`
+/// pair, with the same naive/blocked cutover as the tensor entry
+/// points — the hook for hand-fused forwards (the inference engine's
+/// K/V projections) that already hold their operands as raw rows.
+/// `c` must arrive zeroed; each element accumulates its contraction in
+/// one ascending chain, so the result is bitwise identical to the
+/// equivalent [`matmul`] on any batching of the same rows.
+pub fn gemm_nn_slice(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    if m * n * k >= BLOCKED_MIN_FLOPS {
+        gemm_blocked(a, b, c, 0, m, m, k, n, AKind::Normal, BKind::Normal);
+    } else {
+        naive_nn(a, b, c, 0, m, k, n);
+    }
 }
 
 // -------------------------------------------------------------------
@@ -673,6 +823,213 @@ fn microkernel_body(
     }
 }
 
+// -------------------------------------------------------------------
+// Pre-packed weights
+// -------------------------------------------------------------------
+
+/// A `[k, n]` matrix packed once into the blocked kernel's panel layout
+/// and reused across calls — the serving-path complement to
+/// [`matmul`], which re-packs its right operand on every invocation.
+///
+/// Layout: one slab per `KC`-deep contraction step, each slab holding
+/// `ceil(n / NR)` strips of `KC * NR` floats in exactly the order
+/// [`pack_b`] produces (ragged edges zero-padded). Because the slabs are
+/// bit-for-bit what the per-call packer would have built,
+/// [`matmul_packed`] inherits the kernel order contract and stays
+/// bitwise identical to [`matmul`] and [`matmul_reference`].
+pub struct PackedMatrix {
+    panels: Vec<f32>,
+    k: usize,
+    n: usize,
+    slab_elems: usize,
+}
+
+impl PackedMatrix {
+    /// Pack a rank-2 `[k, n]` tensor. Weights above neither dimension
+    /// limit exist; this is meant for frozen layer weights.
+    pub fn pack(b: &Tensor) -> Result<PackedMatrix> {
+        if b.rank() != 2 {
+            return Err(TensorError::Invalid(format!(
+                "PackedMatrix: expected a rank-2 [k, n] matrix, got {:?}",
+                b.shape()
+            )));
+        }
+        let (k, n) = (b.shape()[0], b.shape()[1]);
+        let n_strips = n.div_ceil(NR);
+        let slab_elems = n_strips * KC * NR;
+        let n_slabs = k.div_ceil(KC);
+        let mut panels = vec![0f32; n_slabs * slab_elems];
+        let data = b.data();
+        let mut k0 = 0;
+        let mut slab = 0;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            pack_b(
+                &mut panels[slab * slab_elems..(slab + 1) * slab_elems],
+                data,
+                k0,
+                kc,
+                k,
+                n,
+                BKind::Normal,
+            );
+            k0 += kc;
+            slab += 1;
+        }
+        Ok(PackedMatrix {
+            panels,
+            k,
+            n,
+            slab_elems,
+        })
+    }
+
+    /// Contraction depth (`k`) of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width (`n`) of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes held by the packed panels (padding included).
+    pub fn packed_bytes(&self) -> usize {
+        self.panels.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// `a @ packed` where `a` is `[..., m, k]` and the packed matrix stands
+/// for a shared `[k, n]` right operand. All leading axes of `a` flatten
+/// into rows (each output row's summation chain is unchanged by the
+/// flattening), producing `[..., m, n]`. Bitwise identical to
+/// `matmul(a, b)` for the tensor `b` that was packed.
+pub fn matmul_packed(a: &Tensor, packed: &PackedMatrix) -> Result<Tensor> {
+    if a.rank() < 2 {
+        return Err(TensorError::RankTooSmall {
+            op: "matmul_packed",
+            required: 2,
+            actual: a.rank(),
+        });
+    }
+    let ar = a.rank();
+    if a.shape()[ar - 1] != packed.k {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_packed",
+            lhs: a.shape().to_vec(),
+            rhs: vec![packed.k, packed.n],
+        });
+    }
+    let rows: usize = a.shape()[..ar - 1].iter().product();
+    let (k, n) = (packed.k, packed.n);
+    let mut out_shape = a.shape()[..ar - 1].to_vec();
+    out_shape.push(n);
+    if rows * n == 0 {
+        return Tensor::from_vec(Vec::new(), &out_shape);
+    }
+
+    let _span = stwa_observe::span!("matmul");
+    stwa_observe::counter!("matmul.calls").incr();
+    stwa_observe::counter!("matmul.packed_calls").incr();
+    stwa_observe::counter!("matmul.flops").add(2 * (rows * n * k) as u64);
+
+    let mut out = crate::memory::take_filled(rows * n, 0.0);
+    let a_data = a.data();
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let threads = stwa_pool::current_threads();
+    let (_, tasks) = decompose(1, rows, rows * n * k, threads);
+    let run_rows = |r0: usize, r1: usize| {
+        // Safety: tasks cover disjoint `[r0, r1)` row ranges and the
+        // pool joins before `out` is consumed.
+        let c =
+            unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * n), (r1 - r0) * n) };
+        gemm_prepacked(a_data, packed, c, r0, r1, k, n);
+    };
+    if tasks.is_empty() {
+        stwa_pool::parallel_for(1, |_| run_rows(0, rows));
+    } else {
+        stwa_pool::parallel_for(tasks.len(), |t| {
+            let (_, r0, r1) = tasks[t];
+            run_rows(r0, r1);
+        });
+    }
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// Serving-path [`matmul_packed`]: same packed-panel walk, no span,
+/// counters, or pool round-trip (see [`matmul_lean`]). Products big
+/// enough to row-split still take the full path so large serving
+/// batches keep their parallelism. Bitwise identical to
+/// [`matmul_packed`] and [`matmul`].
+pub fn matmul_packed_lean(a: &Tensor, packed: &PackedMatrix) -> Result<Tensor> {
+    if a.rank() < 2 {
+        return Err(TensorError::RankTooSmall {
+            op: "matmul_packed",
+            required: 2,
+            actual: a.rank(),
+        });
+    }
+    let ar = a.rank();
+    if a.shape()[ar - 1] != packed.k {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_packed",
+            lhs: a.shape().to_vec(),
+            rhs: vec![packed.k, packed.n],
+        });
+    }
+    let rows: usize = a.shape()[..ar - 1].iter().product();
+    let (k, n) = (packed.k, packed.n);
+    if rows * n * k >= PARALLEL_FLOP_THRESHOLD && stwa_pool::current_threads() > 1 {
+        return matmul_packed(a, packed);
+    }
+    let mut out_shape = a.shape()[..ar - 1].to_vec();
+    out_shape.push(n);
+    if rows * n == 0 {
+        return Tensor::from_vec(Vec::new(), &out_shape);
+    }
+    let mut out = crate::memory::take_filled(rows * n, 0.0);
+    gemm_prepacked(a.data(), packed, &mut out, 0, rows, k, n);
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// [`gemm_blocked`] with the B panels read from a [`PackedMatrix`]
+/// instead of packed per call. Same slab/tile/microkernel walk, same
+/// ascending-`p` accumulation — bitwise identical output.
+fn gemm_prepacked(
+    a: &[f32],
+    packed: &PackedMatrix,
+    c: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+) {
+    let n_strips = n.div_ceil(NR);
+    let mut apanel = [0f32; MR * KC];
+    let mut k0 = 0;
+    let mut slab = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        let bpanel = &packed.panels[slab * packed.slab_elems..(slab + 1) * packed.slab_elems];
+        let mut i0 = r0;
+        while i0 < r1 {
+            let mr = MR.min(r1 - i0);
+            pack_a(&mut apanel, a, i0, mr, k0, kc, r1, k, AKind::Normal);
+            for js in 0..n_strips {
+                let j0 = js * NR;
+                let nr = NR.min(n - j0);
+                let strip = &bpanel[js * KC * NR..js * KC * NR + kc * NR];
+                let tile = &mut c[(i0 - r0) * n + j0..];
+                microkernel(&apanel, strip, kc, tile, n, mr, nr);
+            }
+            i0 += MR;
+        }
+        k0 += kc;
+        slab += 1;
+    }
+}
+
 /// Flat element offset of every broadcast batch's matrix start.
 fn batch_offsets(lead: &[usize], lead_out: &[usize], mat_elems: usize) -> Offsets {
     let batch = volume(lead_out);
@@ -912,6 +1269,76 @@ mod tests {
         stwa_pool::set_threads(before);
         let slow = matmul_reference(&a, &b).unwrap();
         assert_eq!(fast.data(), slow.data());
+    }
+
+    #[test]
+    fn packed_matmul_bitwise_matches_matmul_and_reference() {
+        // Ragged in every blocking dimension, large enough that the
+        // per-call path would take the blocked kernel.
+        let (m, k, n) = (67, 301, 53);
+        let a = Tensor::from_fn(&[m, k], |i| ((i[0] * 31 + i[1] * 7) % 13) as f32 - 6.0);
+        let b = Tensor::from_fn(&[k, n], |i| ((i[0] * 17 + i[1] * 3) % 11) as f32 - 5.0);
+        let packed = PackedMatrix::pack(&b).unwrap();
+        let pre = matmul_packed(&a, &packed).unwrap();
+        assert_eq!(pre.shape(), &[m, n]);
+        assert_eq!(pre.data(), matmul(&a, &b).unwrap().data());
+        assert_eq!(pre.data(), matmul_reference(&a, &b).unwrap().data());
+    }
+
+    #[test]
+    fn packed_matmul_small_product_matches_naive_path() {
+        // Below BLOCKED_MIN_FLOPS the per-call path runs the naive
+        // kernel; the packed path always runs blocked. The order
+        // contract says they agree bitwise anyway.
+        let (m, k, n) = (3, 5, 7);
+        let a = Tensor::from_fn(&[m, k], |i| (i[0] * 5 + i[1]) as f32 * 0.37 - 1.0);
+        let b = Tensor::from_fn(&[k, n], |i| (i[0] + i[1] * 3) as f32 * 0.21 - 2.0);
+        let packed = PackedMatrix::pack(&b).unwrap();
+        let pre = matmul_packed(&a, &packed).unwrap();
+        assert_eq!(pre.data(), matmul(&a, &b).unwrap().data());
+    }
+
+    #[test]
+    fn packed_matmul_flattens_leading_axes() {
+        // [2, 3, 4, k] @ packed [k, n] == matmul with broadcast B.
+        let (k, n) = (19, 9);
+        let a = Tensor::from_fn(&[2, 3, 4, k], |i| {
+            ((i[0] * 7 + i[1] * 5 + i[2] * 3 + i[3]) % 12) as f32 - 5.5
+        });
+        let b = Tensor::from_fn(&[k, n], |i| ((i[0] * 2 + i[1] * 13) % 9) as f32 - 4.0);
+        let packed = PackedMatrix::pack(&b).unwrap();
+        let pre = matmul_packed(&a, &packed).unwrap();
+        assert_eq!(pre.shape(), &[2, 3, 4, n]);
+        assert_eq!(pre.data(), matmul(&a, &b).unwrap().data());
+    }
+
+    #[test]
+    fn packed_matmul_threaded_split_matches_reference() {
+        let (m, k, n) = (257, 64, 192);
+        let a = Tensor::from_fn(&[m, k], |i| ((i[0] * 3 + i[1]) % 5) as f32 - 2.0);
+        let b = Tensor::from_fn(&[k, n], |i| ((i[0] + i[1] * 7) % 9) as f32 - 4.0);
+        let packed = PackedMatrix::pack(&b).unwrap();
+        let before = stwa_pool::current_threads();
+        stwa_pool::set_threads(4);
+        let pre = matmul_packed(&a, &packed).unwrap();
+        stwa_pool::set_threads(before);
+        assert_eq!(pre.data(), matmul_reference(&a, &b).unwrap().data());
+    }
+
+    #[test]
+    fn packed_matmul_validates_shapes() {
+        assert!(PackedMatrix::pack(&Tensor::zeros(&[2, 3, 4])).is_err());
+        let packed = PackedMatrix::pack(&Tensor::zeros(&[5, 4])).unwrap();
+        assert_eq!((packed.k(), packed.n()), (5, 4));
+        assert!(matmul_packed(&Tensor::zeros(&[3]), &packed).is_err());
+        assert!(matmul_packed(&Tensor::zeros(&[3, 6]), &packed).is_err());
+        // k == 0 sums over nothing -> zeros; m == 0 -> empty.
+        let empty_k = PackedMatrix::pack(&Tensor::zeros(&[0, 4])).unwrap();
+        let c = matmul_packed(&Tensor::zeros(&[3, 0]), &empty_k).unwrap();
+        assert_eq!(c.shape(), &[3, 4]);
+        assert!(c.data().iter().all(|&x| x == 0.0));
+        let c = matmul_packed(&Tensor::zeros(&[0, 5]), &packed).unwrap();
+        assert_eq!(c.shape(), &[0, 4]);
     }
 
     #[test]

@@ -189,11 +189,14 @@ impl Tensor {
                 for &x in row.iter() {
                     m = m.max(x);
                 }
+                // Exponentiate first, sum second: same values and the
+                // same ascending fold order as a single interleaved
+                // loop, but the exp pass has no loop-carried state so
+                // it runs through the wide exp kernel.
+                crate::mathfn::exp_sub_slice(row, m);
                 let mut z = 0.0;
-                for x in row.iter_mut() {
-                    let e = (*x - m).exp();
-                    *x = e;
-                    z += e;
+                for &x in row.iter() {
+                    z += x;
                 }
                 for x in row.iter_mut() {
                     *x /= z;
@@ -300,7 +303,7 @@ impl Tensor {
                 let mut z = 0.0;
                 for a in 0..axis_len {
                     let idx = a * inner + i;
-                    let e = (block[idx] - m).exp();
+                    let e = crate::mathfn::exp_f32(block[idx] - m);
                     block[idx] = e;
                     z += e;
                 }

@@ -257,6 +257,25 @@ impl Tensor {
         Tensor::wrap(out, &self.shape)
     }
 
+    /// [`Tensor::map`] for elementwise kernels that operate on whole
+    /// slices (the wide `mathfn` variants): copy the data, run the
+    /// kernel per chunk. Chunk boundaries cannot change elementwise
+    /// results, so this is bitwise identical to mapping the kernel's
+    /// scalar form.
+    fn map_slice(&self, kernel: impl Fn(&mut [f32]) + Sync) -> Tensor {
+        let n = self.data.len();
+        let mut out = memory::take_scratch(n);
+        out.copy_from_slice(&self.data);
+        if n >= PARALLEL_ELEMS && stwa_pool::current_threads() > 1 {
+            stwa_pool::parallel_chunks(&mut out, elementwise_chunks(), |_, chunk| {
+                kernel(chunk);
+            });
+        } else {
+            kernel(&mut out);
+        }
+        Tensor::wrap(out, &self.shape)
+    }
+
     /// Apply `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
         let buf = self.buf_mut();
@@ -286,7 +305,7 @@ impl Tensor {
         self.map(f32::sqrt)
     }
     pub fn tanh(&self) -> Tensor {
-        self.map(f32::tanh)
+        self.map_slice(crate::mathfn::tanh_slice)
     }
     pub fn abs(&self) -> Tensor {
         self.map(f32::abs)
@@ -295,7 +314,7 @@ impl Tensor {
         self.map(|x| x.max(0.0))
     }
     pub fn sigmoid(&self) -> Tensor {
-        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+        self.map_slice(crate::mathfn::sigmoid_slice)
     }
     pub fn square(&self) -> Tensor {
         self.map(|x| x * x)

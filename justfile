@@ -11,6 +11,7 @@ verify:
     cargo clippy --workspace -- -D warnings
     cargo run --release -p stwa-bench --bin bench_kernels -- --check BENCH_kernels.json
     cargo run --release -p stwa-bench --bin bench_train_step -- --check BENCH_train_step.json
+    cargo run --release -p stwa-bench --bin bench_infer -- --check BENCH_infer.json
 
 # Fast inner-loop check.
 check:
@@ -26,6 +27,12 @@ bench:
     cargo bench -p stwa-bench --bench kernels --bench attention_scaling
     cargo run --release -p stwa-bench --bin bench_kernels -- --out BENCH_kernels.json
     cargo run --release -p stwa-bench --bin bench_train_step -- --out BENCH_train_step.json
+
+# Serving-latency benchmark: graph eval vs the tape-free inference
+# engine at batch 1/8/64 (refreshes BENCH_infer.json; enforces the
+# >=2x batch-1 speedup floor).
+bench-infer:
+    cargo run --release -p stwa-bench --bin bench_infer -- --out BENCH_infer.json
 
 # Regenerate every paper table/figure CSV under results/.
 experiments:

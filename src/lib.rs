@@ -15,10 +15,13 @@
 //! - [`tsne`] — t-SNE for the latent-space figures ([`stwa_tsne`])
 //! - [`observe`] — training observability: spans, counters, run
 //!   manifests ([`stwa_observe`])
+//! - [`infer`] — tape-free serving: frozen models, packed weights,
+//!   micro-batching ([`stwa_infer`])
 
 pub use stwa_autograd as autograd;
 pub use stwa_baselines as baselines;
 pub use stwa_core as model;
+pub use stwa_infer as infer;
 pub use stwa_nn as nn;
 pub use stwa_observe as observe;
 pub use stwa_tensor as tensor;
