@@ -45,9 +45,12 @@ impl Graph {
         // Leaf gradients accumulate across backward calls (PyTorch-style),
         // but *intermediate* gradients are per-sweep scratch: stale values
         // from a previous backward would re-propagate and double-count.
+        // The buffers themselves are retained (marked stale) so this
+        // sweep's first contribution to each node lands as an in-place
+        // overwrite instead of a fresh pool allocation.
         for node in nodes.iter_mut() {
-            if !matches!(node.op, Op::Leaf) {
-                node.grad = None;
+            if !matches!(node.op, Op::Leaf) && node.grad.is_some() {
+                node.grad_stale = true;
             }
         }
         seed(&mut nodes, loss.id);
@@ -55,7 +58,7 @@ impl Graph {
         // ids), so a reverse sweep visits every node after all of its
         // consumers.
         for id in (0..=loss.id).rev() {
-            if !nodes[id].requires_grad {
+            if !nodes[id].requires_grad || nodes[id].grad_stale {
                 continue;
             }
             // Take the gradient out instead of cloning it: this node is
@@ -79,6 +82,11 @@ impl Graph {
 
 fn seed(nodes: &mut [Node], id: Id) {
     let shape = nodes[id].value.shape().to_vec();
+    // A stale slot is logically empty, and overwriting its retained
+    // buffer with 1.0 is bit-for-bit the seed tensor — no allocation.
+    if reuse_stale(&mut nodes[id], &shape, |buf| buf.fill(1.0)) {
+        return;
+    }
     // Accumulate rather than overwrite: when the loss node is itself a
     // leaf, its gradient must keep accumulating across backward calls
     // like every other leaf (non-leaf losses were just cleared, so this
@@ -92,10 +100,37 @@ fn seed(nodes: &mut [Node], id: Id) {
     }
 }
 
+/// Try to serve a "first write" into `node`'s stale gradient buffer by
+/// overwriting it in place via `write`. Returns false (after clearing
+/// the slot) when there is no reusable buffer of the right shape, in
+/// which case the caller materializes a fresh gradient as if the slot
+/// had been `None`. Overwriting is a plain store of the incoming bits,
+/// so the result is bitwise-identical to dropping the buffer and
+/// inserting a new tensor.
+fn reuse_stale(node: &mut Node, shape: &[usize], write: impl FnOnce(&mut [f32])) -> bool {
+    if !node.grad_stale {
+        return false;
+    }
+    node.grad_stale = false;
+    if let Some(existing) = node.grad.as_mut() {
+        if existing.shape() == shape {
+            write(existing.data_mut());
+            stwa_observe::counter!("alloc.grad_reuse").incr();
+            return true;
+        }
+    }
+    node.grad = None;
+    false
+}
+
 /// Accumulate an owned gradient contribution: axpy into the existing
 /// buffer, or move the tensor into an empty slot (no copy at all).
 fn accumulate(nodes: &mut [Node], id: Id, grad: Tensor) -> Result<()> {
     if !nodes[id].requires_grad {
+        return Ok(());
+    }
+    let shape = grad.shape().to_vec();
+    if reuse_stale(&mut nodes[id], &shape, |buf| buf.copy_from_slice(grad.data())) {
         return Ok(());
     }
     match &mut nodes[id].grad {
@@ -110,9 +145,13 @@ fn accumulate(nodes: &mut [Node], id: Id, grad: Tensor) -> Result<()> {
 /// Accumulate a borrowed gradient contribution in place. Cloning happens
 /// only when the slot is empty (the buffer has to come from somewhere —
 /// and then it comes from the pool); an occupied slot takes the in-place
-/// axpy.
+/// axpy, and a stale slot is overwritten in place.
 fn accumulate_ref(nodes: &mut [Node], id: Id, grad: &Tensor) -> Result<()> {
     if !nodes[id].requires_grad {
+        return Ok(());
+    }
+    let shape = grad.shape().to_vec();
+    if reuse_stale(&mut nodes[id], &shape, |buf| buf.copy_from_slice(grad.data())) {
         return Ok(());
     }
     match &mut nodes[id].grad {
@@ -402,8 +441,13 @@ fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result
             // overlap, so most narrow VJPs land on a live buffer), add the
             // slice straight into it instead of materializing a full-size
             // zero tensor and paying a whole-volume axpy for a sliver of
-            // nonzeros.
-            if fused_enabled() && nodes[x].requires_grad && nodes[x].grad.is_some() {
+            // nonzeros. A *stale* buffer holds retired values and must
+            // not be added into; it takes the generic overwrite path.
+            if fused_enabled()
+                && nodes[x].requires_grad
+                && nodes[x].grad.is_some()
+                && !nodes[x].grad_stale
+            {
                 let src = grad.data();
                 let existing = nodes[x].grad.as_mut().expect("checked above");
                 let dst = existing.data_mut();
@@ -587,6 +631,49 @@ mod tests {
         let loss = y.sum_all().unwrap();
         g.backward(&loss).unwrap();
         assert_eq!(g.grad(&x).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn repeated_backward_reuses_grad_buffers_bitwise() {
+        // Same tape, backward twice: leaf grads double exactly, the
+        // intermediate grads are recomputed into their retained buffers,
+        // and the reuse counter proves no fresh buffers were drawn.
+        let g = Graph::new();
+        let x = g.leaf(t(&[1.5, -2.0, 0.25], &[3]));
+        let y = x.square().unwrap().mul_scalar(3.0);
+        let loss = y.sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        let first = g.grad(&x).unwrap();
+        let doubled: Vec<u32> = first.data().iter().map(|v| (v + v).to_bits()).collect();
+
+        stwa_observe::set_enabled(true);
+        stwa_observe::reset();
+        g.backward(&loss).unwrap();
+        let reused = stwa_observe::counters_snapshot()
+            .iter()
+            .find(|(name, _)| name == "alloc.grad_reuse")
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        stwa_observe::set_enabled(false);
+        assert!(reused > 0, "second sweep must reuse stale buffers");
+
+        let second = g.grad(&x).unwrap();
+        let bits: Vec<u32> = second.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, doubled, "leaf grad must accumulate exactly");
+    }
+
+    #[test]
+    fn zero_grads_then_backward_matches_first_sweep_bitwise() {
+        let g = Graph::new();
+        let x = g.leaf(t(&[0.5, 2.0, -1.25, 3.0], &[4]));
+        let loss = x.square().unwrap().mean_all().unwrap();
+        g.backward(&loss).unwrap();
+        let first: Vec<u32> = g.grad(&x).unwrap().data().iter().map(|v| v.to_bits()).collect();
+        g.zero_grads();
+        assert!(g.grad(&x).is_none(), "stale grads read as empty");
+        g.backward(&loss).unwrap();
+        let second: Vec<u32> = g.grad(&x).unwrap().data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(first, second);
     }
 
     #[test]

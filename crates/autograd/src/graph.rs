@@ -166,6 +166,13 @@ impl Op {
 pub(crate) struct Node {
     pub value: Rc<Tensor>,
     pub grad: Option<Tensor>,
+    /// When set, `grad` holds a *retired* buffer rather than a live
+    /// gradient: readers treat the slot as empty, and the next
+    /// contribution overwrites the buffer in place instead of drawing a
+    /// fresh one from the pool. Clearing a gradient marks it stale
+    /// instead of dropping it, so repeated backward sweeps over one
+    /// tape recycle their own gradient storage.
+    pub grad_stale: bool,
     pub requires_grad: bool,
     pub op: Op,
 }
@@ -222,6 +229,7 @@ impl Graph {
         nodes.push(Node {
             value: Rc::new(value),
             grad: None,
+            grad_stale: false,
             requires_grad,
             op,
         });
@@ -246,27 +254,43 @@ impl Graph {
             Rc::ptr_eq(&self.inner, &var.graph.inner),
             "grad: Var belongs to a different graph"
         );
-        self.inner.borrow()[var.id].grad.clone()
+        let nodes = self.inner.borrow();
+        let node = &nodes[var.id];
+        if node.grad_stale {
+            return None;
+        }
+        node.grad.clone()
     }
 
     /// Squared L2 norm of `var`'s gradient, computed in place — the
-    /// gradient-clipping measurement without cloning the tensor.
+    /// gradient-clipping measurement without cloning the tensor. Large
+    /// gradients reduce through the pool's fixed-chunk lanes (see
+    /// [`stwa_tensor::reduce::sq_norm`]), so the result is identical at
+    /// any thread count.
     pub fn grad_sq_norm(&self, var: &Var) -> Option<f32> {
         assert!(
             Rc::ptr_eq(&self.inner, &var.graph.inner),
             "grad_sq_norm: Var belongs to a different graph"
         );
-        self.inner.borrow()[var.id]
-            .grad
+        let nodes = self.inner.borrow();
+        let node = &nodes[var.id];
+        if node.grad_stale {
+            return None;
+        }
+        node.grad
             .as_ref()
-            .map(|g| g.data().iter().map(|x| x * x).sum())
+            .map(|g| stwa_tensor::reduce::sq_norm(g.data()))
     }
 
     /// Drop all recorded gradients (e.g. between gradient checks on a
-    /// shared tape).
+    /// shared tape). Buffers are retained and marked stale rather than
+    /// freed: readers see an empty slot, and the next backward sweep
+    /// overwrites them in place instead of drawing fresh pool buffers.
     pub fn zero_grads(&self) {
         for node in self.inner.borrow_mut().iter_mut() {
-            node.grad = None;
+            if node.grad.is_some() {
+                node.grad_stale = true;
+            }
         }
     }
 }

@@ -30,6 +30,7 @@ pub mod generator;
 pub mod latent;
 pub mod model;
 pub mod sensor_attention;
+pub mod sharded;
 pub mod trainer;
 pub mod window_attention;
 
@@ -41,5 +42,6 @@ pub use generator::{
 pub use latent::{GaussianSample, LatentMode, SpatialLatent, TemporalEncoder};
 pub use model::{AggregatorKind, StwaConfig, StwaModel};
 pub use sensor_attention::SensorCorrelationAttention;
-pub use trainer::{ForecastModel, ForwardOutput, TrainConfig, TrainReport, Trainer};
+pub use sharded::{fold_shard_grads, shard_seed, ShardEngine};
+pub use trainer::{ForecastModel, ForwardOutput, ReplicaFactory, TrainConfig, TrainReport, Trainer};
 pub use window_attention::WindowAttentionLayer;

@@ -3,11 +3,11 @@
 
 use crate::generator::{AwarenessFlags, StGenerator};
 use crate::latent::LatentMode;
-use crate::trainer::{ForecastModel, ForwardOutput};
+use crate::trainer::{ForecastModel, ForwardOutput, ReplicaFactory};
 pub use crate::window_attention::AggregatorKind;
 use crate::window_attention::WindowAttentionLayer;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use stwa_autograd::{Graph, Var};
 use stwa_nn::layers::{Activation, Linear, Mlp};
 use stwa_nn::ParamStore;
@@ -441,6 +441,18 @@ impl ForecastModel for StwaModel {
 
     fn store(&self) -> &ParamStore {
         &self.store
+    }
+
+    fn replica_builder(&self) -> Option<ReplicaFactory> {
+        let config = self.config.clone();
+        Some(Box::new(move || {
+            // The replica's init values are dead weight — every shard
+            // step overwrites them from the live snapshot — but the
+            // constructor must run to register parameters in the same
+            // order and shapes, so any fixed seed does.
+            let mut rng = StdRng::seed_from_u64(0);
+            Ok(Box::new(StwaModel::new(config, &mut rng)?) as Box<dyn ForecastModel>)
+        }))
     }
 
     fn forward(

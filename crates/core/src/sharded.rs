@@ -1,0 +1,383 @@
+//! Deterministic data-parallel training: shard mini-batches across
+//! per-thread tapes, reduce gradients in fixed shard order.
+//!
+//! The autograd tape ([`stwa_autograd::Graph`]) is deliberately
+//! thread-confined (`Rc` storage, no locks on the hot path). Data
+//! parallelism therefore happens *above* the tape: each worker thread
+//! owns a full **replica** of the model — same architecture, parameters
+//! loaded from a [`ParamSnapshot`] of the live store before every step —
+//! and runs forward + backward over one contiguous slice of the
+//! mini-batch on its own graph. The main thread then combines the
+//! per-shard gradients in ascending shard index and injects the sums
+//! into the live parameters ([`stwa_nn::Param::set_grad`]) for a single
+//! optimizer step.
+//!
+//! # Determinism contract
+//!
+//! - **Fixed-order reduction.** Shard results are buffered and summed
+//!   in shard-index order, never completion order, so the f32
+//!   reassociation is the same on every run: for each parameter scalar
+//!   the total is `((g_0 + g_1) + g_2) + ...`.
+//! - **Per-shard RNG streams.** Shard `s` of a batch draws its latents
+//!   from `StdRng::seed_from_u64(shard_seed(batch_seed, s))`, where
+//!   [`shard_seed`] mixes the shard index with the golden-ratio odd
+//!   constant `0x9E37_79B9_7F4A_7C15` before XOR. The batch seeds come
+//!   from the trainer's own seeded RNG, so a whole `STWA_SHARDS=k` run
+//!   is a pure function of `(config.seed, k)`: run-to-run bitwise
+//!   deterministic, including every sampled latent.
+//! - **Kernels stay off the pool.** Each worker opens
+//!   [`stwa_pool::sequential_scope`] for its lifetime, so tensor
+//!   kernels inside shard steps run inline instead of competing for the
+//!   process-global pool (whose single job slot would serialize them
+//!   anyway). Kernel chunk boundaries depend only on shapes, so inline
+//!   execution is bitwise identical to pooled execution.
+//!
+//! # Objective weighting
+//!
+//! Shard `s` computes its own mean objective `L_s = huber_s + reg_s`
+//! over its `n_s` rows and backpropagates `w_s * L_s` with
+//! `w_s = n_s / B`. Since the Huber loss is a mean, the weighted sum
+//! `sum_s w_s * huber_s` equals the full-batch mean Huber exactly (up
+//! to the documented f32 reassociation of summing per-shard partials);
+//! the regularizer term becomes the shard-size-weighted average of the
+//! per-shard KLs, which coincides with the full-batch KL in expectation
+//! (each shard's KL is itself a mean over its rows). `sum_s w_s = 1`
+//! always.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use stwa_autograd::Graph;
+use stwa_nn::loss::huber;
+use stwa_nn::ParamSnapshot;
+use stwa_tensor::{Result, Tensor, TensorError};
+
+use crate::trainer::{ForecastModel, ReplicaFactory};
+
+/// The RNG seed for shard `shard` of a batch whose trainer-level seed is
+/// `batch_seed`.
+///
+/// The shard index is spread over all 64 bits by multiplying with the
+/// golden-ratio odd constant (the SplitMix64 increment) before XOR, so
+/// adjacent shards land in unrelated regions of the seed space; plain
+/// `batch_seed ^ shard` would hand `StdRng::seed_from_u64`'s SplitMix64
+/// expander nearly identical inputs for shards 0 and 1. Deterministic by
+/// construction: no global state, no time, no thread identity.
+pub fn shard_seed(batch_seed: u64, shard: usize) -> u64 {
+    batch_seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// One shard's work order: everything is `Send` (raw buffers + an
+/// `Arc`'d snapshot), rebuilt into thread-confined tensors on the
+/// worker.
+struct ShardJob {
+    shard: usize,
+    snapshot: Arc<ParamSnapshot>,
+    x_data: Vec<f32>,
+    x_shape: Vec<usize>,
+    y_data: Vec<f32>,
+    y_shape: Vec<usize>,
+    seed: u64,
+    /// `n_s / B` — applied in-graph to the whole shard objective.
+    weight: f32,
+    huber_delta: f32,
+    scaler_mean: f32,
+    scaler_std: f32,
+}
+
+/// What a worker sends back: pre-weighted gradients in the replica
+/// store's registration order (which matches the live store — same
+/// constructor, same config).
+struct ShardOutcome {
+    shard: usize,
+    /// Unweighted shard objective (huber + reg), for loss reporting.
+    loss: f32,
+    kl: Option<f32>,
+    grads: Vec<Option<Vec<f32>>>,
+}
+
+/// A persistent pool of shard workers, one replica per thread.
+///
+/// Built once per training run ([`ShardEngine::new`]); each
+/// [`train_batch`](ShardEngine::train_batch) snapshots the live
+/// parameters, fans the batch out, and injects the reduced gradients
+/// back — the caller then runs the optimizer step exactly as in the
+/// sequential path.
+pub struct ShardEngine {
+    senders: Vec<mpsc::Sender<ShardJob>>,
+    results: mpsc::Receiver<(usize, Result<ShardOutcome>)>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardEngine {
+    /// Spawn `shards` workers, each with its own replica of `model`.
+    ///
+    /// Returns `None` when `shards <= 1` or the model does not provide a
+    /// [`ForecastModel::replica_builder`] — the trainer then falls back
+    /// to the sequential step, keeping that path bit-for-bit untouched.
+    pub fn new(model: &dyn ForecastModel, shards: usize) -> Option<ShardEngine> {
+        if shards <= 1 {
+            return None;
+        }
+        let factories: Vec<ReplicaFactory> = (0..shards)
+            .map(|_| model.replica_builder())
+            .collect::<Option<Vec<_>>>()?;
+
+        let (res_tx, res_rx) = mpsc::channel();
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for (w, factory) in factories.into_iter().enumerate() {
+            let (job_tx, job_rx) = mpsc::channel::<ShardJob>();
+            let results = res_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("stwa-shard-{w}"))
+                .spawn(move || worker_loop(factory, job_rx, results))
+                .expect("spawn shard worker");
+            senders.push(job_tx);
+            workers.push(handle);
+        }
+        Some(ShardEngine {
+            senders,
+            results: res_rx,
+            workers,
+        })
+    }
+
+    /// Number of worker threads (the configured shard count).
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Run one data-parallel training step over `(bx, by)`.
+    ///
+    /// On return, every parameter of `model` that received gradient on
+    /// any shard carries the fixed-order sum via `set_grad`; the caller
+    /// performs `opt.step(); opt.finish_step()`. Returns the combined
+    /// `(loss, kl)` in the same convention as the sequential step: the
+    /// shard-size-weighted objective mean.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_batch(
+        &self,
+        model: &dyn ForecastModel,
+        bx: Tensor,
+        by: Tensor,
+        batch_seed: u64,
+        huber_delta: f32,
+        scaler_mean: f32,
+        scaler_std: f32,
+    ) -> Result<(f32, Option<f32>)> {
+        let b = bx.shape()[0];
+        let k = self.senders.len().min(b);
+        let snapshot = Arc::new(model.store().snapshot());
+        stwa_observe::counter!("train.sharded_batches").incr();
+
+        // Contiguous row ranges; the first `b % k` shards take one extra
+        // row. Boundaries depend only on (b, k), never on thread timing.
+        let mut weights = Vec::with_capacity(k);
+        let mut start = 0usize;
+        for s in 0..k {
+            let n_s = b / k + usize::from(s < b % k);
+            let x_chunk = bx.narrow(0, start, n_s)?;
+            let y_chunk = by.narrow(0, start, n_s)?;
+            let x_shape = x_chunk.shape().to_vec();
+            let y_shape = y_chunk.shape().to_vec();
+            let weight = n_s as f32 / b as f32;
+            weights.push(weight);
+            let job = ShardJob {
+                shard: s,
+                snapshot: Arc::clone(&snapshot),
+                x_data: x_chunk.into_vec(),
+                x_shape,
+                y_data: y_chunk.into_vec(),
+                y_shape,
+                seed: shard_seed(batch_seed, s),
+                weight,
+                huber_delta,
+                scaler_mean,
+                scaler_std,
+            };
+            self.senders[s].send(job).map_err(|_| {
+                TensorError::Invalid(format!("sharded: worker {s} is gone"))
+            })?;
+            start += n_s;
+        }
+
+        // Buffer results by shard index: completion order is
+        // nondeterministic, reduction order must not be.
+        let mut outcomes: Vec<Option<ShardOutcome>> = (0..k).map(|_| None).collect();
+        for _ in 0..k {
+            let (shard, res) = self.results.recv().map_err(|_| {
+                TensorError::Invalid("sharded: all workers hung up".into())
+            })?;
+            let out = res.map_err(|e| {
+                TensorError::Invalid(format!("sharded: shard {shard} failed: {e}"))
+            })?;
+            let idx = out.shard;
+            outcomes[idx] = Some(out);
+        }
+
+        // Fixed-order reduction: ascending shard index, scalar adds.
+        let params = model.store().params();
+        let mut acc: Vec<Option<Vec<f32>>> = (0..params.len()).map(|_| None).collect();
+        let mut loss = 0.0f32;
+        let mut kl = 0.0f32;
+        let mut kl_any = false;
+        for (s, out) in outcomes.into_iter().enumerate() {
+            let out = out
+                .ok_or_else(|| TensorError::Invalid(format!("sharded: shard {s} never reported")))?;
+            if out.grads.len() != params.len() {
+                return Err(TensorError::Invalid(format!(
+                    "sharded: shard {s} returned {} gradients for {} parameters",
+                    out.grads.len(),
+                    params.len()
+                )));
+            }
+            loss += weights[s] * out.loss;
+            if let Some(shard_kl) = out.kl {
+                kl_any = true;
+                kl += weights[s] * shard_kl;
+            }
+            fold_shard_grads(&mut acc, out.grads);
+        }
+
+        for (p, grad) in params.iter().zip(acc) {
+            if let Some(g) = grad {
+                let shape = p.shape();
+                p.set_grad(Tensor::from_vec(g, &shape)?);
+            }
+        }
+        Ok((loss, kl_any.then_some(kl)))
+    }
+}
+
+/// Fold one shard's gradients into the accumulator, scalar adds in
+/// element order. The determinism contract lives in the *caller*:
+/// shards must be folded in ascending index, so each accumulator scalar
+/// is always `((g_0 + g_1) + g_2) + ...` regardless of which worker
+/// finished first. Public so the fixed-order property tests exercise
+/// the exact production fold.
+pub fn fold_shard_grads(acc: &mut [Option<Vec<f32>>], grads: Vec<Option<Vec<f32>>>) {
+    for (slot, grad) in acc.iter_mut().zip(grads) {
+        match (slot.as_mut(), grad) {
+            (None, Some(g)) => *slot = Some(g),
+            (Some(a), Some(g)) => {
+                for (ai, gi) in a.iter_mut().zip(&g) {
+                    *ai += gi;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Drop for ShardEngine {
+    fn drop(&mut self) {
+        // Closing the job channels ends every worker loop.
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    factory: ReplicaFactory,
+    jobs: mpsc::Receiver<ShardJob>,
+    results: mpsc::Sender<(usize, Result<ShardOutcome>)>,
+) {
+    // Shards are the unit of parallelism on this thread: keep tensor
+    // kernels inline rather than contending for the global pool.
+    let _seq = stwa_pool::sequential_scope();
+    let replica = match factory() {
+        Ok(model) => model,
+        Err(e) => {
+            let _ = results.send((usize::MAX, Err(e)));
+            return;
+        }
+    };
+    while let Ok(job) = jobs.recv() {
+        let shard = job.shard;
+        let outcome = run_shard(replica.as_ref(), job);
+        if results.send((shard, outcome)).is_err() {
+            break; // engine dropped mid-step
+        }
+    }
+}
+
+/// One shard's forward + backward on the worker's replica.
+fn run_shard(model: &dyn ForecastModel, job: ShardJob) -> Result<ShardOutcome> {
+    let _span = stwa_observe::span!("shard_step");
+    stwa_observe::counter!("train.shard_steps").incr();
+
+    job.snapshot.load_into(model.store())?;
+    let graph = Graph::new();
+    let x = graph.constant(Tensor::from_vec(job.x_data, &job.x_shape)?);
+    let mut rng = StdRng::seed_from_u64(job.seed);
+    let out = model.forward(&graph, &x, &mut rng, true)?;
+    // Mirror the sequential step: de-normalize so the Huber loss lives
+    // in the raw flow scale.
+    let pred_raw = out
+        .pred
+        .mul_scalar(job.scaler_std)
+        .add_scalar(job.scaler_mean);
+    let target = graph.constant(Tensor::from_vec(job.y_data, &job.y_shape)?);
+    let mut loss = huber(&pred_raw, &target, job.huber_delta)?;
+    let kl = match out.regularizer {
+        Some(reg) => {
+            let kl_val = reg.value().item()?;
+            loss = loss.add(&reg)?;
+            Some(kl_val)
+        }
+        None => None,
+    };
+    let loss_val = loss.value().item()?;
+    // Weight the whole objective in-graph: every leaf gradient arrives
+    // pre-scaled by n_s / B, so the main thread only sums.
+    let objective = loss.mul_scalar(job.weight);
+    graph.backward(&objective)?;
+
+    let params = model.store().params();
+    let grads = params
+        .iter()
+        .map(|p| p.grad().map(|g| g.data().to_vec()))
+        .collect();
+    for p in &params {
+        p.unbind(); // free the tape before the next job
+    }
+    Ok(ShardOutcome {
+        shard: job.shard,
+        loss: loss_val,
+        kl,
+        grads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_seed_is_deterministic_and_spread() {
+        assert_eq!(shard_seed(42, 0), 42);
+        assert_eq!(shard_seed(42, 3), shard_seed(42, 3));
+        // Distinct shards get distinct streams; adjacent shards differ
+        // in far more than the low bits.
+        let a = shard_seed(7, 1);
+        let b = shard_seed(7, 2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8, "{a:x} vs {b:x} too correlated");
+    }
+
+    #[test]
+    fn engine_refuses_single_shard_and_builderless_models() {
+        use crate::model::{StwaConfig, StwaModel};
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = StwaModel::new(StwaConfig::wa(4, 12, 3), &mut rng).unwrap();
+        assert!(ShardEngine::new(&model, 1).is_none());
+        assert!(ShardEngine::new(&model, 0).is_none());
+        let engine = ShardEngine::new(&model, 2).unwrap();
+        assert_eq!(engine.shards(), 2);
+    }
+}

@@ -7,7 +7,7 @@
 //! Fig. 10) and peak-memory tracking (Tables VI, VIII).
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::path::PathBuf;
 use std::time::Instant;
 use stwa_autograd::{Graph, Var};
@@ -37,6 +37,17 @@ impl ForwardOutput {
         }
     }
 }
+
+/// A deferred model constructor that can cross a thread boundary.
+///
+/// The data-parallel trainer ships one of these to each shard worker;
+/// the replica is built *on* the worker thread (tensors and tapes are
+/// thread-confined, so the model itself can never be sent). Replica
+/// initialization values are irrelevant — every shard step overwrites
+/// them from a [`stwa_nn::ParamSnapshot`] of the live store — but the
+/// replica must register parameters in the same order and shapes as the
+/// original, i.e. be built from the same config.
+pub type ReplicaFactory = Box<dyn FnOnce() -> Result<Box<dyn ForecastModel>> + Send>;
 
 /// Anything the [`Trainer`] can optimize.
 pub trait ForecastModel {
@@ -75,6 +86,16 @@ pub trait ForecastModel {
         let out = self.forward(&graph, &xv, &mut rng, false)?;
         Ok(out.pred.value().as_ref().clone())
     }
+
+    /// A factory that rebuilds this model's architecture on another
+    /// thread, enabling data-parallel training (`STWA_SHARDS > 1`).
+    ///
+    /// The default is `None`: the trainer falls back to the sequential
+    /// step and behaves exactly as before. Models opting in return a
+    /// fresh factory per call (the trainer requests one per worker).
+    fn replica_builder(&self) -> Option<ReplicaFactory> {
+        None
+    }
 }
 
 /// Training hyperparameters (paper Section V-A defaults, scaled down in
@@ -101,6 +122,28 @@ pub struct TrainConfig {
     /// The manifest is always built and returned on [`TrainReport`];
     /// this only controls the on-disk copy.
     pub manifest_path: Option<PathBuf>,
+    /// Data-parallel shard count. `1` trains sequentially (the exact
+    /// pre-existing code path, bit for bit); `k > 1` splits each
+    /// mini-batch across `k` worker threads with their own tapes and
+    /// reduces gradients in fixed shard order (see [`crate::sharded`]).
+    /// Defaults to `STWA_SHARDS` when set, else the configured pool
+    /// size (`STWA_THREADS` / available parallelism, read once at
+    /// startup — deliberately *not* the live pool cap, which tests
+    /// retune mid-process). Models without a
+    /// [`ForecastModel::replica_builder`] always train sequentially.
+    pub shards: usize,
+}
+
+/// Default for [`TrainConfig::shards`]: `STWA_SHARDS` env override,
+/// else the startup pool size.
+fn default_shards() -> usize {
+    match std::env::var("STWA_SHARDS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => stwa_pool::configured_threads(),
+        },
+        Err(_) => stwa_pool::configured_threads(),
+    }
 }
 
 impl Default for TrainConfig {
@@ -117,6 +160,7 @@ impl Default for TrainConfig {
             eval_stride: 3,
             verbose: false,
             manifest_path: None,
+            shards: default_shards(),
         }
     }
 }
@@ -184,6 +228,16 @@ impl Trainer {
             .config_num("train_stride", cfg.train_stride as f64)
             .config_num("eval_stride", cfg.eval_stride as f64);
 
+        // Data-parallel engine: only built when the config asks for more
+        // than one shard AND the model can replicate itself onto worker
+        // threads. When `engine` is `None` every batch goes through the
+        // unchanged sequential `train_step`.
+        let engine = crate::sharded::ShardEngine::new(model, cfg.shards);
+        manifest.config_num(
+            "shards",
+            engine.as_ref().map_or(1, |e| e.shards()) as f64,
+        );
+
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut opt = Adam::new(model.store(), cfg.lr);
         if let Some(clip) = cfg.grad_clip {
@@ -209,8 +263,18 @@ impl Trainer {
             for (bx, by) in
                 BatchIter::shuffled(&train.x, &train.y, cfg.batch_size, &mut shuffle_rng)?
             {
-                let (loss_val, kl_val) =
-                    self.train_step(model, &mut opt, &scaler, bx, by, &mut rng)?;
+                let (loss_val, kl_val) = match &engine {
+                    Some(engine) => {
+                        // One RNG draw per batch seeds every shard's
+                        // stream (see `sharded::shard_seed`), keeping
+                        // the whole run a pure function of (seed, k).
+                        let batch_seed = rng.next_u64();
+                        self.sharded_train_step(
+                            model, engine, &mut opt, &scaler, bx, by, batch_seed,
+                        )?
+                    }
+                    None => self.train_step(model, &mut opt, &scaler, bx, by, &mut rng)?,
+                };
                 epoch_loss += loss_val as f64;
                 if let Some(kl) = kl_val {
                     epoch_kl += kl as f64;
@@ -328,6 +392,37 @@ impl Trainer {
         Ok((loss_val, kl_val))
     }
 
+    /// One data-parallel step: the engine shards the batch, reduces
+    /// gradients in fixed order into the live parameters, and this
+    /// method runs the same optimizer sequence as the sequential step.
+    #[allow(clippy::too_many_arguments)]
+    fn sharded_train_step(
+        &self,
+        model: &dyn ForecastModel,
+        engine: &crate::sharded::ShardEngine,
+        opt: &mut Adam,
+        scaler: &Scaler,
+        bx: Tensor,
+        by: Tensor,
+        batch_seed: u64,
+    ) -> Result<(f32, Option<f32>)> {
+        let _span = stwa_observe::span!("train_step");
+        let (loss_val, kl_val) = engine.train_batch(
+            model,
+            bx,
+            by,
+            batch_seed,
+            self.config.huber_delta,
+            scaler.mean,
+            scaler.std,
+        )?;
+        let opt_span = stwa_observe::span!("optimizer");
+        opt.step();
+        opt.finish_step();
+        drop(opt_span);
+        Ok((loss_val, kl_val))
+    }
+
     /// Evaluate on a split: batched forward passes, de-normalized
     /// predictions vs. raw targets.
     pub fn evaluate(
@@ -402,8 +497,14 @@ impl Trainer {
     }
 
     /// One full pass over `x` in batches of `batch_size`, de-normalized
-    /// and concatenated — the shared engine of [`Trainer::predict`] and
-    /// [`Trainer::predict_with_uncertainty`].
+    /// into a single preallocated output — the shared engine of
+    /// [`Trainer::predict`] and [`Trainer::predict_with_uncertainty`].
+    ///
+    /// Batch axis 0 is contiguous in row-major layout, so each chunk's
+    /// prediction lands at `start * row_len` by a straight
+    /// `copy_from_slice`; the result is bitwise identical to the old
+    /// collect-then-`concat` formulation while skipping the
+    /// per-chunk `Vec<Tensor>` and the final concatenation copy.
     fn batched_forward(
         &self,
         model: &dyn ForecastModel,
@@ -414,7 +515,15 @@ impl Trainer {
     ) -> Result<Tensor> {
         let num = x.shape()[0];
         let bs = self.config.batch_size;
-        let mut chunks: Vec<Tensor> = Vec::new();
+        if num == 0 {
+            return Err(stwa_tensor::TensorError::Invalid(
+                "batched_forward: empty input".into(),
+            ));
+        }
+        // Output geometry is only known after the first forward pass.
+        let mut out: Vec<f32> = Vec::new();
+        let mut out_shape: Vec<usize> = Vec::new();
+        let mut row_len = 0usize;
         let mut start = 0;
         while start < num {
             let take = bs.min(num - start);
@@ -429,11 +538,24 @@ impl Trainer {
                 // nodes, same kernels, bitwise-identical predictions.
                 model.forward_eval(&bx)?
             };
-            chunks.push(scaler.inverse(&pred));
+            let raw = scaler.inverse(&pred);
+            if out_shape.is_empty() {
+                out_shape = raw.shape().to_vec();
+                out_shape[0] = num;
+                row_len = raw.data().len() / take;
+                out = vec![0f32; num * row_len];
+            } else if raw.shape()[1..] != out_shape[1..] {
+                return Err(stwa_tensor::TensorError::Invalid(format!(
+                    "batched_forward: chunk shape {:?} disagrees with {:?}",
+                    raw.shape(),
+                    out_shape
+                )));
+            }
+            out[start * row_len..start * row_len + raw.data().len()]
+                .copy_from_slice(raw.data());
             start += take;
         }
-        let refs: Vec<&Tensor> = chunks.iter().collect();
-        stwa_tensor::manip::concat(&refs, 0)
+        Tensor::from_vec(out, &out_shape)
     }
 }
 
@@ -576,6 +698,51 @@ mod tests {
         assert_eq!(via_eval.mae.to_bits(), via_graph.mae.to_bits());
         assert_eq!(via_eval.rmse.to_bits(), via_graph.rmse.to_bits());
         assert_eq!(via_eval.mape.to_bits(), via_graph.mape.to_bits());
+    }
+
+    #[test]
+    fn predict_writes_in_place_bitwise_equal_to_concat() {
+        // The preallocated batched_forward must reproduce the old
+        // collect-then-concat output bit for bit, including on a split
+        // whose last batch is ragged.
+        let dataset = TrafficDataset::generate(DatasetConfig::small());
+        let n = dataset.num_sensors();
+        let mut rng = StdRng::seed_from_u64(13);
+        let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+        let trainer = quick_trainer(1);
+        let split = dataset.test(12, 3, 6).unwrap();
+        let scaler = dataset.scaler();
+        let num = split.x.shape()[0];
+        let bs = trainer.config.batch_size;
+        assert!(
+            !num.is_multiple_of(bs),
+            "want a ragged tail batch, got {num} % {bs}"
+        );
+
+        let in_place = trainer
+            .predict(&model, &split.x, &scaler, &mut rng)
+            .unwrap();
+
+        // Old formulation as the reference.
+        let mut chunks: Vec<Tensor> = Vec::new();
+        let mut start = 0;
+        while start < num {
+            let take = bs.min(num - start);
+            let bx = split.x.narrow(0, start, take).unwrap();
+            chunks.push(scaler.inverse(&model.forward_eval(&bx).unwrap()));
+            start += take;
+        }
+        let refs: Vec<&Tensor> = chunks.iter().collect();
+        let concatenated = stwa_tensor::manip::concat(&refs, 0).unwrap();
+
+        assert_eq!(in_place.shape(), concatenated.shape());
+        for (a, b) in in_place.data().iter().zip(concatenated.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Empty inputs are rejected instead of producing a 0-row tensor.
+        let empty = Tensor::zeros(&[0, n, 12, 1]);
+        assert!(trainer.predict(&model, &empty, &scaler, &mut rng).is_err());
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Contract tests for deterministic data-parallel training
+//! (`crate::sharded`):
+//!
+//! 1. `shards = 1` is the sequential path, bit for bit: a hand-rolled
+//!    training loop mirroring `Trainer::train_step` reproduces the
+//!    trainer's loss trajectory, validation metrics, and final
+//!    parameters exactly.
+//! 2. `shards = k` is run-to-run deterministic: two fresh runs with the
+//!    same seed agree on every history entry and every parameter bit.
+//! 3. The shard-weighted objective equals the full-batch mean up to f32
+//!    reassociation, and the reduced gradients match the full-batch
+//!    gradients to the same tolerance.
+//! 4. Sharded training actually converges.
+//!
+//! Plus property tests of the two determinism primitives: per-shard RNG
+//! stream splitting (`shard_seed`) and the fixed-order gradient fold
+//! (`fold_shard_grads`).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use stwa_core::{
+    fold_shard_grads, shard_seed, ForecastModel, ShardEngine, StwaConfig, StwaModel, TrainConfig,
+    Trainer,
+};
+use stwa_autograd::Graph;
+use stwa_nn::batch::BatchIter;
+use stwa_nn::loss::huber;
+use stwa_nn::optim::{Adam, Optimizer};
+use stwa_tensor::Tensor;
+use stwa_traffic::{DatasetConfig, TrafficDataset};
+
+fn param_bits(model: &dyn ForecastModel) -> Vec<u32> {
+    model
+        .store()
+        .params()
+        .iter()
+        .flat_map(|p| p.value().data().iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+        .collect()
+}
+
+fn config(shards: usize, epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 16,
+        train_stride: 12,
+        eval_stride: 12,
+        seed: 21,
+        patience: 10,
+        shards,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn shards_one_is_bitwise_identical_to_sequential_reference() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let cfg = config(1, 2);
+    let (h, u) = (12, 3);
+
+    // Trainer run with shards = 1.
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = StwaModel::new(StwaConfig::st_wa(n, h, u), &mut rng).unwrap();
+    let trainer = Trainer::new(cfg.clone());
+    let report = trainer.train(&model, &dataset, h, u).unwrap();
+
+    // Hand-rolled sequential loop: the exact `train_step` recipe —
+    // fresh graph per batch, de-normalized Huber plus regularizer,
+    // clipped Adam — including the trainer's shuffle seeding, per-epoch
+    // evaluation, and best-validation parameter restore.
+    let mut rng2 = StdRng::seed_from_u64(3);
+    let reference = StwaModel::new(StwaConfig::st_wa(n, h, u), &mut rng2).unwrap();
+    let train = dataset.train(h, u, cfg.train_stride).unwrap();
+    let val = dataset.val(h, u, cfg.eval_stride).unwrap();
+    let scaler = dataset.scaler();
+    let mut step_rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(reference.store(), cfg.lr).with_clip(cfg.grad_clip.unwrap());
+    let mut history: Vec<(f32, f32)> = Vec::new();
+    let mut best_val = f32::INFINITY;
+    let mut best_params: Option<Vec<Tensor>> = None;
+    for epoch in 0..cfg.epochs {
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed ^ (epoch as u64 + 1));
+        for (bx, by) in
+            BatchIter::shuffled(&train.x, &train.y, cfg.batch_size, &mut shuffle_rng).unwrap()
+        {
+            let graph = Graph::new();
+            let x = graph.constant(bx);
+            let out = reference.forward(&graph, &x, &mut step_rng, true).unwrap();
+            let pred_raw = out.pred.mul_scalar(scaler.std).add_scalar(scaler.mean);
+            let target = graph.constant(by);
+            let mut loss = huber(&pred_raw, &target, cfg.huber_delta).unwrap();
+            if let Some(reg) = out.regularizer {
+                loss = loss.add(&reg).unwrap();
+            }
+            epoch_loss += loss.value().item().unwrap() as f64;
+            graph.backward(&loss).unwrap();
+            opt.step();
+            opt.finish_step();
+            batches += 1;
+        }
+        let val_metrics = trainer
+            .evaluate(&reference, &val, &scaler, &mut step_rng)
+            .unwrap();
+        history.push(((epoch_loss / batches as f64) as f32, val_metrics.mae));
+        if val_metrics.mae < best_val {
+            best_val = val_metrics.mae;
+            best_params = Some(
+                reference
+                    .store()
+                    .params()
+                    .iter()
+                    .map(|p| p.value())
+                    .collect(),
+            );
+        }
+    }
+    if let Some(best) = best_params {
+        for (p, v) in reference.store().params().iter().zip(best) {
+            p.set_value(v);
+        }
+    }
+
+    assert_eq!(report.history.len(), history.len());
+    for (e, ((tl_t, vm_t), (tl_r, vm_r))) in
+        report.history.iter().zip(history.iter()).enumerate()
+    {
+        assert_eq!(
+            tl_t.to_bits(),
+            tl_r.to_bits(),
+            "epoch {e}: trainer loss {tl_t} != sequential reference {tl_r}"
+        );
+        assert_eq!(
+            vm_t.to_bits(),
+            vm_r.to_bits(),
+            "epoch {e}: trainer val MAE {vm_t} != sequential reference {vm_r}"
+        );
+    }
+    assert_eq!(
+        param_bits(&model),
+        param_bits(&reference),
+        "final parameters diverged from the sequential reference"
+    );
+}
+
+#[test]
+fn sharded_runs_are_bitwise_deterministic_run_to_run() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+        let report = Trainer::new(config(8, 2))
+            .train(&model, &dataset, 12, 3)
+            .unwrap();
+        (report.history, param_bits(&model))
+    };
+    let (hist_a, params_a) = run();
+    let (hist_b, params_b) = run();
+    assert_eq!(hist_a.len(), hist_b.len());
+    for (e, ((tl_a, vm_a), (tl_b, vm_b))) in hist_a.iter().zip(hist_b.iter()).enumerate() {
+        assert_eq!(
+            tl_a.to_bits(),
+            tl_b.to_bits(),
+            "epoch {e}: sharded train loss not reproducible ({tl_a} vs {tl_b})"
+        );
+        assert_eq!(vm_a.to_bits(), vm_b.to_bits(), "epoch {e}: val MAE drifted");
+    }
+    assert_eq!(params_a, params_b, "sharded run produced different weights");
+}
+
+#[test]
+fn sharded_objective_and_gradients_match_full_batch() {
+    // Deterministic model (no latents, no regularizer): the sharded
+    // loss and reduced gradients must equal the full-batch values up to
+    // the documented f32 reassociation of summing per-shard partials.
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let train = dataset.train(12, 3, 12).unwrap();
+    let scaler = dataset.scaler();
+    let bx = train.x.narrow(0, 0, 16).unwrap();
+    let by = train.y.narrow(0, 0, 16).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(17);
+    let sharded_model = StwaModel::new(StwaConfig::wa(n, 12, 3), &mut rng).unwrap();
+    let mut rng2 = StdRng::seed_from_u64(17);
+    let full_model = StwaModel::new(StwaConfig::wa(n, 12, 3), &mut rng2).unwrap();
+
+    // Sharded pass: gradients land on the params via the engine.
+    let engine = ShardEngine::new(&sharded_model, 4).unwrap();
+    let (sharded_loss, kl) = engine
+        .train_batch(&sharded_model, bx.clone(), by.clone(), 99, 1.0, scaler.mean, scaler.std)
+        .unwrap();
+    assert!(kl.is_none(), "WA has no regularizer");
+
+    // Full-batch reference on the twin model.
+    let graph = Graph::new();
+    let x = graph.constant(bx);
+    let mut fwd_rng = StdRng::seed_from_u64(0); // WA never consults it
+    let out = full_model.forward(&graph, &x, &mut fwd_rng, true).unwrap();
+    let pred_raw = out.pred.mul_scalar(scaler.std).add_scalar(scaler.mean);
+    let target = graph.constant(by);
+    let loss = huber(&pred_raw, &target, 1.0).unwrap();
+    let full_loss = loss.value().item().unwrap();
+    graph.backward(&loss).unwrap();
+
+    let rel = (sharded_loss - full_loss).abs() / full_loss.abs().max(1e-12);
+    assert!(
+        rel < 1e-5,
+        "sharded loss {sharded_loss} vs full-batch {full_loss} (rel {rel})"
+    );
+
+    for (ps, pf) in sharded_model
+        .store()
+        .params()
+        .iter()
+        .zip(full_model.store().params())
+    {
+        let gs = ps.grad().expect("sharded grad");
+        let gf = pf.grad().expect("full-batch grad");
+        for (a, b) in gs.data().iter().zip(gf.data()) {
+            let err = (a - b).abs();
+            let tol = 1e-5f32.max(b.abs() * 1e-3);
+            assert!(err <= tol, "grad mismatch: sharded {a} vs full {b}");
+        }
+    }
+}
+
+#[test]
+fn sharded_training_converges() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+    let report = Trainer::new(TrainConfig {
+        shards: 4,
+        train_stride: 6,
+        eval_stride: 6,
+        ..config(4, 4)
+    })
+    .train(&model, &dataset, 12, 3)
+    .unwrap();
+    let first = report.history.first().unwrap().0;
+    let last = report.history.last().unwrap().0;
+    assert!(last < first, "sharded loss should fall: {first} -> {last}");
+    assert!(report.best_val_mae.is_finite());
+    assert!(report.test.mae.is_finite() && report.test.mae > 0.0);
+}
+
+// ---- Determinism primitives ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `shard_seed` is a pure function producing pairwise-distinct
+    /// seeds whose RNG streams immediately diverge.
+    #[test]
+    fn shard_seeds_are_deterministic_distinct_and_decorrelated(
+        batch_seed in 0u64..u64::MAX,
+        k in 2usize..32,
+    ) {
+        let seeds: Vec<u64> = (0..k).map(|s| shard_seed(batch_seed, s)).collect();
+        let again: Vec<u64> = (0..k).map(|s| shard_seed(batch_seed, s)).collect();
+        prop_assert_eq!(&seeds, &again, "shard_seed must be pure");
+        for i in 0..k {
+            for j in (i + 1)..k {
+                prop_assert_ne!(seeds[i], seeds[j], "shards {i} and {j} share a seed");
+            }
+        }
+        // First draws of the split streams are pairwise distinct too.
+        let first: Vec<u64> = seeds
+            .iter()
+            .map(|&s| StdRng::seed_from_u64(s).next_u64())
+            .collect();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                prop_assert_ne!(first[i], first[j], "streams {i} and {j} collide");
+            }
+        }
+    }
+
+    /// The production fold applied in ascending shard order equals the
+    /// scalar reference `((g_0 + g_1) + g_2) + ...` bit for bit, and is
+    /// invariant to the order results *arrived* (they are buffered by
+    /// shard index before folding).
+    #[test]
+    fn fixed_order_fold_matches_scalar_reference_bitwise(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, 24..=24),
+            2..6,
+        ),
+        perm_seed in 0u64..1000,
+    ) {
+        let k = parts.len();
+
+        // Production path: fold in ascending shard index.
+        let mut acc: Vec<Option<Vec<f32>>> = vec![None];
+        for p in &parts {
+            fold_shard_grads(&mut acc, vec![Some(p.clone())]);
+        }
+        let folded = acc[0].clone().unwrap();
+
+        // Scalar reference with the same association order.
+        let mut reference = parts[0].clone();
+        for p in &parts[1..] {
+            for (r, v) in reference.iter_mut().zip(p) {
+                *r += v;
+            }
+        }
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&folded), bits(&reference));
+
+        // Shuffled arrival: buffer outcomes by shard index (what the
+        // engine does with the results channel), then fold 0..k.
+        let mut order: Vec<usize> = (0..k).collect();
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        for i in (1..k).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut buffered: Vec<Option<Vec<f32>>> = vec![None; k];
+        for &arrived in &order {
+            buffered[arrived] = Some(parts[arrived].clone());
+        }
+        let mut acc2: Vec<Option<Vec<f32>>> = vec![None];
+        for slot in buffered {
+            fold_shard_grads(&mut acc2, vec![slot]);
+        }
+        prop_assert_eq!(bits(&acc2[0].clone().unwrap()), bits(&reference));
+    }
+}

@@ -22,4 +22,4 @@ pub mod loss;
 pub mod optim;
 pub mod param;
 
-pub use param::{Param, ParamStore, StoreVersion};
+pub use param::{Param, ParamSnapshot, ParamStore, StoreVersion};

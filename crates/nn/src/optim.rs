@@ -16,8 +16,11 @@ pub trait Optimizer {
 
 /// Global L2 norm of all parameter gradients (pre-clip measurement).
 ///
-/// Measured in place — no gradient tensors are cloned. Rescaling happens
-/// inside the optimizers via `clip_scale`.
+/// Measured in place — no gradient tensors are cloned. Each gradient's
+/// sum of squares reduces through the pool's fixed-chunk lanes
+/// ([`stwa_tensor::reduce::sq_norm`]), so the norm is bitwise identical
+/// at any `STWA_THREADS` setting. Rescaling happens inside the
+/// optimizers via `clip_scale`.
 pub fn global_grad_norm(params: &[Param]) -> f32 {
     params
         .iter()
@@ -148,6 +151,12 @@ impl Optimizer for Adam {
 }
 
 /// Uniform gradient scale factor implementing global-norm clipping.
+///
+/// One traversal over every gradient computes the global norm (through
+/// the pool's parallel reduction lanes; see [`global_grad_norm`]); the
+/// scale itself is applied *inside* each optimizer's update loop
+/// (`gi = graw * scale` fused into the weight update), so clipping
+/// never makes a second standalone pass over the gradients.
 fn clip_scale(params: &[Param], max_norm: Option<f32>) -> f32 {
     let Some(max_norm) = max_norm else { return 1.0 };
     let norm = global_grad_norm(params);

@@ -2,8 +2,9 @@
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::Arc;
 use stwa_autograd::{Graph, Var};
-use stwa_tensor::Tensor;
+use stwa_tensor::{Result, Tensor, TensorError};
 
 /// Monotonic mutation counter shared by a [`ParamStore`] and every
 /// parameter it registered. Any `set_value` — an optimizer step, a
@@ -30,6 +31,10 @@ struct ParamInner {
     /// The leaf `Var` this parameter was bound to on the most recent
     /// graph; the optimizer reads gradients through it after backward.
     bound: RefCell<Option<Var>>,
+    /// Externally injected gradient (the data-parallel trainer's
+    /// fixed-order shard reduction lands here). Takes precedence over
+    /// the graph binding in [`Param::grad`] until [`Param::unbind`].
+    injected_grad: RefCell<Option<Tensor>>,
     /// The owning store's mutation counter; bumped on every `set_value`.
     version: StoreVersion,
 }
@@ -94,17 +99,44 @@ impl Param {
         var
     }
 
-    /// Gradient from the most recent bound graph, if backward reached it.
+    /// Gradient the optimizer should apply this step: an injected
+    /// gradient when one is present (the sharded trainer's combined
+    /// reduction), otherwise whatever backward accumulated on the most
+    /// recent bound graph.
     pub fn grad(&self) -> Option<Tensor> {
+        if let Some(g) = self.0.injected_grad.borrow().as_ref() {
+            return Some(g.clone());
+        }
         let bound = self.0.bound.borrow();
         bound.as_ref().and_then(|v| v.graph().grad(v))
     }
 
     /// Squared L2 norm of the gradient without cloning it — what the
-    /// optimizers' global-norm clipping measures every step.
+    /// optimizers' global-norm clipping measures every step. Large
+    /// gradients reduce through the pool's fixed-chunk lanes
+    /// ([`stwa_tensor::reduce::sq_norm`]); identical at any thread
+    /// count.
     pub fn grad_sq_norm(&self) -> Option<f32> {
+        if let Some(g) = self.0.injected_grad.borrow().as_ref() {
+            return Some(stwa_tensor::reduce::sq_norm(g.data()));
+        }
         let bound = self.0.bound.borrow();
         bound.as_ref().and_then(|v| v.graph().grad_sq_norm(v))
+    }
+
+    /// Inject an externally computed gradient. Until [`Param::unbind`]
+    /// clears it, [`Param::grad`] and [`Param::grad_sq_norm`] serve the
+    /// injected tensor instead of reading the graph binding — this is
+    /// how the data-parallel trainer hands its reduced shard gradients
+    /// to an unmodified optimizer.
+    pub fn set_grad(&self, grad: Tensor) {
+        assert_eq!(
+            grad.shape(),
+            self.shape().as_slice(),
+            "set_grad must match the parameter shape ({})",
+            self.name()
+        );
+        *self.0.injected_grad.borrow_mut() = Some(grad);
     }
 
     /// Overwrite the stored value (used by optimizers and tests).
@@ -124,9 +156,76 @@ impl Param {
         self.0.version.bump();
     }
 
-    /// Drop the remembered graph binding (frees the old tape).
+    /// Drop the remembered graph binding (frees the old tape) and any
+    /// injected gradient.
     pub fn unbind(&self) {
         *self.0.bound.borrow_mut() = None;
+        *self.0.injected_grad.borrow_mut() = None;
+    }
+}
+
+/// One parameter's frozen state inside a [`ParamSnapshot`].
+struct SnapshotEntry {
+    name: String,
+    shape: Vec<usize>,
+    data: Arc<Vec<f32>>,
+}
+
+/// An immutable, `Send + Sync` copy of every parameter in a store, in
+/// registration order.
+///
+/// `Param`/`ParamStore` are `Rc`-based and thread-confined; the
+/// data-parallel trainer snapshots the store once per step and hands
+/// each shard worker an `Arc` of the same snapshot. Workers rebuild
+/// plain `Tensor`s from the raw buffers on their own thread via
+/// [`ParamSnapshot::load_into`], so no `Rc` ever crosses a thread
+/// boundary.
+pub struct ParamSnapshot {
+    entries: Vec<SnapshotEntry>,
+}
+
+impl ParamSnapshot {
+    /// Number of parameter tensors in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Overwrite every parameter of `store` with the snapshot's values.
+    ///
+    /// The store must have the same registration order as the one the
+    /// snapshot was taken from (same tensor count, and shape-compatible
+    /// parameter by parameter) — the contract between a model and its
+    /// worker-thread replicas built from the same config.
+    pub fn load_into(&self, store: &ParamStore) -> Result<()> {
+        let params = store.params();
+        if params.len() != self.entries.len() {
+            return Err(TensorError::Invalid(format!(
+                "ParamSnapshot: store has {} parameters, snapshot has {}",
+                params.len(),
+                self.entries.len()
+            )));
+        }
+        for (p, e) in params.iter().zip(&self.entries) {
+            if p.shape() != e.shape {
+                return Err(TensorError::Invalid(format!(
+                    "ParamSnapshot: shape mismatch loading '{}' into '{}': {:?} vs {:?}",
+                    e.name,
+                    p.name(),
+                    e.shape,
+                    p.shape()
+                )));
+            }
+            p.set_value(Tensor::from_vec(
+                stwa_tensor::memory::take_copy(e.data.as_slice()),
+                &e.shape,
+            )?);
+        }
+        Ok(())
     }
 }
 
@@ -151,6 +250,7 @@ impl ParamStore {
             name: name.into(),
             value: RefCell::new(value),
             bound: RefCell::new(None),
+            injected_grad: RefCell::new(None),
             version: self.version.clone(),
         }));
         self.params.borrow_mut().push(p.clone());
@@ -173,6 +273,24 @@ impl ParamStore {
     /// Handles to all registered parameters, in registration order.
     pub fn params(&self) -> Vec<Param> {
         self.params.borrow().clone()
+    }
+
+    /// A `Send + Sync` copy of every parameter value, in registration
+    /// order — the once-per-step handoff the data-parallel trainer
+    /// ships to its shard workers.
+    pub fn snapshot(&self) -> ParamSnapshot {
+        ParamSnapshot {
+            entries: self
+                .params
+                .borrow()
+                .iter()
+                .map(|p| SnapshotEntry {
+                    name: p.name().to_string(),
+                    shape: p.shape(),
+                    data: Arc::new(p.value().into_vec()),
+                })
+                .collect(),
+        }
     }
 
     /// Number of registered parameter tensors.
@@ -276,6 +394,90 @@ mod tests {
         let _ = p.value();
         p.unbind();
         assert_eq!(store.version(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_send_and_round_trips_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParamSnapshot>();
+
+        let store = ParamStore::new();
+        store.param("w", Tensor::from_vec(vec![1.0, -2.5, 3.25], &[3]).unwrap());
+        store.param("b", Tensor::from_vec(vec![0.5], &[1]).unwrap());
+        let snap = Arc::new(store.snapshot());
+        assert_eq!(snap.len(), 2);
+
+        // Rebuild a replica store on another thread from the snapshot.
+        let shipped = Arc::clone(&snap);
+        let values = std::thread::spawn(move || {
+            let replica = ParamStore::new();
+            replica.param("w", Tensor::zeros(&[3]));
+            replica.param("b", Tensor::zeros(&[1]));
+            shipped.load_into(&replica).unwrap();
+            replica
+                .params()
+                .iter()
+                .flat_map(|p| p.value().data().to_vec())
+                .collect::<Vec<f32>>()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(values, vec![1.0, -2.5, 3.25, 0.5]);
+    }
+
+    #[test]
+    fn snapshot_load_rejects_mismatched_stores() {
+        let store = ParamStore::new();
+        store.param("w", Tensor::zeros(&[2]));
+        let snap = store.snapshot();
+
+        let wrong_count = ParamStore::new();
+        assert!(snap.load_into(&wrong_count).is_err());
+
+        let wrong_shape = ParamStore::new();
+        wrong_shape.param("w", Tensor::zeros(&[3]));
+        assert!(snap.load_into(&wrong_shape).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_updates() {
+        let store = ParamStore::new();
+        let p = store.param("w", Tensor::zeros(&[2]));
+        let snap = store.snapshot();
+        p.set_value(Tensor::ones(&[2]));
+        let replica = ParamStore::new();
+        replica.param("w", Tensor::full(&[2], 9.0));
+        snap.load_into(&replica).unwrap();
+        assert_eq!(replica.params()[0].value().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn injected_grad_overrides_binding_until_unbind() {
+        let store = ParamStore::new();
+        let p = store.param("w", Tensor::from_vec(vec![2.0, 3.0], &[2]).unwrap());
+        let g = Graph::new();
+        let w = p.leaf(&g);
+        let loss = w.square().unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        assert_eq!(p.grad().unwrap().data(), &[4.0, 6.0]);
+
+        // Injection wins over the live binding...
+        p.set_grad(Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap());
+        assert_eq!(p.grad().unwrap().data(), &[0.5, -0.5]);
+        assert_eq!(p.grad_sq_norm().unwrap(), 0.5);
+
+        // ...and unbind clears both.
+        p.unbind();
+        assert!(p.grad().is_none());
+        assert!(p.grad_sq_norm().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "set_grad must match")]
+    fn injected_grad_rejects_shape_mismatch() {
+        let store = ParamStore::new();
+        let p = store.param("w", Tensor::zeros(&[2]));
+        p.set_grad(Tensor::zeros(&[3]));
     }
 
     #[test]

@@ -226,3 +226,51 @@ proptest! {
         }
     }
 }
+
+// ---- Thread-count invariance of the clipping norm ----
+//
+// `global_grad_norm` reduces every gradient through fixed-length chunk
+// lanes, so its bits must not depend on how many pool threads execute
+// the reduction. Gradients larger than the tensor crate's parallel
+// threshold exercise the pooled path; small ones take the scalar fold.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn global_grad_norm_is_thread_count_invariant(
+        seed in 0u64..1000,
+        amp in 0.1f32..4.0,
+        clip in 0.5f32..10.0,
+    ) {
+        let _guard = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        use rand::RngCore;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // One gradient well above the parallel threshold (1 << 16) plus
+        // two small ones that stay on the scalar fold.
+        let sizes = [70_000usize, 513, 7];
+        let store = ParamStore::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let data: Vec<f32> = (0..n)
+                .map(|_| (rng.next_u64() as f32 / u64::MAX as f32 - 0.5) * amp)
+                .collect();
+            let p = store.param(format!("p{i}"), Tensor::zeros(&[n]));
+            p.set_grad(Tensor::from_vec(data, &[n]).unwrap());
+        }
+        let params = store.params();
+
+        let before = stwa_pool::current_threads();
+        stwa_pool::set_threads(1);
+        let norm_1 = stwa_nn::optim::global_grad_norm(&params);
+        stwa_pool::set_threads(8);
+        let norm_8 = stwa_nn::optim::global_grad_norm(&params);
+        stwa_pool::set_threads(before);
+        prop_assert_eq!(norm_1.to_bits(), norm_8.to_bits(), "norm {norm_1} vs {norm_8}");
+
+        // The derived clip scale is therefore invariant too.
+        let max_norm = clip;
+        let scale_1 = if norm_1 > max_norm && norm_1 > 0.0 { max_norm / norm_1 } else { 1.0 };
+        let scale_8 = if norm_8 > max_norm && norm_8 > 0.0 { max_norm / norm_8 } else { 1.0 };
+        prop_assert_eq!(scale_1.to_bits(), scale_8.to_bits());
+    }
+}

@@ -108,6 +108,49 @@ thread_local! {
     /// body degrade to inline execution instead of deadlocking on the
     /// single job slot.
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// Depth of [`sequential_scope`] guards on this thread. While
+    /// nonzero, every dispatch from this thread runs inline.
+    static SEQUENTIAL_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII guard returned by [`sequential_scope`]. Dropping it re-enables
+/// parallel dispatch for the thread (once every nested guard is gone).
+pub struct SequentialScope {
+    /// Pins the guard to the thread that created it: thread-local depth
+    /// bookkeeping would corrupt if the guard were dropped elsewhere.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Force every `parallel_for`/`parallel_chunks` issued from the current
+/// thread to run inline until the returned guard is dropped.
+///
+/// This is the data-parallel trainer's oversubscription escape: shard
+/// worker threads each run a whole forward/backward pass, so the
+/// coarse-grained shard parallelism already uses every core — letting
+/// each worker also publish kernel jobs to the process-global pool
+/// would oversubscribe it (and contend on the single job slot). A
+/// worker opens a sequential scope once and every tensor kernel it
+/// calls degrades to the inline path, which is bitwise-identical to
+/// the parallel path by the pool's determinism contract.
+///
+/// Scopes nest: parallelism resumes when the outermost guard drops.
+pub fn sequential_scope() -> SequentialScope {
+    SEQUENTIAL_DEPTH.with(|d| d.set(d.get() + 1));
+    SequentialScope {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for SequentialScope {
+    fn drop(&mut self) {
+        SEQUENTIAL_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+/// Whether the current thread is inside a [`sequential_scope`].
+pub fn in_sequential_scope() -> bool {
+    SEQUENTIAL_DEPTH.with(|d| d.get() > 0)
 }
 
 fn pool() -> &'static Pool {
@@ -205,7 +248,7 @@ pub fn parallel_for(tasks: usize, body: impl Fn(usize) + Sync) {
     }
     stwa_observe::counter!("pool.tasks").add(tasks as u64);
     let threads = current_threads();
-    let nested = IN_WORKER.with(|w| w.get());
+    let nested = IN_WORKER.with(|w| w.get()) || in_sequential_scope();
     if tasks < MIN_PARALLEL_TASKS || threads <= 1 || nested {
         for i in 0..tasks {
             body(i);
@@ -342,6 +385,42 @@ mod tests {
         });
         set_threads(configured_threads());
         assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn sequential_scope_forces_inline_dispatch() {
+        let _guard = CAP_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_threads(4);
+        {
+            let _scope = sequential_scope();
+            assert!(in_sequential_scope());
+            // All tasks must run on this thread: observing a different
+            // thread id would mean the pool dispatched anyway.
+            let caller = std::thread::current().id();
+            let off_thread = AtomicUsize::new(0);
+            parallel_for(64, |_| {
+                if std::thread::current().id() != caller {
+                    off_thread.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(off_thread.load(Ordering::Relaxed), 0);
+        }
+        assert!(!in_sequential_scope());
+        set_threads(configured_threads());
+    }
+
+    #[test]
+    fn sequential_scopes_nest() {
+        let _guard = CAP_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let outer = sequential_scope();
+        {
+            let _inner = sequential_scope();
+            assert!(in_sequential_scope());
+        }
+        // Inner guard dropped; the outer scope still holds.
+        assert!(in_sequential_scope());
+        drop(outer);
+        assert!(!in_sequential_scope());
     }
 
     #[test]

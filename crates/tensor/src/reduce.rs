@@ -13,6 +13,40 @@ use crate::tensor::{elementwise_chunks, PARALLEL_ELEMS};
 use crate::{Result, Tensor};
 use stwa_pool::SendPtr;
 
+/// Chunk width of the global sum-of-squares reduction. Boundaries
+/// depend only on the slice length, never on the thread count, so the
+/// partial sums — and therefore the total — are identical whether the
+/// chunks run inline or across the pool.
+const SQ_NORM_CHUNK: usize = 4096;
+
+/// Sum of squares of a slice — the gradient-clipping measurement.
+///
+/// Slices below the parallel threshold keep the exact scalar fold
+/// (ascending, one running accumulator), bit-for-bit the historical
+/// `iter().map(|x| x * x).sum()`. Larger slices reduce in fixed
+/// [`SQ_NORM_CHUNK`]-wide chunks: each chunk folds its elements in
+/// ascending order, chunks run across the worker pool, and the partial
+/// sums combine in ascending chunk order on the caller. The chunked
+/// result reassociates f32 addition relative to the scalar fold (a
+/// one-time, documented cutover at the threshold), but is bitwise
+/// reproducible at any `STWA_THREADS` because nothing about the
+/// decomposition depends on the thread count.
+pub fn sq_norm(data: &[f32]) -> f32 {
+    if data.len() < PARALLEL_ELEMS {
+        return data.iter().map(|x| x * x).sum();
+    }
+    let nchunks = data.len().div_ceil(SQ_NORM_CHUNK);
+    let mut partials = vec![0f32; nchunks];
+    stwa_pool::parallel_chunks(&mut partials, elementwise_chunks().min(nchunks), |start, out| {
+        for (j, slot) in out.iter_mut().enumerate() {
+            let lo = (start + j) * SQ_NORM_CHUNK;
+            let hi = (lo + SQ_NORM_CHUNK).min(data.len());
+            *slot = data[lo..hi].iter().map(|x| x * x).sum();
+        }
+    });
+    partials.iter().sum()
+}
+
 impl Tensor {
     /// Sum along `axis`. With `keepdim` the axis is kept at length 1,
     /// otherwise it is removed.
@@ -347,6 +381,31 @@ mod tests {
 
     fn t(data: &[f32], shape: &[usize]) -> Tensor {
         Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn sq_norm_small_matches_scalar_fold() {
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32) * 0.01 - 3.0).collect();
+        let scalar: f32 = data.iter().map(|x| x * x).sum();
+        assert_eq!(sq_norm(&data).to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn sq_norm_is_thread_count_invariant() {
+        // Above the parallel threshold the chunk decomposition must not
+        // depend on the pool size: same bits at 1 and 8 threads.
+        let data: Vec<f32> = (0..PARALLEL_ELEMS + 12345)
+            .map(|i| ((i * 2654435761) % 1000) as f32 * 1e-3 - 0.5)
+            .collect();
+        stwa_pool::set_threads(1);
+        let one = sq_norm(&data);
+        stwa_pool::set_threads(8);
+        let eight = sq_norm(&data);
+        stwa_pool::set_threads(stwa_pool::configured_threads());
+        assert_eq!(one.to_bits(), eight.to_bits());
+        // And the chunked value is close to the scalar fold.
+        let scalar: f32 = data.iter().map(|x| x * x).sum();
+        assert!((one - scalar).abs() <= scalar.abs() * 1e-5);
     }
 
     #[test]

@@ -12,6 +12,7 @@ verify:
     cargo run --release -p stwa-bench --bin bench_kernels -- --check BENCH_kernels.json
     cargo run --release -p stwa-bench --bin bench_train_step -- --check BENCH_train_step.json
     cargo run --release -p stwa-bench --bin bench_infer -- --check BENCH_infer.json
+    cargo run --release -p stwa-bench --bin bench_epoch -- --check BENCH_epoch.json
 
 # Fast inner-loop check.
 check:
@@ -33,6 +34,12 @@ bench:
 # >=2x batch-1 speedup floor).
 bench-infer:
     cargo run --release -p stwa-bench --bin bench_infer -- --out BENCH_infer.json
+
+# Epoch-throughput benchmark: sequential vs 8-shard data-parallel
+# training, plus the sharded bitwise-determinism self-check (refreshes
+# BENCH_epoch.json; the speedup floor adapts to the host's core count).
+bench-epoch:
+    cargo run --release -p stwa-bench --bin bench_epoch -- --out BENCH_epoch.json
 
 # Regenerate every paper table/figure CSV under results/.
 experiments:
