@@ -4,9 +4,9 @@
 
 use crate::rnn_models::check_input;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use stwa_autograd::{concat, Graph, Var};
-use stwa_core::{ForecastModel, ForwardOutput};
+use stwa_core::{ForecastModel, ForwardOutput, ReplicaFactory};
 use stwa_nn::layers::{
     Activation, AdaptiveGraphConv, ChebGraphConv, DenseGraphConv, DiffusionGraphConv, Linear, Mlp,
     TemporalConv,
@@ -22,6 +22,9 @@ pub struct DcrnnLite {
     gc_n: DiffusionGraphConv,
     readout: Linear,
     store: ParamStore,
+    /// Kept so [`ForecastModel::replica_builder`] can rebuild replicas
+    /// over the same sensor graph.
+    adj: Tensor,
     n: usize,
     h: usize,
     u: usize,
@@ -50,6 +53,7 @@ impl DcrnnLite {
             gc_n,
             readout,
             store,
+            adj: adj.clone(),
             n,
             h,
             u,
@@ -66,6 +70,22 @@ impl ForecastModel for DcrnnLite {
 
     fn store(&self) -> &ParamStore {
         &self.store
+    }
+
+    fn replica_builder(&self) -> Option<ReplicaFactory> {
+        // Tensors are `Rc`-backed and not `Send`, so the factory carries
+        // the adjacency as raw data and rebuilds it on the worker.
+        let (n, h, u, f, d) = (self.n, self.h, self.u, self.f, self.d);
+        let adj_data = self.adj.data().to_vec();
+        let adj_shape = self.adj.shape().to_vec();
+        Some(Box::new(move || {
+            let adj = Tensor::from_vec(adj_data, &adj_shape)?;
+            // Replica init values are overwritten from the live snapshot
+            // every shard step; any fixed seed registers the same
+            // parameter order and shapes.
+            let mut rng = StdRng::seed_from_u64(0);
+            Ok(Box::new(DcrnnLite::new(n, h, u, f, d, &adj, &mut rng)?) as Box<dyn ForecastModel>)
+        }))
     }
 
     fn forward(
@@ -570,6 +590,15 @@ impl ForecastModel for AgcrnLite {
 
     fn store(&self) -> &ParamStore {
         &self.store
+    }
+
+    fn replica_builder(&self) -> Option<ReplicaFactory> {
+        let (n, h, u, f, d) = (self.n, self.h, self.u, self.f, self.d);
+        let e = self.embeddings.shape()[1];
+        Some(Box::new(move || {
+            let mut rng = StdRng::seed_from_u64(0);
+            Ok(Box::new(AgcrnLite::new(n, h, u, f, d, e, &mut rng)) as Box<dyn ForecastModel>)
+        }))
     }
 
     fn forward(

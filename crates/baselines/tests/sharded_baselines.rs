@@ -1,0 +1,201 @@
+//! Data-parallel contract for the graph baselines that opt into
+//! [`ForecastModel::replica_builder`] (DCRNN and AGCRN — the strongest
+//! graph-structured and spatial-aware baselines):
+//!
+//! 1. The shard engine actually spins up for them (a missing builder
+//!    would silently fall back to sequential training and vacuously pass
+//!    every determinism test below).
+//! 2. `shards = k` training is run-to-run bitwise deterministic.
+//! 3. The sharded objective and reduced gradients match a full-batch
+//!    reference up to f32 reassociation, exactly as for ST-WA.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_autograd::Graph;
+use stwa_baselines::{AgcrnLite, DcrnnLite, StgcnLite};
+use stwa_core::{ForecastModel, ShardEngine, TrainConfig, Trainer};
+use stwa_nn::loss::huber;
+use stwa_tensor::Tensor;
+use stwa_traffic::{DatasetConfig, TrafficDataset};
+
+const H: usize = 12;
+const U: usize = 3;
+const D: usize = 8;
+
+fn line_adj(n: usize) -> Tensor {
+    Tensor::from_fn(
+        &[n, n],
+        |i| if i[0].abs_diff(i[1]) == 1 { 1.0 } else { 0.0 },
+    )
+}
+
+fn dcrnn(n: usize, seed: u64) -> DcrnnLite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DcrnnLite::new(n, H, U, 1, D, &line_adj(n), &mut rng).unwrap()
+}
+
+fn agcrn(n: usize, seed: u64) -> AgcrnLite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    AgcrnLite::new(n, H, U, 1, D, 4, &mut rng)
+}
+
+fn param_bits(model: &dyn ForecastModel) -> Vec<u32> {
+    model
+        .store()
+        .params()
+        .iter()
+        .flat_map(|p| p.value().data().iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+        .collect()
+}
+
+fn config(shards: usize, epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 16,
+        train_stride: 12,
+        eval_stride: 12,
+        seed: 21,
+        patience: 10,
+        shards,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn graph_baseline_replicas_power_the_shard_engine() {
+    let n = 4;
+    assert!(
+        ShardEngine::new(&dcrnn(n, 0), 4).is_some(),
+        "DCRNN must provide a replica builder"
+    );
+    assert!(
+        ShardEngine::new(&agcrn(n, 0), 4).is_some(),
+        "AGCRN must provide a replica builder"
+    );
+    // Replica parameter layout must mirror the live model exactly —
+    // names, order, and shapes — or snapshot sync would scramble weights.
+    for model in [
+        Box::new(dcrnn(n, 1)) as Box<dyn ForecastModel>,
+        Box::new(agcrn(n, 1)) as Box<dyn ForecastModel>,
+    ] {
+        let replica = (model.replica_builder().unwrap())().unwrap();
+        let live = model.store().params();
+        let twin = replica.store().params();
+        assert_eq!(live.len(), twin.len(), "{}", model.name());
+        for (a, b) in live.iter().zip(&twin) {
+            assert_eq!(a.name(), b.name(), "{}", model.name());
+            assert_eq!(a.shape(), b.shape(), "{}: {}", model.name(), a.name());
+        }
+    }
+    // Baselines that have not opted in keep the sequential fallback.
+    let mut rng = StdRng::seed_from_u64(2);
+    let stgcn = StgcnLite::new(n, H, U, 1, D, &line_adj(n), &mut rng).unwrap();
+    assert!(ShardEngine::new(&stgcn, 4).is_none());
+}
+
+#[test]
+fn sharded_baseline_training_is_bitwise_deterministic_run_to_run() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+
+    let run = |which: &str| {
+        let model: Box<dyn ForecastModel> = match which {
+            "DCRNN" => Box::new(dcrnn(n, 5)),
+            _ => Box::new(agcrn(n, 5)),
+        };
+        let report = Trainer::new(config(4, 2))
+            .train(model.as_ref(), &dataset, H, U)
+            .unwrap();
+        (report.history, param_bits(model.as_ref()))
+    };
+
+    for which in ["DCRNN", "AGCRN"] {
+        let (hist_a, params_a) = run(which);
+        let (hist_b, params_b) = run(which);
+        assert_eq!(hist_a.len(), hist_b.len());
+        for (e, ((tl_a, vm_a), (tl_b, vm_b))) in hist_a.iter().zip(hist_b.iter()).enumerate() {
+            assert_eq!(
+                tl_a.to_bits(),
+                tl_b.to_bits(),
+                "{which} epoch {e}: sharded train loss not reproducible"
+            );
+            assert_eq!(
+                vm_a.to_bits(),
+                vm_b.to_bits(),
+                "{which} epoch {e}: val MAE drifted"
+            );
+        }
+        assert_eq!(params_a, params_b, "{which}: sharded weights not reproducible");
+    }
+}
+
+#[test]
+fn sharded_baseline_objective_and_gradients_match_full_batch() {
+    // Both baselines are deterministic forwards (no latents, no
+    // regularizer), so sharded loss and reduced gradients must equal the
+    // full-batch values up to the documented f32 reassociation of
+    // summing per-shard partials.
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let train = dataset.train(H, U, 12).unwrap();
+    let scaler = dataset.scaler();
+    let bx = train.x.narrow(0, 0, 16).unwrap();
+    let by = train.y.narrow(0, 0, 16).unwrap();
+
+    let pairs: Vec<(Box<dyn ForecastModel>, Box<dyn ForecastModel>)> = vec![
+        (Box::new(dcrnn(n, 17)), Box::new(dcrnn(n, 17))),
+        (Box::new(agcrn(n, 17)), Box::new(agcrn(n, 17))),
+    ];
+    for (sharded_model, full_model) in pairs {
+        let engine = ShardEngine::new(sharded_model.as_ref(), 4).unwrap();
+        let (sharded_loss, kl) = engine
+            .train_batch(
+                sharded_model.as_ref(),
+                bx.clone(),
+                by.clone(),
+                99,
+                1.0,
+                scaler.mean,
+                scaler.std,
+            )
+            .unwrap();
+        assert!(kl.is_none(), "{}: no regularizer", sharded_model.name());
+
+        let graph = Graph::new();
+        let x = graph.constant(bx.clone());
+        let mut fwd_rng = StdRng::seed_from_u64(0); // never consulted
+        let out = full_model.forward(&graph, &x, &mut fwd_rng, true).unwrap();
+        let pred_raw = out.pred.mul_scalar(scaler.std).add_scalar(scaler.mean);
+        let target = graph.constant(by.clone());
+        let loss = huber(&pred_raw, &target, 1.0).unwrap();
+        let full_loss = loss.value().item().unwrap();
+        graph.backward(&loss).unwrap();
+
+        let rel = (sharded_loss - full_loss).abs() / full_loss.abs().max(1e-12);
+        assert!(
+            rel < 1e-5,
+            "{}: sharded loss {sharded_loss} vs full-batch {full_loss} (rel {rel})",
+            sharded_model.name()
+        );
+
+        for (ps, pf) in sharded_model
+            .store()
+            .params()
+            .iter()
+            .zip(full_model.store().params())
+        {
+            let gs = ps.grad().expect("sharded grad");
+            let gf = pf.grad().expect("full-batch grad");
+            for (a, b) in gs.data().iter().zip(gf.data()) {
+                let err = (a - b).abs();
+                let tol = 1e-5f32.max(b.abs() * 1e-3);
+                assert!(
+                    err <= tol,
+                    "{} {}: grad mismatch sharded {a} vs full {b}",
+                    sharded_model.name(),
+                    ps.name()
+                );
+            }
+        }
+    }
+}

@@ -27,6 +27,16 @@ pub struct Args {
     /// When set, enable `stwa_observe` recording and write each run's
     /// JSON manifest to this path (later runs overwrite earlier ones).
     pub observe: Option<String>,
+    /// Publish a training checkpoint every N epochs (0 = off; requires
+    /// `--registry`).
+    pub save_every: usize,
+    /// Model-registry root directory for checkpoint publishes.
+    pub registry: Option<String>,
+    /// Keep only the newest N registry versions after each publish
+    /// (0 = keep everything).
+    pub ckpt_keep: usize,
+    /// Resume training from this checkpoint version directory.
+    pub resume: Option<String>,
 }
 
 impl Default for Args {
@@ -43,6 +53,10 @@ impl Default for Args {
             out_dir: "results".to_string(),
             verbose: false,
             observe: None,
+            save_every: 0,
+            registry: None,
+            ckpt_keep: 0,
+            resume: None,
         }
     }
 }
@@ -94,6 +108,10 @@ impl Args {
                 }
                 "--out-dir" => out.out_dir = value("--out-dir")?,
                 "--observe" => out.observe = Some(value("--observe")?),
+                "--save-every" => out.save_every = parse_num(&value("--save-every")?)?,
+                "--registry" => out.registry = Some(value("--registry")?),
+                "--ckpt-keep" => out.ckpt_keep = parse_num(&value("--ckpt-keep")?)?,
+                "--resume" => out.resume = Some(value("--resume")?),
                 "--verbose" | "-v" => out.verbose = true,
                 "--help" | "-h" => {
                     println!("{}", Args::usage());
@@ -105,6 +123,9 @@ impl Args {
         if out.epochs == 0 || out.train_stride == 0 || out.eval_stride == 0 || out.batch_size == 0 {
             return Err("numeric flags must be positive".to_string());
         }
+        if out.save_every > 0 && out.registry.is_none() {
+            return Err("--save-every requires --registry DIR".to_string());
+        }
         Ok(out)
     }
 
@@ -113,6 +134,7 @@ impl Args {
         "usage: <experiment> [--epochs N] [--train-stride N] [--eval-stride N] \
          [--batch-size N] [--seed N] [--full-scale] [--models a,b,c] \
          [--datasets PEMS04,PEMS08] [--out-dir DIR] [--observe MANIFEST.json] \
+         [--save-every N --registry DIR] [--ckpt-keep N] [--resume CKPT_DIR] \
          [--verbose]"
             .to_string()
     }
@@ -185,6 +207,27 @@ mod tests {
         assert!(parse(&["--epochs", "zero"]).is_err());
         assert!(parse(&["--epochs", "0"]).is_err());
         assert!(parse(&["--what"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags() {
+        let a = parse(&[
+            "--save-every",
+            "2",
+            "--registry",
+            "/tmp/reg",
+            "--ckpt-keep",
+            "3",
+            "--resume",
+            "/tmp/reg/ST-WA/4",
+        ])
+        .unwrap();
+        assert_eq!(a.save_every, 2);
+        assert_eq!(a.registry.as_deref(), Some("/tmp/reg"));
+        assert_eq!(a.ckpt_keep, 3);
+        assert_eq!(a.resume.as_deref(), Some("/tmp/reg/ST-WA/4"));
+        // Publishing needs somewhere to publish to.
+        assert!(parse(&["--save-every", "2"]).is_err());
     }
 
     #[test]

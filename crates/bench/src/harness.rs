@@ -42,6 +42,10 @@ pub fn trainer_for(args: &Args) -> Trainer {
         seed: args.seed,
         verbose: args.verbose,
         manifest_path: args.observe.as_ref().map(std::path::PathBuf::from),
+        save_every: args.save_every,
+        registry_root: args.registry.as_ref().map(std::path::PathBuf::from),
+        keep_checkpoints: args.ckpt_keep,
+        resume_from: args.resume.as_ref().map(std::path::PathBuf::from),
         ..TrainConfig::default()
     })
 }

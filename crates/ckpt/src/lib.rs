@@ -1,0 +1,148 @@
+//! Versioned on-disk checkpoints and a small model registry.
+//!
+//! This crate is the durability layer under the training and serving
+//! engines: [`TrainCheckpoint`] captures everything a run needs to
+//! resume **bitwise identically** (parameters, Adam moments, RNG stream
+//! state, step/epoch counters, the loss trajectory, and the
+//! early-stopping bookkeeping), and [`Registry`] stores checkpoints as
+//! immutable versions under `registry/<name>/<version>/` with an atomic
+//! write-temp-then-rename publish, a `LATEST` pointer, and a prune
+//! policy.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <root>/<name>/LATEST            newest published version number
+//! <root>/<name>/<version>/
+//!     manifest.json               format, seed, config hash, counters,
+//!                                 RNG state, loss trajectory, and one
+//!                                 {file, bytes, checksum} entry per blob
+//!     params.bin                  named tensor blob (checksummed)
+//!     optim.bin                   Adam moments, "m.<param>"/"v.<param>"
+//!     best.bin                    best-validation parameters (optional)
+//! ```
+//!
+//! # Integrity contract
+//!
+//! Every load is verified before a single value reaches a model: the
+//! manifest must parse and carry a supported format version, each blob
+//! file must match its manifest byte count and FNV-1a content checksum,
+//! and each tensor record inside a blob carries its own checksum. Any
+//! violation is a typed [`CkptError`] — corruption is never a panic and
+//! never a silently-wrong model. The fault-injection suite in
+//! `tests/corruption.rs` holds this line.
+
+pub mod blob;
+pub mod checkpoint;
+pub mod manifest;
+pub mod registry;
+
+pub use blob::{fnv1a64, NamedTensor};
+pub use checkpoint::{TrainCheckpoint, BEST_BLOB, OPTIM_BLOB, PARAMS_BLOB};
+pub use manifest::{BlobEntry, Manifest, FORMAT_VERSION, MANIFEST_FILE};
+pub use registry::Registry;
+
+use std::path::PathBuf;
+
+/// Everything that can go wrong saving, loading, or resolving a
+/// checkpoint. Each corruption mode gets its own variant so callers
+/// (and the fault-injection tests) can tell a truncated file from a
+/// bit-flip from a format skew.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem failure opening/creating/renaming (not content).
+    Io { path: PathBuf, source: std::io::Error },
+    /// `manifest.json` does not exist where a checkpoint should be.
+    MissingManifest(PathBuf),
+    /// The manifest names a blob file that is not on disk.
+    MissingBlob(PathBuf),
+    /// Unparseable or structurally invalid manifest/blob content.
+    Format { path: PathBuf, detail: String },
+    /// The manifest's format version is not one this build reads.
+    VersionSkew { path: PathBuf, found: u32, supported: u32 },
+    /// A blob is shorter (or longer) than the manifest recorded.
+    Truncated { path: PathBuf, detail: String },
+    /// Stored checksum and recomputed checksum disagree — the content
+    /// was altered after it was written (e.g. a flipped bit).
+    ChecksumMismatch {
+        path: PathBuf,
+        /// The tensor whose record failed, when the file-level sum
+        /// passed but a per-tensor sum did not.
+        tensor: Option<String>,
+        expected: u64,
+        actual: u64,
+    },
+    /// The checkpoint does not fit the model/optimizer it is being
+    /// loaded into (missing parameter, shape mismatch, config skew).
+    Mismatch(String),
+    /// Registry-level failure: unknown model, unknown version, invalid
+    /// name.
+    Registry(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io { path, source } => {
+                write!(f, "checkpoint io error at {}: {source}", path.display())
+            }
+            CkptError::MissingManifest(p) => {
+                write!(f, "missing checkpoint manifest {}", p.display())
+            }
+            CkptError::MissingBlob(p) => write!(f, "missing checkpoint blob {}", p.display()),
+            CkptError::Format { path, detail } => {
+                write!(f, "malformed checkpoint file {}: {detail}", path.display())
+            }
+            CkptError::VersionSkew {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "checkpoint format version skew in {}: found {found}, this build reads {supported}",
+                path.display()
+            ),
+            CkptError::Truncated { path, detail } => {
+                write!(f, "truncated checkpoint blob {}: {detail}", path.display())
+            }
+            CkptError::ChecksumMismatch {
+                path,
+                tensor,
+                expected,
+                actual,
+            } => match tensor {
+                Some(name) => write!(
+                    f,
+                    "checksum mismatch in {} (tensor '{name}'): stored {expected:#018x}, \
+                     recomputed {actual:#018x}",
+                    path.display()
+                ),
+                None => write!(
+                    f,
+                    "checksum mismatch in {}: manifest says {expected:#018x}, \
+                     file hashes to {actual:#018x}",
+                    path.display()
+                ),
+            },
+            CkptError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+            CkptError::Registry(m) => write!(f, "registry error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Attach a path to a raw IO error.
+pub(crate) fn io_err(path: &std::path::Path, source: std::io::Error) -> CkptError {
+    CkptError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}

@@ -1,0 +1,347 @@
+//! The checkpoint manifest: a small JSON document describing one
+//! checkpoint version — identity (model, version, seed, config hash),
+//! resume counters (epoch, optimizer step, RNG stream state,
+//! early-stopping bookkeeping), the loss trajectory, and an integrity
+//! entry `{file, bytes, checksum}` for every tensor blob in the
+//! directory.
+//!
+//! The manifest is the root of trust for a load: blobs are only read
+//! after their recorded byte count and checksum verify. 64-bit fields
+//! (seed, config hash, RNG lanes, checksums) are serialized as hex
+//! strings because JSON numbers are `f64` and cannot carry a full u64.
+
+use crate::{CkptError, io_err};
+use std::path::Path;
+use stwa_observe::{parse_json, Json};
+
+/// Manifest format version written by this build. Readers refuse
+/// anything else with [`CkptError::VersionSkew`] — guessing at an
+/// unknown layout risks a silently-wrong model.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File name of the manifest inside a checkpoint version directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Integrity record for one blob file in the checkpoint directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlobEntry {
+    pub file: String,
+    pub bytes: u64,
+    pub checksum: u64,
+}
+
+/// Everything `manifest.json` carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    pub format: u32,
+    pub model: String,
+    /// Registry version this manifest was published as (0 for a
+    /// checkpoint saved outside a registry).
+    pub version: u32,
+    pub seed: u64,
+    /// Fingerprint of the training configuration that produced the
+    /// checkpoint; resume refuses on mismatch.
+    pub config_hash: u64,
+    /// Completed epochs.
+    pub epoch: usize,
+    /// Optimizer steps taken (Adam's `t`).
+    pub step: u64,
+    /// xoshiro256++ state of the trainer's RNG stream at the epoch
+    /// boundary.
+    pub rng: [u64; 4],
+    /// Best validation MAE so far (`inf` → serialized as null).
+    pub best_val: f32,
+    /// Epochs since the best validation MAE (early-stopping counter).
+    pub since_best: usize,
+    /// `(train_loss, val_mae)` per completed epoch.
+    pub loss_trajectory: Vec<(f32, f32)>,
+    pub blobs: Vec<BlobEntry>,
+}
+
+fn hex(v: u64) -> Json {
+    Json::Str(format!("{v:#018x}"))
+}
+
+fn f32_num(v: f32) -> Json {
+    // f32 -> f64 is exact; the writer's shortest-round-trip formatting
+    // makes the full trip bitwise for finite values. Non-finite floats
+    // serialize as null and are restored by `parse_f32`.
+    Json::Num(v as f64)
+}
+
+impl Manifest {
+    /// Serialize to the on-disk JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("format".into(), Json::Num(self.format as f64)),
+            ("model".into(), Json::Str(self.model.clone())),
+            ("version".into(), Json::Num(self.version as f64)),
+            ("seed".into(), hex(self.seed)),
+            ("config_hash".into(), hex(self.config_hash)),
+            ("epoch".into(), Json::Num(self.epoch as f64)),
+            ("step".into(), Json::Num(self.step as f64)),
+            (
+                "rng".into(),
+                Json::Arr(self.rng.iter().map(|&l| hex(l)).collect()),
+            ),
+            ("best_val".into(), f32_num(self.best_val)),
+            ("since_best".into(), Json::Num(self.since_best as f64)),
+            (
+                "loss_trajectory".into(),
+                Json::Arr(
+                    self.loss_trajectory
+                        .iter()
+                        .map(|&(l, v)| Json::Arr(vec![f32_num(l), f32_num(v)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "blobs".into(),
+                Json::Arr(
+                    self.blobs
+                        .iter()
+                        .map(|b| {
+                            Json::Obj(vec![
+                                ("file".into(), Json::Str(b.file.clone())),
+                                ("bytes".into(), Json::Num(b.bytes as f64)),
+                                ("checksum".into(), hex(b.checksum)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Write the manifest to `path` (pretty-printed, trailing newline).
+    pub fn write(&self, path: &Path) -> Result<(), CkptError> {
+        std::fs::write(path, self.to_json().pretty()).map_err(|e| io_err(path, e))
+    }
+
+    /// Read and validate a manifest. Distinguishes the three failure
+    /// families the fault-injection suite cares about: the file not
+    /// existing ([`CkptError::MissingManifest`]), unparseable or
+    /// structurally wrong content ([`CkptError::Format`]), and a format
+    /// version this build does not read ([`CkptError::VersionSkew`]).
+    pub fn read(path: &Path) -> Result<Manifest, CkptError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(CkptError::MissingManifest(path.to_path_buf()))
+            }
+            Err(e) => return Err(io_err(path, e)),
+        };
+        let doc = parse_json(&text).map_err(|e| CkptError::Format {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+        Manifest::from_json(path, &doc)
+    }
+
+    /// Decode a parsed JSON document into a manifest.
+    pub fn from_json(path: &Path, doc: &Json) -> Result<Manifest, CkptError> {
+        let err = |detail: String| CkptError::Format {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let num = |key: &str| -> Result<f64, CkptError> {
+            doc.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| err(format!("missing numeric field '{key}'")))
+        };
+        let format = num("format")? as u32;
+        if format != FORMAT_VERSION {
+            return Err(CkptError::VersionSkew {
+                path: path.to_path_buf(),
+                found: format,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let model = doc
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing string field 'model'".into()))?
+            .to_string();
+        let rng_arr = doc
+            .get("rng")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing array field 'rng'".into()))?;
+        if rng_arr.len() != 4 {
+            return Err(err(format!("rng must have 4 lanes, found {}", rng_arr.len())));
+        }
+        let mut rng = [0u64; 4];
+        for (lane, j) in rng.iter_mut().zip(rng_arr) {
+            *lane = parse_hex(path, j)?;
+        }
+        let trajectory = doc
+            .get("loss_trajectory")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing array field 'loss_trajectory'".into()))?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| err("loss_trajectory entries must be [train, val]".into()))?;
+                Ok((parse_f32(&pair[0]), parse_f32(&pair[1])))
+            })
+            .collect::<Result<Vec<_>, CkptError>>()?;
+        let blobs = doc
+            .get("blobs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing array field 'blobs'".into()))?
+            .iter()
+            .map(|b| {
+                let file = b
+                    .get("file")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err("blob entry missing 'file'".into()))?;
+                if file.contains('/') || file.contains('\\') || file.starts_with('.') {
+                    return Err(err(format!("blob file name '{file}' escapes the directory")));
+                }
+                let bytes = b
+                    .get("bytes")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| err("blob entry missing 'bytes'".into()))?;
+                let checksum = b
+                    .get("checksum")
+                    .ok_or_else(|| err("blob entry missing 'checksum'".into()))?;
+                Ok(BlobEntry {
+                    file: file.to_string(),
+                    bytes: bytes as u64,
+                    checksum: parse_hex(path, checksum)?,
+                })
+            })
+            .collect::<Result<Vec<_>, CkptError>>()?;
+        Ok(Manifest {
+            format,
+            model,
+            version: num("version")? as u32,
+            seed: parse_hex(
+                path,
+                doc.get("seed").ok_or_else(|| err("missing 'seed'".into()))?,
+            )?,
+            config_hash: parse_hex(
+                path,
+                doc.get("config_hash")
+                    .ok_or_else(|| err("missing 'config_hash'".into()))?,
+            )?,
+            epoch: num("epoch")? as usize,
+            step: num("step")? as u64,
+            rng,
+            best_val: doc.get("best_val").map_or(f32::INFINITY, parse_f32),
+            since_best: num("since_best")? as usize,
+            loss_trajectory: trajectory,
+            blobs,
+        })
+    }
+
+    /// The integrity entry for `file`, if the manifest has one.
+    pub fn blob(&self, file: &str) -> Option<&BlobEntry> {
+        self.blobs.iter().find(|b| b.file == file)
+    }
+}
+
+/// Non-finite floats serialize as JSON null; restore `inf` (the only
+/// non-finite value the trainer produces, as the pre-first-eval
+/// `best_val` sentinel).
+fn parse_f32(j: &Json) -> f32 {
+    match j {
+        Json::Num(n) => *n as f32,
+        _ => f32::INFINITY,
+    }
+}
+
+fn parse_hex(path: &Path, j: &Json) -> Result<u64, CkptError> {
+    let s = j.as_str().ok_or_else(|| CkptError::Format {
+        path: path.to_path_buf(),
+        detail: "expected a hex string".into(),
+    })?;
+    let digits = s.strip_prefix("0x").unwrap_or(s);
+    u64::from_str_radix(digits, 16).map_err(|_| CkptError::Format {
+        path: path.to_path_buf(),
+        detail: format!("'{s}' is not a hex integer"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            format: FORMAT_VERSION,
+            model: "ST-WA".into(),
+            version: 3,
+            seed: 21,
+            config_hash: 0xDEAD_BEEF_CAFE_F00D,
+            epoch: 2,
+            step: 34,
+            rng: [u64::MAX, 1, 0x9E37_79B9_7F4A_7C15, 7],
+            best_val: 17.25,
+            since_best: 1,
+            loss_trajectory: vec![(30.125, 19.5), (24.0625, 17.25)],
+            blobs: vec![BlobEntry {
+                file: "params.bin".into(),
+                bytes: 1024,
+                checksum: 0x0123_4567_89AB_CDEF,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let m = sample();
+        let text = m.to_json().pretty();
+        let doc = parse_json(&text).unwrap();
+        let back = Manifest::from_json(Path::new("mem"), &doc).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn infinite_best_val_survives_as_null() {
+        let mut m = sample();
+        m.best_val = f32::INFINITY;
+        let text = m.to_json().pretty();
+        assert!(text.contains("null"));
+        let doc = parse_json(&text).unwrap();
+        let back = Manifest::from_json(Path::new("mem"), &doc).unwrap();
+        assert!(back.best_val.is_infinite());
+    }
+
+    #[test]
+    fn format_skew_is_typed() {
+        let mut m = sample();
+        m.format = 99;
+        let doc = parse_json(&m.to_json().pretty()).unwrap();
+        assert!(matches!(
+            Manifest::from_json(Path::new("mem"), &doc),
+            Err(CkptError::VersionSkew {
+                found: 99,
+                supported: FORMAT_VERSION,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn traversal_blob_names_are_rejected() {
+        let mut m = sample();
+        m.blobs[0].file = "../evil.bin".into();
+        let doc = parse_json(&m.to_json().pretty()).unwrap();
+        assert!(matches!(
+            Manifest::from_json(Path::new("mem"), &doc),
+            Err(CkptError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_manifest_is_typed() {
+        let path = std::env::temp_dir().join("stwa_ckpt_no_such_manifest.json");
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            Manifest::read(&path),
+            Err(CkptError::MissingManifest(_))
+        ));
+    }
+}

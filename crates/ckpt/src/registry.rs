@@ -1,0 +1,288 @@
+//! The model registry: immutable checkpoint versions under
+//! `<root>/<name>/<version>/` with an atomic publish and a `LATEST`
+//! pointer.
+//!
+//! # Atomicity
+//!
+//! A publish writes the whole checkpoint into a hidden temp directory
+//! (`.tmp-<version>`) next to its final location and then `rename`s it
+//! into place. On POSIX filesystems the rename is atomic, so a reader
+//! never observes a half-written version: either the directory is
+//! absent, or it is complete. The `LATEST` pointer file is updated the
+//! same way (write temp, rename). A crash mid-publish leaves at worst a
+//! `.tmp-*` directory, which the next publish sweeps away; hidden
+//! directories are never listed as versions.
+
+use crate::checkpoint::TrainCheckpoint;
+use crate::{io_err, CkptError};
+use std::path::{Path, PathBuf};
+
+/// Name of the pointer file holding the newest published version.
+const LATEST_FILE: &str = "LATEST";
+
+/// A directory tree of published model versions.
+pub struct Registry {
+    root: PathBuf,
+}
+
+/// Registry model names become directory names; refuse anything that
+/// could escape the root or collide with the registry's own files.
+fn validate_name(name: &str) -> Result<(), CkptError> {
+    let ok = !name.is_empty()
+        && name.len() <= 128
+        && !name.starts_with('.')
+        && name != LATEST_FILE
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ' '));
+    if ok {
+        Ok(())
+    } else {
+        Err(CkptError::Registry(format!("invalid model name '{name}'")))
+    }
+}
+
+impl Registry {
+    /// Open (creating if needed) a registry rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Registry, CkptError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
+        Ok(Registry { root })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Directory of one published version.
+    pub fn version_dir(&self, name: &str, version: u32) -> PathBuf {
+        self.root.join(name).join(version.to_string())
+    }
+
+    /// Published versions of `name`, ascending. Empty when the model is
+    /// unknown. Hidden (`.tmp-*`) and non-numeric entries are ignored.
+    pub fn versions(&self, name: &str) -> Result<Vec<u32>, CkptError> {
+        validate_name(name)?;
+        let dir = self.root.join(name);
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(&dir, e)),
+        };
+        let mut versions: Vec<u32> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .filter_map(|e| e.file_name().to_str().and_then(|s| s.parse().ok()))
+            .collect();
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// Newest published version of `name`, per the `LATEST` pointer.
+    /// Falls back to the highest version directory when the pointer is
+    /// missing or unreadable (a crash between rename and pointer
+    /// update).
+    pub fn latest(&self, name: &str) -> Result<u32, CkptError> {
+        validate_name(name)?;
+        if let Ok(text) = std::fs::read_to_string(self.root.join(name).join(LATEST_FILE)) {
+            if let Ok(v) = text.trim().parse::<u32>() {
+                if self.version_dir(name, v).is_dir() {
+                    return Ok(v);
+                }
+            }
+        }
+        self.versions(name)?
+            .last()
+            .copied()
+            .ok_or_else(|| CkptError::Registry(format!("no published versions of '{name}'")))
+    }
+
+    /// Directory of the newest published version.
+    pub fn latest_dir(&self, name: &str) -> Result<PathBuf, CkptError> {
+        Ok(self.version_dir(name, self.latest(name)?))
+    }
+
+    /// Publish `ckpt` as the next version of `name` and return the
+    /// version number. Write-temp-then-rename: readers never see a
+    /// partial version.
+    pub fn publish(&self, name: &str, ckpt: &TrainCheckpoint) -> Result<u32, CkptError> {
+        validate_name(name)?;
+        let _span = stwa_observe::span!("ckpt.publish");
+        let model_dir = self.root.join(name);
+        std::fs::create_dir_all(&model_dir).map_err(|e| io_err(&model_dir, e))?;
+        // Sweep leftovers from a crashed publish before picking a slot.
+        if let Ok(entries) = std::fs::read_dir(&model_dir) {
+            for e in entries.filter_map(|e| e.ok()) {
+                if e.file_name().to_string_lossy().starts_with(".tmp-") {
+                    let _ = std::fs::remove_dir_all(e.path());
+                }
+            }
+        }
+        let version = self.versions(name)?.last().copied().unwrap_or(0) + 1;
+        let tmp = model_dir.join(format!(".tmp-{version}"));
+        std::fs::create_dir_all(&tmp).map_err(|e| io_err(&tmp, e))?;
+        ckpt.save_dir(&tmp, version)?;
+        let final_dir = self.version_dir(name, version);
+        std::fs::rename(&tmp, &final_dir).map_err(|e| io_err(&final_dir, e))?;
+        self.point_latest(name, version)?;
+        stwa_observe::counter!("ckpt.publishes").incr();
+        Ok(version)
+    }
+
+    /// Update the `LATEST` pointer atomically (write temp, rename).
+    fn point_latest(&self, name: &str, version: u32) -> Result<(), CkptError> {
+        let model_dir = self.root.join(name);
+        let tmp = model_dir.join(".tmp-LATEST");
+        std::fs::write(&tmp, format!("{version}\n")).map_err(|e| io_err(&tmp, e))?;
+        let ptr = model_dir.join(LATEST_FILE);
+        std::fs::rename(&tmp, &ptr).map_err(|e| io_err(&ptr, e))
+    }
+
+    /// Load a checkpoint: the given version, or the latest when `None`.
+    pub fn load(&self, name: &str, version: Option<u32>) -> Result<TrainCheckpoint, CkptError> {
+        validate_name(name)?;
+        let version = match version {
+            Some(v) => v,
+            None => self.latest(name)?,
+        };
+        let dir = self.version_dir(name, version);
+        if !dir.is_dir() {
+            return Err(CkptError::Registry(format!(
+                "'{name}' has no version {version}"
+            )));
+        }
+        TrainCheckpoint::load_dir(&dir)
+    }
+
+    /// Delete old versions of `name`, keeping the newest `keep` (and
+    /// always the version `LATEST` points at). `keep == 0` keeps
+    /// everything. Returns the versions removed.
+    pub fn prune(&self, name: &str, keep: usize) -> Result<Vec<u32>, CkptError> {
+        validate_name(name)?;
+        if keep == 0 {
+            return Ok(Vec::new());
+        }
+        let versions = self.versions(name)?;
+        let latest = self.latest(name).ok();
+        let cut = versions.len().saturating_sub(keep);
+        let mut removed = Vec::new();
+        for &v in &versions[..cut] {
+            if Some(v) == latest {
+                continue;
+            }
+            let dir = self.version_dir(name, v);
+            std::fs::remove_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+            stwa_observe::counter!("ckpt.prunes").incr();
+            removed.push(v);
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stwa_nn::ParamStore;
+    use stwa_tensor::Tensor;
+
+    fn temp_registry(tag: &str) -> Registry {
+        let root = std::env::temp_dir().join(format!(
+            "stwa_registry_test_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        Registry::open(root).unwrap()
+    }
+
+    fn ckpt(fill: f32) -> TrainCheckpoint {
+        let store = ParamStore::new();
+        store.param("w", Tensor::full(&[2, 2], fill));
+        TrainCheckpoint::params_only("demo", &store)
+    }
+
+    #[test]
+    fn publish_assigns_sequential_versions_and_tracks_latest() {
+        let reg = temp_registry("sequential");
+        assert_eq!(reg.publish("demo", &ckpt(1.0)).unwrap(), 1);
+        assert_eq!(reg.publish("demo", &ckpt(2.0)).unwrap(), 2);
+        assert_eq!(reg.publish("demo", &ckpt(3.0)).unwrap(), 3);
+        assert_eq!(reg.versions("demo").unwrap(), vec![1, 2, 3]);
+        assert_eq!(reg.latest("demo").unwrap(), 3);
+        let loaded = reg.load("demo", None).unwrap();
+        assert_eq!(loaded.params[0].data, vec![3.0; 4]);
+        let pinned = reg.load("demo", Some(1)).unwrap();
+        assert_eq!(pinned.params[0].data, vec![1.0; 4]);
+        std::fs::remove_dir_all(reg.root()).unwrap();
+    }
+
+    #[test]
+    fn no_tmp_dirs_survive_a_publish() {
+        let reg = temp_registry("tmp_swept");
+        reg.publish("demo", &ckpt(1.0)).unwrap();
+        // Simulate a crashed publish...
+        std::fs::create_dir_all(reg.root().join("demo").join(".tmp-9")).unwrap();
+        reg.publish("demo", &ckpt(2.0)).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(reg.root().join("demo"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "publish must sweep temp dirs");
+        // ...and the hidden dir never counted as a version.
+        assert_eq!(reg.versions("demo").unwrap(), vec![1, 2]);
+        std::fs::remove_dir_all(reg.root()).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_newest_and_latest() {
+        let reg = temp_registry("prune");
+        for i in 1..=5 {
+            reg.publish("demo", &ckpt(i as f32)).unwrap();
+        }
+        let removed = reg.prune("demo", 2).unwrap();
+        assert_eq!(removed, vec![1, 2, 3]);
+        assert_eq!(reg.versions("demo").unwrap(), vec![4, 5]);
+        assert_eq!(reg.latest("demo").unwrap(), 5);
+        // keep=0 disables pruning.
+        assert!(reg.prune("demo", 0).unwrap().is_empty());
+        std::fs::remove_dir_all(reg.root()).unwrap();
+    }
+
+    #[test]
+    fn unknown_model_and_version_are_typed() {
+        let reg = temp_registry("unknown");
+        assert!(matches!(
+            reg.load("ghost", None),
+            Err(CkptError::Registry(_))
+        ));
+        reg.publish("demo", &ckpt(1.0)).unwrap();
+        assert!(matches!(
+            reg.load("demo", Some(7)),
+            Err(CkptError::Registry(_))
+        ));
+        std::fs::remove_dir_all(reg.root()).unwrap();
+    }
+
+    #[test]
+    fn hostile_names_are_rejected() {
+        let reg = temp_registry("names");
+        for bad in ["", "../up", "a/b", ".hidden", "LATEST"] {
+            assert!(
+                matches!(reg.versions(bad), Err(CkptError::Registry(_))),
+                "name '{bad}' must be rejected"
+            );
+        }
+        std::fs::remove_dir_all(reg.root()).unwrap();
+    }
+
+    #[test]
+    fn missing_latest_pointer_falls_back_to_highest_dir() {
+        let reg = temp_registry("fallback");
+        reg.publish("demo", &ckpt(1.0)).unwrap();
+        reg.publish("demo", &ckpt(2.0)).unwrap();
+        std::fs::remove_file(reg.root().join("demo").join(LATEST_FILE)).unwrap();
+        assert_eq!(reg.latest("demo").unwrap(), 2);
+        std::fs::remove_dir_all(reg.root()).unwrap();
+    }
+}

@@ -11,10 +11,12 @@ use rand::{RngCore, SeedableRng};
 use std::path::PathBuf;
 use std::time::Instant;
 use stwa_autograd::{Graph, Var};
+use stwa_ckpt::checkpoint::capture_params;
+use stwa_ckpt::{CkptError, NamedTensor, Registry, TrainCheckpoint};
 use stwa_observe::{EpochRecord, RunManifest};
 use stwa_nn::batch::BatchIter;
 use stwa_nn::loss::huber;
-use stwa_nn::optim::{Adam, Optimizer};
+use stwa_nn::optim::{Adam, AdamState, Optimizer};
 use stwa_nn::ParamStore;
 use stwa_tensor::{memory, Result, Tensor};
 use stwa_traffic::{Metrics, Scaler, SplitTensors, TrafficDataset};
@@ -132,6 +134,23 @@ pub struct TrainConfig {
     /// retune mid-process). Models without a
     /// [`ForecastModel::replica_builder`] always train sequentially.
     pub shards: usize,
+    /// Publish a checkpoint to the registry every `save_every` epochs
+    /// (`0` disables checkpointing). Requires `registry_root`.
+    pub save_every: usize,
+    /// Root directory of the model registry checkpoints are published
+    /// to.
+    pub registry_root: Option<PathBuf>,
+    /// Registry model name to publish under; defaults to
+    /// [`ForecastModel::name`].
+    pub registry_name: Option<String>,
+    /// Resume from this checkpoint version directory (e.g.
+    /// `Registry::latest_dir`). The checkpoint's seed and config
+    /// fingerprint must match this run; the resumed run is **bitwise
+    /// identical** to one that was never interrupted.
+    pub resume_from: Option<PathBuf>,
+    /// After each publish, prune old versions keeping the newest this
+    /// many (`0` keeps everything).
+    pub keep_checkpoints: usize,
 }
 
 /// Default for [`TrainConfig::shards`]: `STWA_SHARDS` env override,
@@ -161,8 +180,42 @@ impl Default for TrainConfig {
             verbose: false,
             manifest_path: None,
             shards: default_shards(),
+            save_every: 0,
+            registry_root: None,
+            registry_name: None,
+            resume_from: None,
+            keep_checkpoints: 0,
         }
     }
+}
+
+/// Map a checkpoint-layer error into the trainer's error type without
+/// losing the typed detail (it stays in the message).
+fn ckpt_invalid(e: CkptError) -> stwa_tensor::TensorError {
+    stwa_tensor::TensorError::Invalid(format!("trainer checkpoint: {e}"))
+}
+
+/// Fingerprint of every configuration knob that shapes the training
+/// trajectory bit for bit. Resume refuses a checkpoint whose fingerprint
+/// disagrees — silently continuing under a different batch size or shard
+/// count would *run*, but the "bitwise identical to uninterrupted"
+/// contract would be broken without any signal. `epochs` is deliberately
+/// excluded: extending a finished run is a legitimate resume.
+fn config_fingerprint(cfg: &TrainConfig, shards: usize, h: usize, u: usize) -> u64 {
+    let clip = match cfg.grad_clip {
+        Some(c) => format!("{:08x}", c.to_bits()),
+        None => "none".to_string(),
+    };
+    let canon = format!(
+        "bs={};lr={:08x};clip={clip};delta={:08x};patience={};ts={};es={};shards={shards};h={h};u={u}",
+        cfg.batch_size,
+        cfg.lr.to_bits(),
+        cfg.huber_delta.to_bits(),
+        cfg.patience,
+        cfg.train_stride,
+        cfg.eval_stride,
+    );
+    stwa_ckpt::fnv1a64(canon.as_bytes())
 }
 
 /// Everything a paper table needs about one training run.
@@ -244,15 +297,110 @@ impl Trainer {
             opt = opt.with_clip(clip);
         }
 
+        // --- Checkpointing & resume ------------------------------------
+        let config_hash =
+            config_fingerprint(cfg, engine.as_ref().map_or(1, |e| e.shards()), h, u);
+        let registry = match (&cfg.registry_root, cfg.save_every > 0) {
+            (Some(root), true) => Some(Registry::open(root).map_err(ckpt_invalid)?),
+            (None, true) => {
+                return Err(stwa_tensor::TensorError::Invalid(
+                    "trainer: save_every > 0 requires registry_root".into(),
+                ))
+            }
+            _ => None,
+        };
+        let registry_name = cfg
+            .registry_name
+            .clone()
+            .unwrap_or_else(|| model.name());
+
         memory::reset_peak();
         let mut best_val = f32::INFINITY;
         let mut best_params: Option<Vec<Tensor>> = None;
         let mut since_best = 0usize;
         let mut history = Vec::with_capacity(cfg.epochs);
-        let mut epoch_times = Vec::with_capacity(cfg.epochs);
-        let mut epochs_run = 0;
+        let mut start_epoch = 0usize;
 
-        for epoch in 0..cfg.epochs {
+        if let Some(dir) = &cfg.resume_from {
+            let ckpt = TrainCheckpoint::load_dir(dir).map_err(ckpt_invalid)?;
+            if ckpt.seed != cfg.seed {
+                return Err(stwa_tensor::TensorError::Invalid(format!(
+                    "trainer resume: checkpoint seed {} != configured seed {}",
+                    ckpt.seed, cfg.seed
+                )));
+            }
+            if ckpt.config_hash != config_hash {
+                return Err(stwa_tensor::TensorError::Invalid(format!(
+                    "trainer resume: config fingerprint {:#018x} != checkpoint's {:#018x} \
+                     (a different batch size/lr/stride/shard count would break the \
+                     bitwise-resume contract)",
+                    config_hash, ckpt.config_hash
+                )));
+            }
+            if !ckpt.has_optimizer() {
+                return Err(stwa_tensor::TensorError::Invalid(
+                    "trainer resume: checkpoint carries no optimizer state \
+                     (params-only publishes are for serving, not resuming)"
+                        .into(),
+                ));
+            }
+            if ckpt.rng == [0; 4] {
+                return Err(stwa_tensor::TensorError::Invalid(
+                    "trainer resume: checkpoint RNG state is all-zero (corrupt or \
+                     params-only)"
+                        .into(),
+                ));
+            }
+            ckpt.load_params_into(model.store()).map_err(ckpt_invalid)?;
+            let moments = |v: &[NamedTensor]| -> Result<Vec<(String, Tensor)>> {
+                v.iter()
+                    .map(|t| Ok((t.name.clone(), Tensor::from_vec(t.data.clone(), &t.shape)?)))
+                    .collect()
+            };
+            opt.import_state(AdamState {
+                t: ckpt.step,
+                m: moments(&ckpt.opt_m)?,
+                v: moments(&ckpt.opt_v)?,
+            })?;
+            rng = StdRng::from_state(ckpt.rng);
+            best_val = ckpt.best_val;
+            since_best = ckpt.since_best;
+            history = ckpt.history.clone();
+            start_epoch = ckpt.epoch;
+            if !ckpt.best_params.is_empty() {
+                let restored = model
+                    .store()
+                    .params()
+                    .iter()
+                    .map(|p| {
+                        let t = ckpt
+                            .best_params
+                            .iter()
+                            .find(|t| t.name == p.name())
+                            .ok_or_else(|| {
+                                stwa_tensor::TensorError::Invalid(format!(
+                                    "trainer resume: best-params blob has no '{}'",
+                                    p.name()
+                                ))
+                            })?;
+                        Tensor::from_vec(t.data.clone(), &t.shape)
+                    })
+                    .collect::<Result<Vec<Tensor>>>()?;
+                best_params = Some(restored);
+            }
+            if cfg.verbose {
+                eprintln!(
+                    "[{}] resumed from {} at epoch {start_epoch} (step {})",
+                    model.name(),
+                    dir.display(),
+                    ckpt.step
+                );
+            }
+        }
+        let mut epoch_times = Vec::with_capacity(cfg.epochs);
+        let mut epochs_run = start_epoch;
+
+        for epoch in start_epoch..cfg.epochs {
             let epoch_span = stwa_observe::span!("epoch");
             let started = Instant::now();
             let mut epoch_loss = 0.0f64;
@@ -315,9 +463,71 @@ impl Trainer {
                 since_best = 0;
             } else {
                 since_best += 1;
-                if since_best >= cfg.patience {
-                    break;
+            }
+            let stop = since_best > 0 && since_best >= cfg.patience;
+
+            // Publish a checkpoint at the epoch boundary. Everything a
+            // bitwise resume needs is captured *after* the evaluation
+            // (which never draws from `rng`, so this state is exactly
+            // what the next epoch would start from).
+            if let Some(reg) = &registry {
+                if (epoch + 1) % cfg.save_every == 0 {
+                    let state = opt.export_state();
+                    let to_named = |v: Vec<(String, Tensor)>| -> Vec<NamedTensor> {
+                        v.into_iter()
+                            .map(|(name, t)| NamedTensor {
+                                name,
+                                shape: t.shape().to_vec(),
+                                data: t.into_vec(),
+                            })
+                            .collect()
+                    };
+                    let best_named: Vec<NamedTensor> = match &best_params {
+                        Some(ts) => model
+                            .store()
+                            .params()
+                            .iter()
+                            .zip(ts)
+                            .map(|(p, t)| NamedTensor {
+                                name: p.name().to_string(),
+                                shape: t.shape().to_vec(),
+                                data: t.data().to_vec(),
+                            })
+                            .collect(),
+                        None => Vec::new(),
+                    };
+                    let ckpt = TrainCheckpoint {
+                        model: model.name(),
+                        seed: cfg.seed,
+                        config_hash,
+                        epoch: epoch + 1,
+                        step: state.t,
+                        rng: rng.state(),
+                        best_val,
+                        since_best,
+                        history: history.clone(),
+                        params: capture_params(model.store()),
+                        opt_m: to_named(state.m),
+                        opt_v: to_named(state.v),
+                        best_params: best_named,
+                    };
+                    let version =
+                        reg.publish(&registry_name, &ckpt).map_err(ckpt_invalid)?;
+                    if cfg.keep_checkpoints > 0 {
+                        reg.prune(&registry_name, cfg.keep_checkpoints)
+                            .map_err(ckpt_invalid)?;
+                    }
+                    stwa_observe::counter!("train.checkpoints").incr();
+                    if cfg.verbose {
+                        eprintln!(
+                            "[{}] epoch {epoch}: published checkpoint '{registry_name}' v{version}",
+                            model.name()
+                        );
+                    }
                 }
+            }
+            if stop {
+                break;
             }
         }
 

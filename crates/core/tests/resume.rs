@@ -1,0 +1,239 @@
+//! Resume-determinism contract: a run killed at an epoch boundary and
+//! resumed from its published checkpoint is **bitwise identical** to a
+//! run that was never interrupted — same loss trajectory, same final
+//! parameters, same test metrics — under both the sequential path
+//! (`shards = 1`) and the data-parallel engine (`shards = 8`).
+//!
+//! Plus the refusal cases: a checkpoint from a different seed or a
+//! different training configuration, and a params-only (serving)
+//! checkpoint, must all be rejected with an error instead of silently
+//! producing a non-reproducible run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_ckpt::{Registry, TrainCheckpoint};
+use stwa_core::{ForecastModel, StwaConfig, StwaModel, TrainConfig, Trainer};
+use stwa_traffic::{DatasetConfig, TrafficDataset};
+
+fn param_bits(model: &dyn ForecastModel) -> Vec<u32> {
+    model
+        .store()
+        .params()
+        .iter()
+        .flat_map(|p| p.value().data().iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+        .collect()
+}
+
+fn config(shards: usize, epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 16,
+        train_stride: 12,
+        eval_stride: 12,
+        seed: 21,
+        patience: 10,
+        shards,
+        ..TrainConfig::default()
+    }
+}
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "stwa_resume_test_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// Train a fresh ST-WA model under `cfg`, returning the full history,
+/// the final parameter bits, and the test MAE bits.
+fn run(
+    dataset: &TrafficDataset,
+    cfg: TrainConfig,
+) -> (Vec<(f32, f32)>, Vec<u32>, u32) {
+    let n = dataset.num_sensors();
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+    let report = Trainer::new(cfg).train(&model, dataset, 12, 3).unwrap();
+    (report.history, param_bits(&model), report.test.mae.to_bits())
+}
+
+/// The tentpole contract, parameterized over the shard count:
+/// 4 epochs straight vs 2 + publish + fresh-process reload + 2.
+fn straight_vs_resumed(shards: usize) {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let root = temp_root(&format!("bitwise_{shards}"));
+
+    let (hist_straight, params_straight, mae_straight) =
+        run(&dataset, config(shards, 4));
+
+    // "Killed at epoch 2": train 2 epochs, publishing a checkpoint at
+    // the epoch-2 boundary, then drop everything.
+    let (hist_partial, _, _) = run(
+        &dataset,
+        TrainConfig {
+            save_every: 2,
+            registry_root: Some(root.clone()),
+            ..config(shards, 2)
+        },
+    );
+    assert_eq!(hist_partial.len(), 2);
+
+    // Fresh model, fresh optimizer, fresh RNG — everything rebuilt from
+    // the registry, then trained for the remaining 2 epochs.
+    let registry = Registry::open(&root).unwrap();
+    let resume_dir = registry.latest_dir("ST-WA").unwrap();
+    let (hist_resumed, params_resumed, mae_resumed) = run(
+        &dataset,
+        TrainConfig {
+            resume_from: Some(resume_dir),
+            ..config(shards, 4)
+        },
+    );
+
+    assert_eq!(
+        hist_resumed.len(),
+        hist_straight.len(),
+        "resumed run must report the full 4-epoch history"
+    );
+    for (e, ((tl_s, vm_s), (tl_r, vm_r))) in hist_straight
+        .iter()
+        .zip(hist_resumed.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            tl_s.to_bits(),
+            tl_r.to_bits(),
+            "shards={shards} epoch {e}: train loss {tl_s} != resumed {tl_r}"
+        );
+        assert_eq!(
+            vm_s.to_bits(),
+            vm_r.to_bits(),
+            "shards={shards} epoch {e}: val MAE {vm_s} != resumed {vm_r}"
+        );
+    }
+    assert_eq!(
+        params_straight, params_resumed,
+        "shards={shards}: resumed parameters diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        mae_straight, mae_resumed,
+        "shards={shards}: test MAE diverged after resume"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn resume_is_bitwise_identical_sequential() {
+    straight_vs_resumed(1);
+}
+
+#[test]
+fn resume_is_bitwise_identical_sharded() {
+    straight_vs_resumed(8);
+}
+
+#[test]
+fn resume_refuses_seed_and_config_skew() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let root = temp_root("skew");
+    let (_h, _p, _m) = run(
+        &dataset,
+        TrainConfig {
+            save_every: 1,
+            registry_root: Some(root.clone()),
+            ..config(1, 1)
+        },
+    );
+    let registry = Registry::open(&root).unwrap();
+    let dir = registry.latest_dir("ST-WA").unwrap();
+
+    let n = dataset.num_sensors();
+    let attempt = |cfg: TrainConfig| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+        Trainer::new(cfg).train(&model, &dataset, 12, 3)
+    };
+
+    // Different seed.
+    let err = attempt(TrainConfig {
+        resume_from: Some(dir.clone()),
+        seed: 99,
+        ..config(1, 2)
+    })
+    .unwrap_err();
+    assert!(err.to_string().contains("seed"), "got: {err}");
+
+    // Different batch size (config fingerprint).
+    let err = attempt(TrainConfig {
+        resume_from: Some(dir.clone()),
+        batch_size: 8,
+        ..config(1, 2)
+    })
+    .unwrap_err();
+    assert!(err.to_string().contains("fingerprint"), "got: {err}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn resume_refuses_params_only_checkpoints() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let root = temp_root("params_only");
+    let registry = Registry::open(&root).unwrap();
+
+    // A serving publish: parameters, no optimizer state, no RNG.
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+    let ckpt = TrainCheckpoint::params_only("ST-WA", model.store());
+    registry.publish("ST-WA", &ckpt).unwrap();
+
+    let err = Trainer::new(TrainConfig {
+        resume_from: Some(registry.latest_dir("ST-WA").unwrap()),
+        ..config(1, 2)
+    })
+    .train(&model, &dataset, 12, 3)
+    .unwrap_err();
+    // Seed/config skew fires first (a params-only checkpoint records
+    // neither); any refusal is correct as long as it is an error, not a
+    // silent non-deterministic resume.
+    assert!(!err.to_string().is_empty());
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn save_every_without_registry_root_is_an_error() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let n = dataset.num_sensors();
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = StwaModel::new(StwaConfig::st_wa(n, 12, 3), &mut rng).unwrap();
+    let err = Trainer::new(TrainConfig {
+        save_every: 1,
+        ..config(1, 1)
+    })
+    .train(&model, &dataset, 12, 3)
+    .unwrap_err();
+    assert!(err.to_string().contains("registry_root"), "got: {err}");
+}
+
+#[test]
+fn checkpoints_are_pruned_to_the_keep_limit() {
+    let dataset = TrafficDataset::generate(DatasetConfig::small());
+    let root = temp_root("prune");
+    let _ = run(
+        &dataset,
+        TrainConfig {
+            save_every: 1,
+            keep_checkpoints: 2,
+            registry_root: Some(root.clone()),
+            ..config(1, 4)
+        },
+    );
+    let registry = Registry::open(&root).unwrap();
+    let versions = registry.versions("ST-WA").unwrap();
+    assert_eq!(versions, vec![3, 4], "keep_checkpoints=2 after 4 saves");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -193,6 +193,32 @@ impl FrozenStwa {
         })
     }
 
+    /// Load a published checkpoint from `registry` into `model`'s store
+    /// and freeze the result — the registry-to-serving transport behind
+    /// hot swaps. Loads the best-validation parameters when the
+    /// checkpoint carries them, else the live ones. `version: None`
+    /// takes the registry's `LATEST`.
+    ///
+    /// Note that loading mutates the model's store (bumping its
+    /// version), so any session frozen from the *previous* weights
+    /// becomes stale and starts refusing — exactly the guard that makes
+    /// a hot swap safe.
+    pub fn freeze_from_registry(
+        model: &StwaModel,
+        registry: &stwa_ckpt::Registry,
+        name: &str,
+        version: Option<u32>,
+    ) -> Result<FrozenStwa> {
+        let _span = stwa_observe::span!("freeze_from_registry");
+        let ckpt = registry.load(name, version).map_err(|e| {
+            TensorError::Invalid(format!("freeze_from_registry: {e}"))
+        })?;
+        ckpt.load_best_into(model.store()).map_err(|e| {
+            TensorError::Invalid(format!("freeze_from_registry: {e}"))
+        })?;
+        Self::freeze(model)
+    }
+
     fn freeze_generator(gen: &StGenerator) -> Result<FrozenGenerator> {
         match gen.temporal() {
             // Spatial-only: `Theta` is input-independent, so decode the

@@ -91,6 +91,17 @@ impl InferQueue {
                 )))
             }
         };
+        // A zero-element row would poison every batch it joins: the
+        // batched forward fails, `run_batch` re-queues the whole batch,
+        // and the queue loops on the same error forever. Refuse it at
+        // the door instead.
+        if row.is_empty() {
+            return Err(TensorError::Invalid(format!(
+                "InferQueue::submit: zero-length request {:?} (a zero-sized \
+                 dimension) can never be served",
+                row.shape()
+            )));
+        }
         stwa_observe::counter!("infer.requests").incr();
         let id = self.next_id;
         self.next_id += 1;

@@ -1,0 +1,177 @@
+//! `InferQueue` edge cases left open by the engine tests: a `max_wait`
+//! expiry flushing a partial batch, zero-length request rejection, and
+//! the staleness error after a registry-driven hot swap (the
+//! freeze-from-registry transport).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use stwa_ckpt::{Registry, TrainCheckpoint};
+use stwa_core::{ForecastModel, StwaConfig, StwaModel};
+use stwa_infer::{FrozenStwa, InferQueue, InferSession, QueueConfig};
+use stwa_tensor::Tensor;
+
+const N: usize = 3;
+const H: usize = 12;
+const U: usize = 4;
+
+fn model(seed: u64) -> StwaModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    StwaModel::new(StwaConfig::st_wa(N, H, U), &mut rng).unwrap()
+}
+
+fn sample(seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn(&[N, H, 1], &mut rng)
+}
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "stwa_queue_edges_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+#[test]
+fn max_wait_expiry_flushes_a_partial_batch() {
+    let m = model(11);
+    let session = InferSession::new(&m).unwrap();
+    let mut queue = InferQueue::new(
+        session,
+        QueueConfig {
+            max_batch: 8,
+            // Every pending request is immediately "old enough"; poll
+            // must flush however few rows are waiting.
+            max_wait: Duration::ZERO,
+        },
+    )
+    .unwrap();
+
+    let ids: Vec<_> = (0..3).map(|i| queue.submit(sample(50 + i)).unwrap()).collect();
+    assert_eq!(queue.pending_rows(), 3, "below max_batch, nothing flushed yet");
+    for id in &ids {
+        assert!(queue.take(*id).is_none(), "no result before the flush");
+    }
+
+    let flushed = queue.poll().unwrap();
+    assert_eq!(flushed, 3, "poll must flush the partial batch on expiry");
+    assert_eq!(queue.pending_rows(), 0);
+
+    // Each coalesced answer is bitwise equal to serving the request
+    // alone — batching must never change an answer.
+    let solo = InferSession::new(&m).unwrap();
+    for (i, id) in ids.iter().enumerate() {
+        let got = queue.take(*id).expect("flushed request has a result");
+        let want = solo.run(&sample(50 + i as u64).unsqueeze(0).unwrap()).unwrap();
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "request {i} diverged");
+        }
+    }
+
+    // An empty queue polls to zero instead of erroring.
+    assert_eq!(queue.poll().unwrap(), 0);
+}
+
+#[test]
+fn zero_length_requests_are_rejected_at_submit() {
+    let m = model(12);
+    let mut queue = InferQueue::new(
+        InferSession::new(&m).unwrap(),
+        QueueConfig {
+            max_batch: 4,
+            max_wait: Duration::ZERO,
+        },
+    )
+    .unwrap();
+
+    // Zero-sized dimensions in either accepted rank.
+    for bad in [
+        Tensor::zeros(&[N, 0, 1]),
+        Tensor::zeros(&[0, H, 1]),
+        Tensor::zeros(&[1, N, H, 0]),
+    ] {
+        let err = queue.submit(bad).unwrap_err();
+        assert!(
+            err.to_string().contains("zero-length"),
+            "got: {err}"
+        );
+    }
+    // Wrong ranks still rejected as before.
+    assert!(queue.submit(Tensor::zeros(&[N, H])).is_err());
+    assert!(queue.submit(Tensor::zeros(&[2, N, H, 1])).is_err());
+    assert_eq!(queue.pending_rows(), 0, "rejected requests never enqueue");
+
+    // The queue still serves valid traffic afterwards — no poisoning.
+    let id = queue.submit(sample(60)).unwrap();
+    queue.flush().unwrap();
+    assert!(queue.take(id).is_some());
+}
+
+#[test]
+fn registry_hot_swap_staleness_error_then_fresh_session_serves() {
+    let root = temp_root("hot_swap");
+    let registry = Registry::open(&root).unwrap();
+
+    // v1: the live model's weights, published to the registry.
+    let m = model(13);
+    registry
+        .publish("ST-WA", &TrainCheckpoint::params_only("ST-WA", m.store()))
+        .unwrap();
+
+    // Serving session frozen from the live weights.
+    let mut queue = InferQueue::new(
+        InferSession::new(&m).unwrap(),
+        QueueConfig {
+            max_batch: 4,
+            max_wait: Duration::ZERO,
+        },
+    )
+    .unwrap();
+    let warm = queue.submit(sample(70)).unwrap();
+    queue.flush().unwrap();
+    assert!(queue.take(warm).is_some());
+
+    // v2: different weights (a fresh model stands in for "more
+    // training"), published on top.
+    let retrained = model(99);
+    registry
+        .publish("ST-WA", &TrainCheckpoint::params_only("ST-WA", retrained.store()))
+        .unwrap();
+
+    // Hot swap: load v2 from the registry into the live model and
+    // freeze. This mutates the store, so the OLD session is now stale.
+    let fresh = FrozenStwa::freeze_from_registry(&m, &registry, "ST-WA", None).unwrap();
+    assert!(queue.session().is_stale());
+
+    // The old queue refuses with the staleness error and re-queues the
+    // batch instead of dropping it.
+    let id = queue.submit(sample(71)).unwrap();
+    let err = queue.flush().unwrap_err();
+    assert!(err.to_string().contains("stale"), "got: {err}");
+    assert_eq!(queue.pending_rows(), 1, "failed batch must be re-queued");
+    assert!(queue.take(id).is_none());
+
+    // A session over the swapped-in snapshot serves the v2 weights:
+    // bitwise equal to freezing the retrained model directly.
+    let swapped = InferSession::from_frozen(fresh);
+    let x = sample(71).unsqueeze(0).unwrap();
+    let got = swapped.run(&x).unwrap();
+    let want = InferSession::new(&retrained).unwrap().run(&x).unwrap();
+    for (a, b) in got.data().iter().zip(want.data()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "hot-swapped weights diverged");
+    }
+
+    // Pinned-version load still reaches v1.
+    let v1 = FrozenStwa::freeze_from_registry(&m, &registry, "ST-WA", Some(1)).unwrap();
+    let m1 = model(13);
+    let want_v1 = InferSession::new(&m1).unwrap().run(&x).unwrap();
+    let got_v1 = InferSession::from_frozen(v1).run(&x).unwrap();
+    for (a, b) in got_v1.data().iter().zip(want_v1.data()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "pinned v1 load diverged");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}

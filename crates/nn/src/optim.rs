@@ -1,7 +1,7 @@
 //! Optimizers: SGD and Adam, with optional global-norm gradient clipping.
 
 use crate::param::{Param, ParamStore};
-use stwa_tensor::Tensor;
+use stwa_tensor::{Result, Tensor, TensorError};
 
 /// Common optimizer interface: read gradients off the most recent graph
 /// binding of every parameter and update the stored values in place.
@@ -112,6 +112,70 @@ impl Adam {
         self.max_grad_norm = Some(max_norm);
         self
     }
+
+    /// Copy out the optimizer state — step counter plus first/second
+    /// moments labeled with their parameter names — for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        let label = |moments: &[Tensor]| {
+            self.params
+                .iter()
+                .zip(moments)
+                .map(|(p, t)| (p.name().to_string(), t.clone()))
+                .collect()
+        };
+        AdamState {
+            t: self.t,
+            m: label(&self.m),
+            v: label(&self.v),
+        }
+    }
+
+    /// Restore state captured by [`Adam::export_state`] (possibly from a
+    /// checkpoint written by another process). Moments are matched to
+    /// parameters **by name** and shape-checked; a bitwise-identical
+    /// resume requires every parameter to find its moments.
+    pub fn import_state(&mut self, state: AdamState) -> Result<()> {
+        let pick = |from: &[(String, Tensor)], which: &str| -> Result<Vec<Tensor>> {
+            self.params
+                .iter()
+                .map(|p| {
+                    let (_, t) = from
+                        .iter()
+                        .find(|(name, _)| name == p.name())
+                        .ok_or_else(|| {
+                            TensorError::Invalid(format!(
+                                "Adam state has no '{which}' moment for '{}'",
+                                p.name()
+                            ))
+                        })?;
+                    if t.shape() != p.shape().as_slice() {
+                        return Err(TensorError::Invalid(format!(
+                            "Adam '{which}' moment for '{}' has shape {:?}, parameter is {:?}",
+                            p.name(),
+                            t.shape(),
+                            p.shape()
+                        )));
+                    }
+                    Ok(t.clone())
+                })
+                .collect()
+        };
+        let m = pick(&state.m, "m")?;
+        let v = pick(&state.v, "v")?;
+        self.m = m;
+        self.v = v;
+        self.t = state.t;
+        Ok(())
+    }
+}
+
+/// Portable Adam state: the bias-correction step counter and the
+/// first/second moment estimates, each labeled with its parameter's
+/// registration name so a restore can match by name rather than order.
+pub struct AdamState {
+    pub t: u64,
+    pub m: Vec<(String, Tensor)>,
+    pub v: Vec<(String, Tensor)>,
 }
 
 impl Optimizer for Adam {
@@ -237,6 +301,66 @@ mod tests {
         let w = p.value().data()[0];
         assert!((1000.0 - w) <= 0.1 + 1e-6, "step too large: {w}");
         assert!(w < 1000.0, "must still descend");
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bitwise() {
+        // Two optimizers over identical stores; one exports/imports its
+        // state mid-run. Further steps must match bitwise.
+        let mk = || {
+            let store = ParamStore::new();
+            let p = store.param("w", Tensor::full(&[3], -4.0));
+            let opt = Adam::new(&store, 0.2);
+            (store, p, opt)
+        };
+        let (_sa, pa, mut oa) = mk();
+        let (_sb, pb, mut ob) = mk();
+        for _ in 0..5 {
+            quad_step(&pa, 2.0);
+            oa.step();
+            oa.finish_step();
+            quad_step(&pb, 2.0);
+            ob.step();
+            ob.finish_step();
+        }
+        // Transplant A's state into a *fresh* optimizer over B's store.
+        let state = oa.export_state();
+        let mut ob2 = Adam::new(&_sb, 0.2);
+        ob2.import_state(state).unwrap();
+        for _ in 0..5 {
+            quad_step(&pa, 2.0);
+            oa.step();
+            oa.finish_step();
+            quad_step(&pb, 2.0);
+            ob2.step();
+            ob2.finish_step();
+        }
+        for (a, b) in pa.value().data().iter().zip(pb.value().data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn adam_import_rejects_missing_or_misshapen_moments() {
+        let store = ParamStore::new();
+        store.param("w", Tensor::zeros(&[2]));
+        let mut opt = Adam::new(&store, 0.1);
+        // Missing name.
+        let empty = AdamState {
+            t: 3,
+            m: vec![],
+            v: vec![],
+        };
+        assert!(opt.import_state(empty).is_err());
+        // Wrong shape.
+        let misshapen = AdamState {
+            t: 3,
+            m: vec![("w".into(), Tensor::zeros(&[5]))],
+            v: vec![("w".into(), Tensor::zeros(&[5]))],
+        };
+        assert!(opt.import_state(misshapen).is_err());
+        // Step counter must be untouched after failed imports.
+        assert_eq!(opt.export_state().t, 0);
     }
 
     #[test]

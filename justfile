@@ -8,11 +8,14 @@
 verify:
     cargo build --release
     cargo test -q
+    cargo test -q -p stwa-ckpt --test corruption
+    cargo test -q -p stwa-core --test resume
     cargo clippy --workspace -- -D warnings
     cargo run --release -p stwa-bench --bin bench_kernels -- --check BENCH_kernels.json
     cargo run --release -p stwa-bench --bin bench_train_step -- --check BENCH_train_step.json
     cargo run --release -p stwa-bench --bin bench_infer -- --check BENCH_infer.json
     cargo run --release -p stwa-bench --bin bench_epoch -- --check BENCH_epoch.json
+    cargo run --release -p stwa-bench --bin bench_ckpt -- --check BENCH_ckpt.json
 
 # Fast inner-loop check.
 check:
@@ -40,6 +43,11 @@ bench-infer:
 # BENCH_epoch.json; the speedup floor adapts to the host's core count).
 bench-epoch:
     cargo run --release -p stwa-bench --bin bench_epoch -- --out BENCH_epoch.json
+
+# Checkpoint save/load throughput through the model registry, with a
+# bitwise round-trip assertion (refreshes BENCH_ckpt.json).
+bench-ckpt:
+    cargo run --release -p stwa-bench --bin bench_ckpt -- --out BENCH_ckpt.json
 
 # Regenerate every paper table/figure CSV under results/.
 experiments:

@@ -17,9 +17,12 @@
 //!   manifests ([`stwa_observe`])
 //! - [`infer`] — tape-free serving: frozen models, packed weights,
 //!   micro-batching ([`stwa_infer`])
+//! - [`ckpt`] — versioned checkpoints + model registry with bitwise
+//!   resumable training ([`stwa_ckpt`])
 
 pub use stwa_autograd as autograd;
 pub use stwa_baselines as baselines;
+pub use stwa_ckpt as ckpt;
 pub use stwa_core as model;
 pub use stwa_infer as infer;
 pub use stwa_nn as nn;
