@@ -565,6 +565,30 @@ fn propagate(nodes: &mut [Node], op: &Op, grad: &Tensor, out: &Tensor) -> Result
             accumulate_reduced(nodes, x, g_pre)?;
             accumulate_reduced(nodes, b, g_pre)
         }
+
+        // Fused sparse-attention VJP: one kernel produces all three
+        // input gradients from the saved per-edge softmax weights. `h`'s
+        // contribution lands first — the position the dense chain's
+        // `weights @ h` node gives it — so shared-embedding accumulation
+        // order (and therefore bits) match the unfused chain.
+        Op::SparseAttention {
+            q,
+            k,
+            h,
+            ref graph,
+            scale,
+            ref weights,
+        } => {
+            let qv = value_of(nodes, q);
+            let kv = value_of(nodes, k);
+            let hv = value_of(nodes, h);
+            let (dq, dk, dh) = stwa_tensor::sparse::sparse_attention_vjp(
+                grad, &qv, &kv, &hv, weights, graph, scale,
+            )?;
+            accumulate(nodes, h, dh)?;
+            accumulate(nodes, q, dq)?;
+            accumulate(nodes, k, dk)
+        }
     }
 }
 
@@ -620,6 +644,72 @@ mod tests {
         assert_eq!(g.grad(&a).unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
         // dB[p, j] = sum_i A[i, p]
         assert_eq!(g.grad(&b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn sparse_attend_complete_graph_matches_dense_chain_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::sync::Arc;
+        use stwa_tensor::SensorGraph;
+
+        let (n, d) = (5usize, 3usize);
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut rng = StdRng::seed_from_u64(77);
+        let hv = Tensor::randn(&[2, n, d], &mut rng);
+        let qv = Tensor::randn(&[2, n, d], &mut rng);
+        let kv = Tensor::randn(&[2, n, d], &mut rng);
+
+        // Dense: the exact chain SensorCorrelationAttention::attend runs.
+        let gd = Graph::new();
+        let (h1, q1, k1) = (gd.leaf(hv.clone()), gd.leaf(qv.clone()), gd.leaf(kv.clone()));
+        let scores = q1.matmul_nt(&k1).unwrap().mul_scalar(scale);
+        let w = scores.softmax(2).unwrap();
+        let out_dense = w.matmul(&h1).unwrap();
+        let loss_d = out_dense.square().unwrap().sum_all().unwrap();
+        gd.backward(&loss_d).unwrap();
+
+        // Sparse over the complete graph: one fused tape entry.
+        let gs = Graph::new();
+        let (h2, q2, k2) = (gs.leaf(hv.clone()), gs.leaf(qv.clone()), gs.leaf(kv.clone()));
+        let graph = Arc::new(SensorGraph::complete(n));
+        let out_sparse = q2.sparse_attend(&k2, &h2, &graph, scale).unwrap();
+        let loss_s = out_sparse.square().unwrap().sum_all().unwrap();
+        gs.backward(&loss_s).unwrap();
+
+        let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out_dense.value()), bits(&out_sparse.value()));
+        for ((a, b), name) in [(&q1, &q2), (&k1, &k2), (&h1, &h2)]
+            .iter()
+            .zip(["q", "k", "h"])
+        {
+            assert_eq!(
+                bits(&gd.grad(a).unwrap()),
+                bits(&gs.grad(b).unwrap()),
+                "grad {name} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_attend_isolated_sensor_backward_is_finite() {
+        use std::sync::Arc;
+        use stwa_tensor::SensorGraph;
+
+        let (n, d) = (3usize, 2usize);
+        let graph = Arc::new(
+            SensorGraph::from_neighbor_lists(n, &[vec![0, 2], vec![], vec![0, 2]]).unwrap(),
+        );
+        let g = Graph::new();
+        let h = g.leaf(Tensor::from_fn(&[1, n, d], |i| (i[1] * d + i[2]) as f32));
+        let out = h.sparse_attend(&h, &h, &graph, 1.0).unwrap();
+        let loss = out.square().unwrap().sum_all().unwrap();
+        g.backward(&loss).unwrap();
+        let grad = g.grad(&h).unwrap();
+        assert!(out.value().data().iter().all(|x| x.is_finite()));
+        assert!(grad.data().iter().all(|x| x.is_finite()));
+        // The isolated sensor's output row is zero, not NaN.
+        assert_eq!(out.value().at(&[0, 1, 0]), 0.0);
     }
 
     #[test]

@@ -121,6 +121,20 @@ pub(crate) enum Op {
         b: Id,
         act: ActKind,
     },
+    /// Fused sparse sensor attention (gather scores → scatter-softmax →
+    /// gather mix) over a [`stwa_tensor::SensorGraph`] neighbor list.
+    /// Replaces the dense matmul_nt/mul_scalar/softmax/matmul chain with
+    /// one O(N·k) tape entry; the saved per-edge `weights` are the
+    /// softmax output the VJP needs. On complete graphs forward and
+    /// backward are bitwise identical to the dense chain.
+    SparseAttention {
+        q: Id,
+        k: Id,
+        h: Id,
+        graph: std::sync::Arc<stwa_tensor::SensorGraph>,
+        scale: f32,
+        weights: Rc<Tensor>,
+    },
 }
 
 impl Op {
@@ -159,6 +173,7 @@ impl Op {
             Op::WhereMask { .. } => "where_mask",
             Op::Huber { .. } => "huber",
             Op::BiasAddAct { .. } => "bias_add_act",
+            Op::SparseAttention { .. } => "sparse_attention",
         }
     }
 }

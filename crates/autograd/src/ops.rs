@@ -116,6 +116,44 @@ impl Var {
         Ok(self.binary(rhs, v, Op::MatmulNT(self.id, rhs.id)))
     }
 
+    /// Fused sparse sensor attention over a neighbor graph:
+    /// `out_i = Σ_{j ∈ nbr(i)} softmax_j(q_i·k_j · scale) · h_j`
+    /// with `self` as `q`. One tape entry replaces the dense
+    /// matmul_nt → mul_scalar → softmax → matmul chain; per-edge
+    /// softmax weights are saved for the exact VJP. With a complete
+    /// graph the forward value and every input gradient are bitwise
+    /// identical to the dense chain (see [`stwa_tensor::sparse`]).
+    pub fn sparse_attend(
+        &self,
+        k: &Var,
+        h: &Var,
+        graph: &std::sync::Arc<stwa_tensor::SensorGraph>,
+        scale: f32,
+    ) -> Result<Var> {
+        self.same_graph(k, "sparse_attend")?;
+        self.same_graph(h, "sparse_attend")?;
+        let (out, weights) = stwa_tensor::sparse::sparse_attention_forward(
+            &self.value(),
+            &k.value(),
+            &h.value(),
+            graph,
+            scale,
+        )?;
+        let requires = self.requires_grad() || k.requires_grad() || h.requires_grad();
+        Ok(self.graph.push(
+            out,
+            Op::SparseAttention {
+                q: self.id,
+                k: k.id,
+                h: h.id,
+                graph: std::sync::Arc::clone(graph),
+                scale,
+                weights: Rc::new(weights),
+            },
+            requires,
+        ))
+    }
+
     // ---------------------------------------------------------------
     // Reductions
     // ---------------------------------------------------------------

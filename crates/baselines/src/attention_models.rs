@@ -6,7 +6,7 @@ use crate::rnn_models::check_input;
 use rand::rngs::StdRng;
 use rand::Rng;
 use stwa_autograd::{Graph, Var};
-use stwa_core::{ForecastModel, ForwardOutput, SensorCorrelationAttention};
+use stwa_core::{ForecastModel, ForwardOutput, SensorCorrelationAttention, SparsityMode};
 use stwa_nn::layers::{Linear, Mlp, MultiHeadSelfAttention, TemporalConv};
 use stwa_nn::ParamStore;
 use stwa_tensor::{Result, Tensor};
@@ -67,6 +67,11 @@ impl SaTransformer {
     pub fn named(mut self, name: &str) -> Self {
         self.name = name.to_string();
         self
+    }
+
+    /// Select dense or sparse sensor mixing (same contract as ST-WA).
+    pub fn set_sparsity(&mut self, mode: SparsityMode) {
+        self.sca.set_sparsity(mode);
     }
 }
 
@@ -175,6 +180,11 @@ impl LongFormerLite {
             d,
         }
     }
+
+    /// Select dense or sparse sensor mixing (same contract as ST-WA).
+    pub fn set_sparsity(&mut self, mode: SparsityMode) {
+        self.sca.set_sparsity(mode);
+    }
 }
 
 impl ForecastModel for LongFormerLite {
@@ -263,6 +273,11 @@ impl AstgnnLite {
             u,
             f,
         }
+    }
+
+    /// Select dense or sparse sensor mixing (same contract as ST-WA).
+    pub fn set_sparsity(&mut self, mode: SparsityMode) {
+        self.sca.set_sparsity(mode);
     }
 }
 
@@ -362,6 +377,41 @@ mod tests {
         let out = m.forward(&g, &x, &mut rng, true).unwrap();
         assert_eq!(out.pred.shape(), vec![2, 2, 3, 1]);
         assert!(!out.pred.value().has_non_finite());
+    }
+
+    #[test]
+    fn sparse_complete_graph_matches_dense_bitwise_across_baselines() {
+        // Same seed -> identical parameters; a complete neighbor graph
+        // must not change a single bit of any attention baseline.
+        let n = 4;
+        let graph =
+            std::sync::Arc::new(stwa_tensor::SensorGraph::complete(n));
+        let x = input(2, n, 6, 11);
+        let run = |m: &dyn ForecastModel| {
+            let g = Graph::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            m.forward(&g, &g.constant(x.clone()), &mut rng, false)
+                .unwrap()
+                .pred
+                .value()
+                .data()
+                .to_vec()
+        };
+
+        let sa = SaTransformer::new(n, 6, 4, 1, 8, 2, 2, &mut StdRng::seed_from_u64(9));
+        let mut sa_s = SaTransformer::new(n, 6, 4, 1, 8, 2, 2, &mut StdRng::seed_from_u64(9));
+        sa_s.set_sparsity(SparsityMode::Sparse(graph.clone()));
+        assert_eq!(run(&sa), run(&sa_s), "SA diverged");
+
+        let lf = LongFormerLite::new(n, 6, 2, 1, 8, 2, 1, &mut StdRng::seed_from_u64(10));
+        let mut lf_s = LongFormerLite::new(n, 6, 2, 1, 8, 2, 1, &mut StdRng::seed_from_u64(10));
+        lf_s.set_sparsity(SparsityMode::Sparse(graph.clone()));
+        assert_eq!(run(&lf), run(&lf_s), "LongFormer diverged");
+
+        let ast = AstgnnLite::new(n, 6, 3, 1, 8, 2, &mut StdRng::seed_from_u64(12));
+        let mut ast_s = AstgnnLite::new(n, 6, 3, 1, 8, 2, &mut StdRng::seed_from_u64(12));
+        ast_s.set_sparsity(SparsityMode::Sparse(graph));
+        assert_eq!(run(&ast), run(&ast_s), "ASTGNN diverged");
     }
 
     #[test]

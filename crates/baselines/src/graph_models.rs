@@ -120,6 +120,9 @@ pub struct StgcnLite {
     blocks: Vec<StgcnBlock>,
     predictor: Mlp,
     store: ParamStore,
+    /// Kept so [`ForecastModel::replica_builder`] can rebuild replicas
+    /// over the same sensor graph.
+    adj: Tensor,
     n: usize,
     h: usize,
     u: usize,
@@ -175,6 +178,7 @@ impl StgcnLite {
             blocks,
             predictor,
             store,
+            adj: adj.clone(),
             n,
             h,
             u,
@@ -192,6 +196,19 @@ impl ForecastModel for StgcnLite {
 
     fn store(&self) -> &ParamStore {
         &self.store
+    }
+
+    fn replica_builder(&self) -> Option<ReplicaFactory> {
+        // Same recipe as DCRNN: tensors are `Rc`-backed and not `Send`,
+        // so the factory ships the adjacency as raw data.
+        let (n, h, u, f, d) = (self.n, self.h, self.u, self.f, self.d);
+        let adj_data = self.adj.data().to_vec();
+        let adj_shape = self.adj.shape().to_vec();
+        Some(Box::new(move || {
+            let adj = Tensor::from_vec(adj_data, &adj_shape)?;
+            let mut rng = StdRng::seed_from_u64(0);
+            Ok(Box::new(StgcnLite::new(n, h, u, f, d, &adj, &mut rng)?) as Box<dyn ForecastModel>)
+        }))
     }
 
     fn forward(
@@ -318,10 +335,14 @@ pub struct GwnLite {
     skips: Vec<Linear>,
     predictor: Mlp,
     store: ParamStore,
+    /// Kept so [`ForecastModel::replica_builder`] can rebuild replicas
+    /// over the same sensor graph.
+    adj: Tensor,
     n: usize,
     h: usize,
     u: usize,
     f: usize,
+    d: usize,
 }
 
 struct GwnBlock {
@@ -366,10 +387,12 @@ impl GwnLite {
             skips,
             predictor,
             store,
+            adj: adj.clone(),
             n,
             h,
             u,
             f,
+            d,
         })
     }
 }
@@ -381,6 +404,17 @@ impl ForecastModel for GwnLite {
 
     fn store(&self) -> &ParamStore {
         &self.store
+    }
+
+    fn replica_builder(&self) -> Option<ReplicaFactory> {
+        let (n, h, u, f, d) = (self.n, self.h, self.u, self.f, self.d);
+        let adj_data = self.adj.data().to_vec();
+        let adj_shape = self.adj.shape().to_vec();
+        Some(Box::new(move || {
+            let adj = Tensor::from_vec(adj_data, &adj_shape)?;
+            let mut rng = StdRng::seed_from_u64(0);
+            Ok(Box::new(GwnLite::new(n, h, u, f, d, &adj, &mut rng)?) as Box<dyn ForecastModel>)
+        }))
     }
 
     fn forward(

@@ -1,6 +1,6 @@
 //! Data-parallel contract for the graph baselines that opt into
-//! [`ForecastModel::replica_builder`] (DCRNN and AGCRN — the strongest
-//! graph-structured and spatial-aware baselines):
+//! [`ForecastModel::replica_builder`] (DCRNN, AGCRN, STGCN, GWN — the
+//! strongest graph-structured and spatial-aware baselines):
 //!
 //! 1. The shard engine actually spins up for them (a missing builder
 //!    would silently fall back to sequential training and vacuously pass
@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stwa_autograd::Graph;
-use stwa_baselines::{AgcrnLite, DcrnnLite, StgcnLite};
+use stwa_baselines::{AgcrnLite, DcrnnLite, GwnLite, StgcnLite, Stg2SeqLite};
 use stwa_core::{ForecastModel, ShardEngine, TrainConfig, Trainer};
 use stwa_nn::loss::huber;
 use stwa_tensor::Tensor;
@@ -37,6 +37,16 @@ fn dcrnn(n: usize, seed: u64) -> DcrnnLite {
 fn agcrn(n: usize, seed: u64) -> AgcrnLite {
     let mut rng = StdRng::seed_from_u64(seed);
     AgcrnLite::new(n, H, U, 1, D, 4, &mut rng)
+}
+
+fn stgcn(n: usize, seed: u64) -> StgcnLite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    StgcnLite::new(n, H, U, 1, D, &line_adj(n), &mut rng).unwrap()
+}
+
+fn gwn(n: usize, seed: u64) -> GwnLite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    GwnLite::new(n, H, U, 1, D, &line_adj(n), &mut rng).unwrap()
 }
 
 fn param_bits(model: &dyn ForecastModel) -> Vec<u32> {
@@ -72,11 +82,21 @@ fn graph_baseline_replicas_power_the_shard_engine() {
         ShardEngine::new(&agcrn(n, 0), 4).is_some(),
         "AGCRN must provide a replica builder"
     );
+    assert!(
+        ShardEngine::new(&stgcn(n, 0), 4).is_some(),
+        "STGCN must provide a replica builder"
+    );
+    assert!(
+        ShardEngine::new(&gwn(n, 0), 4).is_some(),
+        "GWN must provide a replica builder"
+    );
     // Replica parameter layout must mirror the live model exactly —
     // names, order, and shapes — or snapshot sync would scramble weights.
     for model in [
         Box::new(dcrnn(n, 1)) as Box<dyn ForecastModel>,
         Box::new(agcrn(n, 1)) as Box<dyn ForecastModel>,
+        Box::new(stgcn(n, 1)) as Box<dyn ForecastModel>,
+        Box::new(gwn(n, 1)) as Box<dyn ForecastModel>,
     ] {
         let replica = (model.replica_builder().unwrap())().unwrap();
         let live = model.store().params();
@@ -89,8 +109,8 @@ fn graph_baseline_replicas_power_the_shard_engine() {
     }
     // Baselines that have not opted in keep the sequential fallback.
     let mut rng = StdRng::seed_from_u64(2);
-    let stgcn = StgcnLite::new(n, H, U, 1, D, &line_adj(n), &mut rng).unwrap();
-    assert!(ShardEngine::new(&stgcn, 4).is_none());
+    let stg2seq = Stg2SeqLite::new(n, H, U, 1, D, 2, &line_adj(n), &mut rng).unwrap();
+    assert!(ShardEngine::new(&stg2seq, 4).is_none());
 }
 
 #[test]
@@ -101,7 +121,9 @@ fn sharded_baseline_training_is_bitwise_deterministic_run_to_run() {
     let run = |which: &str| {
         let model: Box<dyn ForecastModel> = match which {
             "DCRNN" => Box::new(dcrnn(n, 5)),
-            _ => Box::new(agcrn(n, 5)),
+            "AGCRN" => Box::new(agcrn(n, 5)),
+            "STGCN" => Box::new(stgcn(n, 5)),
+            _ => Box::new(gwn(n, 5)),
         };
         let report = Trainer::new(config(4, 2))
             .train(model.as_ref(), &dataset, H, U)
@@ -109,7 +131,7 @@ fn sharded_baseline_training_is_bitwise_deterministic_run_to_run() {
         (report.history, param_bits(model.as_ref()))
     };
 
-    for which in ["DCRNN", "AGCRN"] {
+    for which in ["DCRNN", "AGCRN", "STGCN", "GWN"] {
         let (hist_a, params_a) = run(which);
         let (hist_b, params_b) = run(which);
         assert_eq!(hist_a.len(), hist_b.len());
@@ -131,7 +153,7 @@ fn sharded_baseline_training_is_bitwise_deterministic_run_to_run() {
 
 #[test]
 fn sharded_baseline_objective_and_gradients_match_full_batch() {
-    // Both baselines are deterministic forwards (no latents, no
+    // All four baselines are deterministic forwards (no latents, no
     // regularizer), so sharded loss and reduced gradients must equal the
     // full-batch values up to the documented f32 reassociation of
     // summing per-shard partials.
@@ -145,6 +167,8 @@ fn sharded_baseline_objective_and_gradients_match_full_batch() {
     let pairs: Vec<(Box<dyn ForecastModel>, Box<dyn ForecastModel>)> = vec![
         (Box::new(dcrnn(n, 17)), Box::new(dcrnn(n, 17))),
         (Box::new(agcrn(n, 17)), Box::new(agcrn(n, 17))),
+        (Box::new(stgcn(n, 17)), Box::new(stgcn(n, 17))),
+        (Box::new(gwn(n, 17)), Box::new(gwn(n, 17))),
     ];
     for (sharded_model, full_model) in pairs {
         let engine = ShardEngine::new(sharded_model.as_ref(), 4).unwrap();

@@ -41,7 +41,7 @@ pub use generator::{
 };
 pub use latent::{GaussianSample, LatentMode, SpatialLatent, TemporalEncoder};
 pub use model::{AggregatorKind, StwaConfig, StwaModel};
-pub use sensor_attention::SensorCorrelationAttention;
+pub use sensor_attention::{SensorCorrelationAttention, SparsityMode};
 pub use sharded::{fold_shard_grads, shard_seed, ShardEngine};
 pub use trainer::{ForecastModel, ForwardOutput, ReplicaFactory, TrainConfig, TrainReport, Trainer};
 pub use window_attention::WindowAttentionLayer;

@@ -3,6 +3,7 @@
 
 use crate::generator::{AwarenessFlags, StGenerator};
 use crate::latent::LatentMode;
+use crate::sensor_attention::SparsityMode;
 use crate::trainer::{ForecastModel, ForwardOutput, ReplicaFactory};
 pub use crate::window_attention::AggregatorKind;
 use crate::window_attention::WindowAttentionLayer;
@@ -64,6 +65,12 @@ pub struct StwaConfig {
     /// Generate per-sensor sensor-correlation transforms too
     /// (Section IV-C's optional variant). Default: shared transforms.
     pub generated_sensor_attention: bool,
+    /// Restrict sensor correlation attention to a neighbor graph
+    /// (O(N·k) instead of O(N²) — the city-scale path). `None` keeps
+    /// the paper's dense attention. Carried in the config so shard
+    /// replicas rebuild with the same pair set (the graph is shared by
+    /// `Arc`, not copied).
+    pub sensor_graph: Option<std::sync::Arc<stwa_tensor::SensorGraph>>,
 }
 
 impl StwaConfig {
@@ -90,6 +97,7 @@ impl StwaConfig {
             sensor_attention: true,
             flow_depth: None,
             generated_sensor_attention: false,
+            sensor_graph: None,
         }
     }
 
@@ -168,6 +176,15 @@ impl StwaConfig {
     /// (Section IV-C's optional variant). Requires awareness.
     pub fn with_generated_sca(mut self) -> StwaConfig {
         self.generated_sensor_attention = true;
+        self
+    }
+
+    /// Restrict sensor correlation attention to `graph`'s neighbor
+    /// lists (O(N·k)). With a complete graph this is bitwise identical
+    /// to dense attention; with a corridor/k-NN graph it is the
+    /// city-scale configuration.
+    pub fn with_sensor_graph(mut self, graph: std::sync::Arc<stwa_tensor::SensorGraph>) -> StwaConfig {
+        self.sensor_graph = Some(graph);
         self
     }
 
@@ -272,7 +289,7 @@ impl StwaModel {
         let mut layers = Vec::with_capacity(plan.len());
         let mut skips = Vec::with_capacity(plan.len());
         for (l, (&(t_in, f_in), &s)) in plan.iter().zip(&config.window_sizes).enumerate() {
-            let layer = WindowAttentionLayer::new_with_sca_mode(
+            let mut layer = WindowAttentionLayer::new_with_sca_mode(
                 &store,
                 &format!("wa{l}"),
                 config.n,
@@ -288,6 +305,9 @@ impl StwaModel {
                 wants_generated_sca,
                 rng,
             )?;
+            if let Some(graph) = &config.sensor_graph {
+                layer.set_sparsity(SparsityMode::Sparse(std::sync::Arc::clone(graph)));
+            }
             let w_out = layer.num_windows();
             skips.push(Linear::new(
                 &store,
@@ -421,6 +441,16 @@ impl StwaModel {
     /// The stacked window-attention layers.
     pub fn layers(&self) -> &[WindowAttentionLayer] {
         &self.layers
+    }
+
+    /// Re-point every layer's sensor correlation attention at `mode`
+    /// (and record it in the config so replicas and frozen snapshots
+    /// follow). Parameters are untouched.
+    pub fn set_sparsity(&mut self, mode: SparsityMode) {
+        self.config.sensor_graph = mode.graph().map(std::sync::Arc::clone);
+        for layer in &mut self.layers {
+            layer.set_sparsity(mode.clone());
+        }
     }
 
     /// Eq. 18 skip projections, one per layer.

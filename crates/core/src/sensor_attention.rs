@@ -2,10 +2,38 @@
 //! embedded-Gaussian attention across the N sensors within a window.
 
 use rand::Rng;
+use std::sync::Arc;
 use stwa_autograd::{Graph, Var};
 use stwa_nn::layers::Linear;
 use stwa_nn::ParamStore;
-use stwa_tensor::{linalg, Result, Tensor, TensorError};
+use stwa_tensor::{linalg, sparse, Result, SensorGraph, Tensor, TensorError};
+
+/// Which sensor pairs the correlation attention scores.
+///
+/// `Dense` is the paper's Eq. 15–16 verbatim: every sensor attends
+/// every sensor, O(N²). `Sparse` restricts attention to an explicit
+/// [`SensorGraph`] neighbor list, O(N·k) — the city-scale path. A
+/// complete graph (`k = N−1`, self included) makes the sparse path
+/// bitwise identical to `Dense` on forward, backward, and frozen
+/// inference, which is how the equivalence tests gate it. The graph is
+/// `Arc`-shared so shard replicas and frozen snapshots reference one
+/// copy.
+#[derive(Debug, Clone, Default)]
+pub enum SparsityMode {
+    #[default]
+    Dense,
+    Sparse(Arc<SensorGraph>),
+}
+
+impl SparsityMode {
+    /// The neighbor graph, when sparse.
+    pub fn graph(&self) -> Option<&Arc<SensorGraph>> {
+        match self {
+            SparsityMode::Dense => None,
+            SparsityMode::Sparse(g) => Some(g),
+        }
+    }
+}
 
 /// `B(h_i, h_j) = softmax_j( theta1(h_i)^T theta2(h_j) )`, followed by
 /// `h̄_i = sum_j B(h_i, h_j) * h_j` — i.e. each sensor re-weights the
@@ -17,6 +45,7 @@ pub struct SensorCorrelationAttention {
     theta1: Option<Linear>,
     theta2: Option<Linear>,
     d: usize,
+    mode: SparsityMode,
 }
 
 impl SensorCorrelationAttention {
@@ -37,6 +66,7 @@ impl SensorCorrelationAttention {
                 rng,
             )),
             d,
+            mode: SparsityMode::Dense,
         }
     }
 
@@ -48,7 +78,20 @@ impl SensorCorrelationAttention {
             theta1: None,
             theta2: None,
             d,
+            mode: SparsityMode::Dense,
         }
+    }
+
+    /// Switch between dense and graph-restricted attention. Parameters
+    /// are untouched — the mode only selects which pairs are scored.
+    pub fn set_sparsity(&mut self, mode: SparsityMode) {
+        self.mode = mode;
+    }
+
+    /// The active [`SparsityMode`] — read at freeze time so the
+    /// inference mirror serves the same pair set.
+    pub fn sparsity(&self) -> &SparsityMode {
+        &self.mode
     }
 
     /// `h` is `[..., N, d]`; returns the correlated representation of the
@@ -103,12 +146,19 @@ impl SensorCorrelationAttention {
     /// source-sensor axis of `q k^T / sqrt(d)`, then mix the raw window
     /// summaries. Scaling is a monotone logit rescaling that the softmax
     /// normalization absorbs; it only adds numerical headroom.
+    ///
+    /// Under [`SparsityMode::Sparse`] the same math runs as one fused
+    /// O(N·k) tape entry restricted to the graph's neighbor pairs.
     fn attend(&self, q: &Var, k: &Var, h: &Var) -> Result<Var> {
-        let scores = q
-            .matmul_nt(k)?
-            .mul_scalar(1.0 / (self.d as f32).sqrt()); // [..., N, N]
-        let weights = scores.softmax(scores.shape().len() - 1)?;
-        weights.matmul(h)
+        let scale = 1.0 / (self.d as f32).sqrt();
+        match &self.mode {
+            SparsityMode::Dense => {
+                let scores = q.matmul_nt(k)?.mul_scalar(scale); // [..., N, N]
+                let weights = scores.softmax(scores.shape().len() - 1)?;
+                weights.matmul(h)
+            }
+            SparsityMode::Sparse(graph) => q.sparse_attend(k, h, graph, scale),
+        }
     }
 
     /// Tape-free [`SensorCorrelationAttention::forward`]: identical
@@ -155,9 +205,17 @@ impl SensorCorrelationAttention {
 
     /// Tape-free twin of [`SensorCorrelationAttention::attend`].
     fn attend_nograd(&self, q: &Tensor, k: &Tensor, h: &Tensor) -> Result<Tensor> {
-        let scores = linalg::matmul_nt(q, k)?.mul_scalar(1.0 / (self.d as f32).sqrt());
-        let weights = scores.softmax(scores.rank() - 1)?;
-        linalg::matmul(&weights, h)
+        let scale = 1.0 / (self.d as f32).sqrt();
+        match &self.mode {
+            SparsityMode::Dense => {
+                let scores = linalg::matmul_nt(q, k)?.mul_scalar(scale);
+                let weights = scores.softmax(scores.rank() - 1)?;
+                linalg::matmul(&weights, h)
+            }
+            SparsityMode::Sparse(graph) => {
+                Ok(sparse::sparse_attention_forward(q, k, h, graph, scale)?.0)
+            }
+        }
     }
 
     /// Shared embedding transforms, when present — read by the inference
@@ -258,5 +316,79 @@ mod tests {
         let g = Graph::new();
         let h = g.constant(Tensor::zeros(&[1, 3, 5]));
         assert!(sca.forward(&g, &h).is_err());
+    }
+
+    #[test]
+    fn complete_sparse_graph_matches_dense_bitwise() {
+        for n in [1usize, 2, 5, 9] {
+            let (store, mut sca, mut rng) = mk(4);
+            let x = Tensor::randn(&[2, n, 4], &mut rng);
+
+            let g = Graph::new();
+            let h = g.constant(x.clone());
+            let dense = sca.forward(&g, &h).unwrap();
+            let loss = dense.square().unwrap().sum_all().unwrap();
+            g.backward(&loss).unwrap();
+            let dense_out = dense.value().data().to_vec();
+            let dense_grads: Vec<Vec<f32>> = store
+                .params()
+                .iter()
+                .map(|p| p.grad().unwrap().data().to_vec())
+                .collect();
+
+            sca.set_sparsity(SparsityMode::Sparse(Arc::new(SensorGraph::complete(n))));
+            for p in store.params() {
+                p.unbind();
+            }
+            let g2 = Graph::new();
+            let h2 = g2.constant(x.clone());
+            let sparse = sca.forward(&g2, &h2).unwrap();
+            let loss2 = sparse.square().unwrap().sum_all().unwrap();
+            g2.backward(&loss2).unwrap();
+
+            assert_eq!(
+                sparse.value().data(),
+                &dense_out[..],
+                "forward bits diverge at n={n}"
+            );
+            for (p, want) in store.params().iter().zip(&dense_grads) {
+                assert_eq!(
+                    p.grad().unwrap().data(),
+                    &want[..],
+                    "grad bits diverge at n={n}"
+                );
+            }
+
+            // Tape-free path must agree with the training-graph forward too.
+            assert_eq!(sca.forward_nograd(&x).unwrap().data(), &dense_out[..]);
+        }
+    }
+
+    #[test]
+    fn sparse_graph_restricts_mixing_to_neighbors() {
+        let (_s, mut sca, mut rng) = mk(4);
+        // Two disconnected cliques: {0, 1} and {2, 3}.
+        let graph = SensorGraph::from_neighbor_lists(4, &[
+            vec![0, 1],
+            vec![0, 1],
+            vec![2, 3],
+            vec![2, 3],
+        ])
+        .unwrap();
+        sca.set_sparsity(SparsityMode::Sparse(Arc::new(graph)));
+
+        let base = Tensor::randn(&[1, 4, 4], &mut rng);
+        let out_a = sca.forward_nograd(&base).unwrap();
+
+        // Perturbing sensors in the other clique must not change rows 0-1.
+        let mut data = base.data().to_vec();
+        for v in &mut data[8..] {
+            *v += 3.0;
+        }
+        let out_b = sca
+            .forward_nograd(&Tensor::from_vec(data, &[1, 4, 4]).unwrap())
+            .unwrap();
+        assert_eq!(&out_a.data()[..8], &out_b.data()[..8]);
+        assert_ne!(&out_a.data()[8..], &out_b.data()[8..]);
     }
 }

@@ -85,6 +85,11 @@ struct ShardJob {
     huber_delta: f32,
     scaler_mean: f32,
     scaler_std: f32,
+    /// Recycled gradient buffers from earlier steps (coordinator
+    /// freelist): the worker fills these instead of allocating fresh
+    /// `Vec<f32>`s for its gradient transfer. Shipped in param order;
+    /// values are irrelevant, only capacity matters.
+    spares: Vec<Vec<f32>>,
 }
 
 /// What a worker sends back: pre-weighted gradients in the replica
@@ -109,6 +114,13 @@ pub struct ShardEngine {
     senders: Vec<mpsc::Sender<ShardJob>>,
     results: mpsc::Receiver<(usize, Result<ShardOutcome>)>,
     workers: Vec<JoinHandle<()>>,
+    /// Gradient-transfer buffers reclaimed by [`fold_shard_grads`]:
+    /// every step frees `(k-1) * P` vectors whose capacities already
+    /// fit this model's parameters, so they cycle back to the workers
+    /// as [`ShardJob::spares`] instead of hitting the allocator. The
+    /// engine is thread-confined (like the trainer that owns it), so a
+    /// `RefCell` suffices.
+    freelist: std::cell::RefCell<Vec<Vec<f32>>>,
 }
 
 impl ShardEngine {
@@ -142,6 +154,7 @@ impl ShardEngine {
             senders,
             results: res_rx,
             workers,
+            freelist: std::cell::RefCell::new(Vec::new()),
         })
     }
 
@@ -171,6 +184,7 @@ impl ShardEngine {
         let b = bx.shape()[0];
         let k = self.senders.len().min(b);
         let snapshot = Arc::new(model.store().snapshot());
+        let params = model.store().params();
         stwa_observe::counter!("train.sharded_batches").incr();
 
         // Contiguous row ranges; the first `b % k` shards take one extra
@@ -185,6 +199,14 @@ impl ShardEngine {
             let y_shape = y_chunk.shape().to_vec();
             let weight = n_s as f32 / b as f32;
             weights.push(weight);
+            // Hand this worker up to one recycled buffer per parameter
+            // from the coordinator freelist (in param order, so the
+            // capacities line up with the gradients it will produce).
+            let spares = {
+                let mut fl = self.freelist.borrow_mut();
+                let keep = fl.len().saturating_sub(params.len());
+                fl.split_off(keep)
+            };
             let job = ShardJob {
                 shard: s,
                 snapshot: Arc::clone(&snapshot),
@@ -197,6 +219,7 @@ impl ShardEngine {
                 huber_delta,
                 scaler_mean,
                 scaler_std,
+                spares,
             };
             self.senders[s].send(job).map_err(|_| {
                 TensorError::Invalid(format!("sharded: worker {s} is gone"))
@@ -219,8 +242,8 @@ impl ShardEngine {
         }
 
         // Fixed-order reduction: ascending shard index, scalar adds.
-        let params = model.store().params();
         let mut acc: Vec<Option<Vec<f32>>> = (0..params.len()).map(|_| None).collect();
+        let mut reclaimed: Vec<Vec<f32>> = Vec::new();
         let mut loss = 0.0f32;
         let mut kl = 0.0f32;
         let mut kl_any = false;
@@ -239,8 +262,9 @@ impl ShardEngine {
                 kl_any = true;
                 kl += weights[s] * shard_kl;
             }
-            fold_shard_grads(&mut acc, out.grads);
+            fold_shard_grads(&mut acc, out.grads, &mut reclaimed);
         }
+        self.freelist.borrow_mut().append(&mut reclaimed);
 
         for (p, grad) in params.iter().zip(acc) {
             if let Some(g) = grad {
@@ -258,7 +282,15 @@ impl ShardEngine {
 /// is always `((g_0 + g_1) + g_2) + ...` regardless of which worker
 /// finished first. Public so the fixed-order property tests exercise
 /// the exact production fold.
-pub fn fold_shard_grads(acc: &mut [Option<Vec<f32>>], grads: Vec<Option<Vec<f32>>>) {
+///
+/// Buffers that were summed away (every shard after the first to touch
+/// a parameter) land in `reclaimed`, in param order, for the engine's
+/// gradient-transfer freelist.
+pub fn fold_shard_grads(
+    acc: &mut [Option<Vec<f32>>],
+    grads: Vec<Option<Vec<f32>>>,
+    reclaimed: &mut Vec<Vec<f32>>,
+) {
     for (slot, grad) in acc.iter_mut().zip(grads) {
         match (slot.as_mut(), grad) {
             (None, Some(g)) => *slot = Some(g),
@@ -266,6 +298,7 @@ pub fn fold_shard_grads(acc: &mut [Option<Vec<f32>>], grads: Vec<Option<Vec<f32>
                 for (ai, gi) in a.iter_mut().zip(&g) {
                     *ai += gi;
                 }
+                reclaimed.push(g);
             }
             _ => {}
         }
@@ -311,6 +344,11 @@ fn run_shard(model: &dyn ForecastModel, job: ShardJob) -> Result<ShardOutcome> {
     let _span = stwa_observe::span!("shard_step");
     stwa_observe::counter!("train.shard_steps").incr();
 
+    // `spares` arrive in param order; reverse once so `pop()` below
+    // hands them back in param order too, keeping each buffer's
+    // capacity aligned with the gradient it will carry.
+    let mut spares = job.spares;
+    spares.reverse();
     job.snapshot.load_into(model.store())?;
     let graph = Graph::new();
     let x = graph.constant(Tensor::from_vec(job.x_data, &job.x_shape)?);
@@ -341,7 +379,17 @@ fn run_shard(model: &dyn ForecastModel, job: ShardJob) -> Result<ShardOutcome> {
     let params = model.store().params();
     let grads = params
         .iter()
-        .map(|p| p.grad().map(|g| g.data().to_vec()))
+        .map(|p| {
+            p.grad().map(|g| match spares.pop() {
+                Some(mut buf) => {
+                    stwa_observe::counter!("alloc.shard_grad_reuse").incr();
+                    buf.clear();
+                    buf.extend_from_slice(g.data());
+                    buf
+                }
+                None => g.data().to_vec(),
+            })
+        })
         .collect();
     for p in &params {
         p.unbind(); // free the tape before the next job
@@ -368,6 +416,42 @@ mod tests {
         let b = shard_seed(7, 2);
         assert_ne!(a, b);
         assert!((a ^ b).count_ones() > 8, "{a:x} vs {b:x} too correlated");
+    }
+
+    #[test]
+    fn grad_transfer_buffers_recycle_through_freelist() {
+        use crate::model::{StwaConfig, StwaModel};
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = StwaModel::new(StwaConfig::wa(4, 12, 3), &mut rng).unwrap();
+        let engine = ShardEngine::new(&model, 2).unwrap();
+        let step = |seed: u64| {
+            let mut r = StdRng::seed_from_u64(seed);
+            let bx = Tensor::randn(&[8, 4, 12, 1], &mut r);
+            let by = Tensor::randn(&[8, 4, 3, 1], &mut r);
+            engine
+                .train_batch(&model, bx, by, seed, 1.0, 0.0, 1.0)
+                .unwrap();
+        };
+        let reuse = || {
+            stwa_observe::counters_snapshot()
+                .iter()
+                .find(|(n, _)| n == "alloc.shard_grad_reuse")
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        stwa_observe::set_enabled(true);
+        // Step 1 starts with an empty freelist; its fold frees
+        // (shards - 1) * P buffers that step 2 must pick up.
+        step(1);
+        let after_first = reuse();
+        step(2);
+        let after_second = reuse();
+        stwa_observe::set_enabled(false);
+        assert!(
+            after_second > after_first,
+            "second step recycled no gradient buffers ({after_first} -> {after_second})"
+        );
+        assert!(!engine.freelist.borrow().is_empty());
     }
 
     #[test]

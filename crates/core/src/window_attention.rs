@@ -395,6 +395,14 @@ impl WindowAttentionLayer {
         self.sensor_attention.as_ref()
     }
 
+    /// Select dense or sparse sensor attention; a no-op when the layer has no
+    /// sensor-correlation stage.
+    pub fn set_sparsity(&mut self, mode: crate::sensor_attention::SparsityMode) {
+        if let Some(sca) = &mut self.sensor_attention {
+            sca.set_sparsity(mode);
+        }
+    }
+
     /// `(N, T_in, S, p, F_in, d, heads)` — the layer's full geometry.
     pub fn dims(&self) -> (usize, usize, usize, usize, usize, usize, usize) {
         (

@@ -298,7 +298,7 @@ proptest! {
         // Production path: fold in ascending shard index.
         let mut acc: Vec<Option<Vec<f32>>> = vec![None];
         for p in &parts {
-            fold_shard_grads(&mut acc, vec![Some(p.clone())]);
+            fold_shard_grads(&mut acc, vec![Some(p.clone())], &mut Vec::new());
         }
         let folded = acc[0].clone().unwrap();
 
@@ -326,7 +326,7 @@ proptest! {
         }
         let mut acc2: Vec<Option<Vec<f32>>> = vec![None];
         for slot in buffered {
-            fold_shard_grads(&mut acc2, vec![slot]);
+            fold_shard_grads(&mut acc2, vec![slot], &mut Vec::new());
         }
         prop_assert_eq!(bits(&acc2[0].clone().unwrap()), bits(&reference));
     }

@@ -59,6 +59,9 @@ struct FrozenSca {
     theta1: Option<PackedDense>,
     theta2: Option<PackedDense>,
     d: usize,
+    /// Neighbor lists when the training model ran in sparse mode; the
+    /// frozen path must mix over the same support to stay bitwise.
+    graph: Option<std::sync::Arc<stwa_tensor::SensorGraph>>,
 }
 
 /// The frozen parameter-generation path.
@@ -148,6 +151,7 @@ impl FrozenStwa {
                         theta1: t1.map(PackedDense::from_linear).transpose()?,
                         theta2: t2.map(PackedDense::from_linear).transpose()?,
                         d: sca.dim(),
+                        graph: sca.sparsity().graph().cloned(),
                     })
                 }
             };
@@ -687,9 +691,16 @@ impl FrozenSca {
     /// chain as `mul_scalar` + `softmax`, minus two dispatches and one
     /// materialization).
     fn attend(&self, q: &Tensor, k: &Tensor, h: &Tensor) -> Result<Tensor> {
+        let scale = 1.0 / (self.d as f32).sqrt();
+        if let Some(graph) = &self.graph {
+            // Sparse mode: the fused gather kernel is the exact
+            // training-time forward, so no separate lean variant to
+            // keep in bitwise lockstep.
+            let (out, _) = stwa_tensor::sparse::sparse_attention_forward(q, k, h, graph, scale)?;
+            return Ok(out);
+        }
         let mut scores = linalg::matmul_nt_lean(q, k)?;
         let t = scores.shape()[scores.rank() - 1];
-        let scale = 1.0 / (self.d as f32).sqrt();
         for row in scores.data_mut().chunks_exact_mut(t) {
             // Scale first, then the max / exp-shift / ascending-sum /
             // divide chain — fold-for-fold what softmax_lastdim does.

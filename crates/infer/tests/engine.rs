@@ -35,6 +35,12 @@ fn frozen_forward_bitwise_matches_graph_eval_for_every_variant() {
             ..StwaConfig::st_wa(3, 12, 4)
         },
         StwaConfig::wa_1(3, 12, 4),
+        StwaConfig::st_wa(3, 12, 4)
+            .with_sensor_graph(std::sync::Arc::new(stwa_tensor::SensorGraph::complete(3))),
+        StwaConfig::st_wa(3, 12, 4).with_sensor_graph(std::sync::Arc::new(
+            stwa_tensor::SensorGraph::from_neighbor_lists(3, &[vec![0, 1], vec![0, 1, 2], vec![1, 2]])
+                .unwrap(),
+        )),
     ];
     for (i, cfg) in configs.into_iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(100 + i as u64);
@@ -52,6 +58,26 @@ fn frozen_forward_bitwise_matches_graph_eval_for_every_variant() {
             );
         }
     }
+}
+
+#[test]
+fn frozen_sparse_complete_graph_matches_dense_bitwise() {
+    // Same seed -> identical parameters; the only difference is the
+    // attention support, and a complete graph must reproduce the dense
+    // fold orders exactly, through freeze and serve.
+    let n = 5;
+    let dense = StwaModel::new(StwaConfig::st_wa(n, 12, 4), &mut StdRng::seed_from_u64(7)).unwrap();
+    let sparse = StwaModel::new(
+        StwaConfig::st_wa(n, 12, 4)
+            .with_sensor_graph(std::sync::Arc::new(stwa_tensor::SensorGraph::complete(n))),
+        &mut StdRng::seed_from_u64(7),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let x = Tensor::randn(&[2, n, 12, 1], &mut rng);
+    let a = InferSession::new(&dense).unwrap().run(&x).unwrap();
+    let b = InferSession::new(&sparse).unwrap().run(&x).unwrap();
+    assert_eq!(a.data(), b.data());
 }
 
 #[test]

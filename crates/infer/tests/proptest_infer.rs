@@ -4,7 +4,10 @@
 //!    bit-for-bit across random model configurations (awareness
 //!    variants, window schedules, proxy counts, sensor attention on or
 //!    off, aggregators, flows) and random inputs.
-//! 2. `matmul_packed` over a pre-packed B equals the reference triple
+//! 2. Freezing a model configured with a complete (`k = N - 1`) sparse
+//!    sensor graph serves the dense model's bits — the frozen leg of
+//!    the sparse-attention dense-equivalence gate (DESIGN.md §13).
+//! 3. `matmul_packed` over a pre-packed B equals the reference triple
 //!    loop bit-for-bit for arbitrary shapes.
 
 use proptest::prelude::*;
@@ -14,7 +17,7 @@ use stwa_autograd::Graph;
 use stwa_core::{ForecastModel, StwaConfig, StwaModel};
 use stwa_infer::InferSession;
 use stwa_tensor::linalg::{matmul_packed, matmul_reference, PackedMatrix};
-use stwa_tensor::Tensor;
+use stwa_tensor::{SensorGraph, Tensor};
 
 fn build_config(variant: u8, windows: u8, proxies: usize, sca: bool, mean_agg: bool) -> StwaConfig {
     let (n, h, u) = (3, 12, 2);
@@ -69,6 +72,31 @@ proptest! {
         let got = session.run(&x).unwrap();
         prop_assert_eq!(want.shape(), got.shape().to_vec());
         prop_assert_eq!(want.value().data(), got.data());
+    }
+
+    /// Frozen sparse-complete ≡ frozen dense, bit for bit, for random
+    /// sensor counts and seeds.
+    #[test]
+    fn frozen_sparse_complete_graph_matches_dense(
+        n in 2usize..6,
+        batch in 1usize..=3,
+        seed in 0u64..1_000_000,
+    ) {
+        let dense = StwaModel::new(
+            StwaConfig::st_wa(n, 12, 2),
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        let sparse = StwaModel::new(
+            StwaConfig::st_wa(n, 12, 2)
+                .with_sensor_graph(std::sync::Arc::new(SensorGraph::complete(n))),
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        let x = Tensor::randn(&[batch, n, 12, 1], &mut StdRng::seed_from_u64(seed ^ 0xabcd));
+
+        let a = InferSession::new(&dense).unwrap().run(&x).unwrap();
+        let b = InferSession::new(&sparse).unwrap().run(&x).unwrap();
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&a), bits(&b), "frozen sparse-complete diverged from dense");
     }
 
     #[test]

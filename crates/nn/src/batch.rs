@@ -74,6 +74,67 @@ impl<'a> BatchIter<'a> {
     }
 }
 
+/// Drive `f` over shuffled batches while the *next* batch is gathered
+/// on a background thread (double buffering): batch `t+1` is cut from
+/// the sample tensors while `f` trains on batch `t`.
+///
+/// A [`Tensor`] is not `Send` (its storage is `Rc`-shared), so the
+/// producer ships raw `Vec<f32>` row gathers and the consumer rewraps
+/// them. The gather copies exactly the rows `index_select` copies —
+/// moving `f32`s never changes their bits — so the batches `f` sees
+/// are bitwise identical to [`BatchIter::shuffled`] with the same RNG;
+/// only the overlap with compute differs.
+pub fn prefetched_shuffled<F>(
+    x: &Tensor,
+    y: &Tensor,
+    batch_size: usize,
+    rng: &mut impl Rng,
+    mut f: F,
+) -> Result<()>
+where
+    F: FnMut(Tensor, Tensor) -> Result<()>,
+{
+    let it = BatchIter::shuffled(x, y, batch_size, rng)?;
+    let order = it.order;
+    if order.is_empty() {
+        return Ok(());
+    }
+    let n = order.len();
+    let (xd, yd) = (x.data(), y.data());
+    let (xrow, yrow) = (xd.len() / n, yd.len() / n);
+    let mut xshape = x.shape().to_vec();
+    let mut yshape = y.shape().to_vec();
+
+    std::thread::scope(|s| -> Result<()> {
+        // Capacity 1 + the batch being gathered = two batches in
+        // flight; the producer blocks until the trainer catches up.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(Vec<f32>, Vec<f32>, usize)>(1);
+        let order = &order;
+        s.spawn(move || {
+            for chunk in order.chunks(batch_size) {
+                let mut bx = Vec::with_capacity(chunk.len() * xrow);
+                let mut by = Vec::with_capacity(chunk.len() * yrow);
+                for &i in chunk {
+                    bx.extend_from_slice(&xd[i * xrow..(i + 1) * xrow]);
+                    by.extend_from_slice(&yd[i * yrow..(i + 1) * yrow]);
+                }
+                if tx.send((bx, by, chunk.len())).is_err() {
+                    return; // consumer bailed out early
+                }
+            }
+        });
+        while let Ok((bx, by, take)) = rx.recv() {
+            xshape[0] = take;
+            yshape[0] = take;
+            f(
+                Tensor::from_vec(bx, &xshape)?,
+                Tensor::from_vec(by, &yshape)?,
+            )?;
+        }
+        Ok(())
+    })
+}
+
 impl Iterator for BatchIter<'_> {
     type Item = (Tensor, Tensor);
 
@@ -144,6 +205,57 @@ mod tests {
                 assert_eq!(bx.at(&[r, 0]), by.at(&[r, 0]));
             }
         }
+    }
+
+    #[test]
+    fn prefetched_batches_match_batchiter_bitwise() {
+        let (x, y) = samples(11);
+        // Same seed -> same permutation; the prefetch path must yield
+        // the same batches, bit for bit, including the remainder.
+        let want: Vec<_> = BatchIter::shuffled(&x, &y, 4, &mut StdRng::seed_from_u64(5))
+            .unwrap()
+            .collect();
+        let mut got: Vec<(Tensor, Tensor)> = Vec::new();
+        prefetched_shuffled(&x, &y, 4, &mut StdRng::seed_from_u64(5), |bx, by| {
+            got.push((bx, by));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(want.len(), got.len());
+        for ((wx, wy), (gx, gy)) in want.iter().zip(&got) {
+            assert_eq!(wx.shape(), gx.shape());
+            assert_eq!(wx.data(), gx.data());
+            assert_eq!(wy.data(), gy.data());
+        }
+    }
+
+    #[test]
+    fn prefetched_consumes_rng_like_shuffled() {
+        // Both paths must advance the epoch RNG identically so a
+        // trainer can toggle prefetch without perturbing later epochs.
+        let (x, y) = samples(9);
+        let mut a = StdRng::seed_from_u64(77);
+        let mut b = StdRng::seed_from_u64(77);
+        BatchIter::shuffled(&x, &y, 2, &mut a).unwrap();
+        prefetched_shuffled(&x, &y, 2, &mut b, |_, _| Ok(())).unwrap();
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn prefetched_propagates_callback_errors() {
+        let (x, y) = samples(8);
+        let mut calls = 0;
+        let err = prefetched_shuffled(&x, &y, 2, &mut StdRng::seed_from_u64(1), |_, _| {
+            calls += 1;
+            if calls == 2 {
+                Err(TensorError::Invalid("stop".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(err.is_err());
+        assert_eq!(calls, 2);
     }
 
     #[test]

@@ -26,9 +26,11 @@ pub mod memory;
 pub mod random;
 pub mod reduce;
 pub mod shape;
+pub mod sparse;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use sparse::SensorGraph;
 pub use tensor::Tensor;
 
 /// Convenience alias used across the workspace.

@@ -1,0 +1,754 @@
+//! Sparse sensor-correlation attention: neighbor lists and the
+//! gather/scatter-softmax kernels.
+//!
+//! The paper's sensor correlation attention (Eq. 15–16) is dense over
+//! all sensor pairs — O(N²) in both compute and memory, the one
+//! asymptotic wall between this reproduction and city-scale sensor
+//! counts. This module restricts each sensor's attention to an explicit
+//! neighbor set held in a [`SensorGraph`] (CSR layout), making the op
+//! O(N·k) at fixed neighborhood size k.
+//!
+//! **Determinism / dense-equivalence contract.** Every row's scalar
+//! chain replicates the dense path op for op and in the same fold
+//! order: scores are ascending-`d` dot products (the reference GEMM's
+//! per-element accumulation order), the row softmax is the exact
+//! `softmax_lastdim` chain (ascending max fold, [`crate::mathfn::exp_sub_slice`],
+//! ascending sum, divide), and the output mix accumulates neighbors in
+//! ascending index order (the reference `weights @ h` contraction
+//! order). Neighbor lists are stored sorted ascending, so a *complete*
+//! graph (every sensor adjacent to every sensor, self included — the
+//! "k = N−1" configuration) reproduces the dense kernel **bitwise**, on
+//! the forward, backward, and frozen-inference paths alike. Work is
+//! split across the pool by row; rows are independent and chunk
+//! boundaries depend only on element counts, so results are identical
+//! at any `STWA_THREADS` setting.
+//!
+//! A sensor with an *empty* neighbor row (degenerate graph) contributes
+//! no edges: its output row is zero and the softmax is never evaluated
+//! over an empty set, so no NaN can appear.
+
+use crate::tensor::{elementwise_chunks, PARALLEL_ELEMS};
+use crate::{memory, Result, Tensor, TensorError};
+use stwa_pool::SendPtr;
+
+/// CSR neighbor lists over `n` sensors, plus the transpose index the
+/// backward pass needs to scatter gradients deterministically.
+///
+/// Rows are sorted ascending and duplicate-free; the transpose is built
+/// once at construction so every consumer (forward gather, VJP
+/// scatter, frozen inference) shares one layout. Neighbor ids are `u32`
+/// — 100k-sensor metro deployments fit with room to spare — which keeps
+/// the hot gather loops cache-dense.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensorGraph {
+    n: usize,
+    /// Row start offsets into `neighbors`, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated neighbor lists, ascending within each row.
+    neighbors: Vec<u32>,
+    /// Transpose row offsets, length `n + 1`: incoming edges per sensor.
+    t_offsets: Vec<usize>,
+    /// Source row `i` of each incoming edge, ascending within each row.
+    t_src: Vec<u32>,
+    /// Forward edge index of each incoming edge (into `neighbors`).
+    t_edge: Vec<u32>,
+}
+
+impl SensorGraph {
+    /// Build from explicit per-sensor neighbor lists.
+    ///
+    /// Each list must be sorted ascending, duplicate-free, and in range;
+    /// empty lists are allowed (isolated sensors). Lists are taken
+    /// verbatim — callers decide whether a sensor neighbors itself
+    /// (the adjacency-derived builders below always include self, since
+    /// dense attention always attends the self pair).
+    pub fn from_neighbor_lists(n: usize, lists: &[Vec<usize>]) -> Result<SensorGraph> {
+        if lists.len() != n {
+            return Err(TensorError::Invalid(format!(
+                "SensorGraph: {} lists for {} sensors",
+                lists.len(),
+                n
+            )));
+        }
+        let nnz: usize = lists.iter().map(Vec::len).sum();
+        if nnz >= u32::MAX as usize || n >= u32::MAX as usize {
+            return Err(TensorError::Invalid(
+                "SensorGraph: too many sensors/edges for u32 ids".into(),
+            ));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(nnz);
+        offsets.push(0);
+        for (i, list) in lists.iter().enumerate() {
+            let mut prev: Option<usize> = None;
+            for &j in list {
+                if j >= n {
+                    return Err(TensorError::Invalid(format!(
+                        "SensorGraph: neighbor {j} out of range for {n} sensors"
+                    )));
+                }
+                if prev.is_some_and(|p| p >= j) {
+                    return Err(TensorError::Invalid(format!(
+                        "SensorGraph: row {i} not sorted ascending / has duplicates"
+                    )));
+                }
+                prev = Some(j);
+                neighbors.push(j as u32);
+            }
+            offsets.push(neighbors.len());
+        }
+        // Transpose via counting sort. Walking forward edges in row-major
+        // (ascending i) order fills each transpose row with its sources
+        // already ascending — exactly the contraction order the dense
+        // `matmul_tn` VJPs reduce in.
+        let mut t_counts = vec![0usize; n + 1];
+        for &j in &neighbors {
+            t_counts[j as usize + 1] += 1;
+        }
+        let mut t_offsets = t_counts;
+        for v in 1..=n {
+            t_offsets[v] += t_offsets[v - 1];
+        }
+        let mut cursor = t_offsets.clone();
+        let mut t_src = vec![0u32; nnz];
+        let mut t_edge = vec![0u32; nnz];
+        for i in 0..n {
+            let lo = offsets[i];
+            for (e, &jn) in neighbors[lo..offsets[i + 1]].iter().enumerate() {
+                let j = jn as usize;
+                let slot = cursor[j];
+                cursor[j] += 1;
+                t_src[slot] = i as u32;
+                t_edge[slot] = (lo + e) as u32;
+            }
+        }
+        Ok(SensorGraph {
+            n,
+            offsets,
+            neighbors,
+            t_offsets,
+            t_src,
+            t_edge,
+        })
+    }
+
+    /// Neighbors = every sensor (self included): the `k = N−1`
+    /// configuration whose attention equals the dense kernel bitwise.
+    pub fn complete(n: usize) -> SensorGraph {
+        let all: Vec<usize> = (0..n).collect();
+        let lists: Vec<Vec<usize>> = (0..n).map(|_| all.clone()).collect();
+        SensorGraph::from_neighbor_lists(n, &lists).expect("complete graph is valid")
+    }
+
+    /// Build from a dense `[n, n]` adjacency matrix: `j` neighbors `i`
+    /// when `adj[i][j] != 0`, and every sensor neighbors itself (dense
+    /// attention always scores the self pair). This is the bridge from
+    /// the adjacency the DCRNN/STGCN/AGCRN baselines already construct.
+    pub fn from_adjacency(adj: &Tensor) -> Result<SensorGraph> {
+        let shape = adj.shape();
+        if shape.len() != 2 || shape[0] != shape[1] {
+            return Err(TensorError::Invalid(format!(
+                "SensorGraph::from_adjacency: expected square [n, n], got {shape:?}"
+            )));
+        }
+        let n = shape[0];
+        let data = adj.data();
+        let lists: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| j == i || data[i * n + j] != 0.0)
+                    .collect()
+            })
+            .collect();
+        SensorGraph::from_neighbor_lists(n, &lists)
+    }
+
+    /// Keep each row's `k` strongest off-diagonal weights (ties broken
+    /// toward the lower index, so selection is deterministic), plus
+    /// self. Zero weights never qualify.
+    pub fn top_k(weights: &Tensor, k: usize) -> Result<SensorGraph> {
+        let shape = weights.shape();
+        if shape.len() != 2 || shape[0] != shape[1] {
+            return Err(TensorError::Invalid(format!(
+                "SensorGraph::top_k: expected square [n, n], got {shape:?}"
+            )));
+        }
+        let n = shape[0];
+        let data = weights.data();
+        let mut lists = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut cands: Vec<usize> = (0..n)
+                .filter(|&j| j != i && data[i * n + j] != 0.0)
+                .collect();
+            cands.sort_by(|&a, &b| {
+                data[i * n + b]
+                    .total_cmp(&data[i * n + a])
+                    .then(a.cmp(&b))
+            });
+            cands.truncate(k);
+            cands.push(i);
+            cands.sort_unstable();
+            lists.push(cands);
+        }
+        SensorGraph::from_neighbor_lists(n, &lists)
+    }
+
+    /// Number of sensors.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of edges (attended pairs).
+    pub fn nnz(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Out-degree of sensor `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Largest out-degree over all sensors.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|i| self.degree(i)).max().unwrap_or(0)
+    }
+
+    /// Sensor `i`'s neighbor list (ascending).
+    pub fn neighbors_of(&self, i: usize) -> &[u32] {
+        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Edge-index range of row `i` into the flat weights vector.
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+}
+
+/// Validate `[..., n, d]` operands against the graph and each other;
+/// returns `(batch, n, d)` with leading dims flattened into `batch`.
+fn check_operands(
+    op: &'static str,
+    q: &Tensor,
+    k: &Tensor,
+    h: &Tensor,
+    graph: &SensorGraph,
+) -> Result<(usize, usize, usize)> {
+    if q.shape() != k.shape() || q.shape() != h.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: q.shape().to_vec(),
+            rhs: if q.shape() != k.shape() {
+                k.shape().to_vec()
+            } else {
+                h.shape().to_vec()
+            },
+        });
+    }
+    if q.rank() < 2 {
+        return Err(TensorError::RankTooSmall {
+            op,
+            required: 2,
+            actual: q.rank(),
+        });
+    }
+    let n = q.shape()[q.rank() - 2];
+    let d = q.shape()[q.rank() - 1];
+    if n != graph.n() {
+        return Err(TensorError::Invalid(format!(
+            "{op}: graph over {} sensors applied to {} rows",
+            graph.n(),
+            n
+        )));
+    }
+    let batch = q.len() / (n * d).max(1);
+    Ok((batch, n, d))
+}
+
+/// Decide row-parallel chunking for `rows` rows of roughly
+/// `work_per_row` scalar ops each. Boundaries depend only on counts —
+/// never on the thread count — so splitting is determinism-neutral.
+fn row_groups(rows: usize, total_work: usize) -> usize {
+    if total_work >= PARALLEL_ELEMS && rows > 1 && stwa_pool::current_threads() > 1 {
+        elementwise_chunks().min(rows)
+    } else {
+        1
+    }
+}
+
+/// Sparse attention forward: `out_i = Σ_{j ∈ nbr(i)} softmax_j(q_i·k_j / √d)·h_j`.
+///
+/// `scale` is applied to every score before the row softmax, exactly
+/// where the dense chain's `mul_scalar` sits. Returns the mixed output
+/// `[..., n, d]` and the per-edge softmax weights `[batch, nnz]` (the
+/// backward pass's saved activation).
+pub fn sparse_attention_forward(
+    q: &Tensor,
+    k: &Tensor,
+    h: &Tensor,
+    graph: &SensorGraph,
+    scale: f32,
+) -> Result<(Tensor, Tensor)> {
+    let (batch, n, d) = check_operands("sparse_attention", q, k, h, graph)?;
+    let nnz = graph.nnz();
+    let mut weights = memory::take_scratch(batch * nnz);
+    let mut out = memory::take_scratch(batch * n * d);
+    let qd = q.data();
+    let kd = k.data();
+    let hd = h.data();
+    let rows = batch * n;
+    let run_row = |r: usize, w_row: &mut [f32], out_row: &mut [f32]| {
+        let (bi, i) = (r / n, r % n);
+        let base = bi * n * d;
+        let qrow = &qd[base + i * d..base + (i + 1) * d];
+        let nbrs = graph.neighbors_of(i);
+        if nbrs.is_empty() {
+            out_row.fill(0.0);
+            return;
+        }
+        // Scores: ascending-d dot products (the reference GEMM fold
+        // order), scaled per element like the dense `mul_scalar`.
+        for (t, &j) in nbrs.iter().enumerate() {
+            let krow = &kd[base + j as usize * d..base + (j as usize + 1) * d];
+            let mut s = 0.0f32;
+            for (qv, kv) in qrow.iter().zip(krow) {
+                s += qv * kv;
+            }
+            w_row[t] = s * scale;
+        }
+        // Row softmax: the exact `softmax_lastdim` chain.
+        let mut m = f32::NEG_INFINITY;
+        for &x in w_row.iter() {
+            m = m.max(x);
+        }
+        crate::mathfn::exp_sub_slice(w_row, m);
+        let mut z = 0.0f32;
+        for &x in w_row.iter() {
+            z += x;
+        }
+        for x in w_row.iter_mut() {
+            *x /= z;
+        }
+        // Mix: neighbors ascending — the dense `weights @ h` contraction
+        // order per output element.
+        out_row.fill(0.0);
+        for (t, &j) in nbrs.iter().enumerate() {
+            let wv = w_row[t];
+            let hrow = &hd[base + j as usize * d..base + (j as usize + 1) * d];
+            for (o, hv) in out_row.iter_mut().zip(hrow) {
+                *o += wv * hv;
+            }
+        }
+    };
+    let groups = row_groups(rows, batch * nnz * d);
+    if groups > 1 {
+        let per = rows.div_ceil(groups);
+        let w_ptr = SendPtr(weights.as_mut_ptr());
+        let o_ptr = SendPtr(out.as_mut_ptr());
+        stwa_pool::parallel_for(groups, |g| {
+            for r in g * per..((g + 1) * per).min(rows) {
+                let (bi, i) = (r / n, r % n);
+                let er = graph.row_range(i);
+                // Safety: every row's weight and output regions are
+                // disjoint, and the pool joins before the buffers are
+                // consumed.
+                let (w_row, out_row) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(
+                            w_ptr.get().add(bi * nnz + er.start),
+                            er.len(),
+                        ),
+                        std::slice::from_raw_parts_mut(o_ptr.get().add(r * d), d),
+                    )
+                };
+                run_row(r, w_row, out_row);
+            }
+        });
+    } else {
+        for r in 0..rows {
+            let (bi, i) = (r / n, r % n);
+            let er = graph.row_range(i);
+            let w_row = &mut weights[bi * nnz + er.start..bi * nnz + er.end];
+            let out_row = &mut out[r * d..(r + 1) * d];
+            run_row(r, w_row, out_row);
+        }
+    }
+    let out_t = Tensor::from_vec(out, q.shape())?;
+    let w_t = Tensor::from_vec(weights, &[batch, nnz])?;
+    Ok((out_t, w_t))
+}
+
+/// Exact VJP of [`sparse_attention_forward`].
+///
+/// Returns `(dq, dk, dh)`. Each gradient replicates the dense backward
+/// chain bit for bit on complete graphs:
+///
+/// - per-edge `dw_e = g_i · h_j` (ascending d — `matmul_nt(g, h)`),
+/// - row softmax VJP `ds_e = w_e (dw_e − Σ w·dw)` with the ascending
+///   row sum (`softmax_vjp_lastdim`), then `ds_e *= scale`
+///   (`mul_scalar`'s VJP),
+/// - `dq_i = Σ_j ds_e k_j` ascending j (`matmul(ds, k)`),
+/// - `dk_j = Σ_i ds_e q_i` and `dh_j = Σ_i w_e g_i` ascending i via the
+///   transpose index (`matmul_tn`'s contraction order).
+pub fn sparse_attention_vjp(
+    grad: &Tensor,
+    q: &Tensor,
+    k: &Tensor,
+    h: &Tensor,
+    weights: &Tensor,
+    graph: &SensorGraph,
+    scale: f32,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (batch, n, d) = check_operands("sparse_attention_vjp", q, k, h, graph)?;
+    if grad.shape() != q.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "sparse_attention_vjp",
+            lhs: grad.shape().to_vec(),
+            rhs: q.shape().to_vec(),
+        });
+    }
+    let nnz = graph.nnz();
+    if weights.len() != batch * nnz {
+        return Err(TensorError::Invalid(format!(
+            "sparse_attention_vjp: weights hold {} values, expected {}",
+            weights.len(),
+            batch * nnz
+        )));
+    }
+    let gd = grad.data();
+    let qd = q.data();
+    let kd = k.data();
+    let hd = h.data();
+    let wd = weights.data();
+    let rows = batch * n;
+    let groups = row_groups(rows, batch * nnz * d);
+
+    // Pass 1 (row-parallel over i): per-edge score gradients through the
+    // softmax, in place over a copy of nothing — `ds` is built directly.
+    let mut ds = memory::take_scratch(batch * nnz);
+    let mut dq = memory::take_scratch(batch * n * d);
+    {
+        let run_row = |r: usize, ds_row: &mut [f32], dq_row: &mut [f32]| {
+            let (bi, i) = (r / n, r % n);
+            let base = bi * n * d;
+            let nbrs = graph.neighbors_of(i);
+            let w_row = &wd[bi * nnz + graph.row_range(i).start..][..nbrs.len()];
+            let grow = &gd[base + i * d..base + (i + 1) * d];
+            if nbrs.is_empty() {
+                dq_row.fill(0.0);
+                return;
+            }
+            // dw_e = g_i · h_j, ascending d.
+            for (t, &j) in nbrs.iter().enumerate() {
+                let hrow = &hd[base + j as usize * d..base + (j as usize + 1) * d];
+                let mut s = 0.0f32;
+                for (gv, hv) in grow.iter().zip(hrow) {
+                    s += gv * hv;
+                }
+                ds_row[t] = s;
+            }
+            // Softmax VJP: s = Σ dw·w ascending, ds = w (dw − s), then
+            // the `mul_scalar` VJP folds the scale back in.
+            let mut s = 0.0f32;
+            for (dw, w) in ds_row.iter().zip(w_row) {
+                s += dw * w;
+            }
+            for (dsv, w) in ds_row.iter_mut().zip(w_row) {
+                *dsv = w * (*dsv - s) * scale;
+            }
+            // dq_i = Σ_j ds_e · k_j, neighbors ascending.
+            dq_row.fill(0.0);
+            for (t, &j) in nbrs.iter().enumerate() {
+                let c = ds_row[t];
+                let krow = &kd[base + j as usize * d..base + (j as usize + 1) * d];
+                for (o, kv) in dq_row.iter_mut().zip(krow) {
+                    *o += c * kv;
+                }
+            }
+        };
+        if groups > 1 {
+            let per = rows.div_ceil(groups);
+            let ds_ptr = SendPtr(ds.as_mut_ptr());
+            let dq_ptr = SendPtr(dq.as_mut_ptr());
+            stwa_pool::parallel_for(groups, |g| {
+                for r in g * per..((g + 1) * per).min(rows) {
+                    let (bi, i) = (r / n, r % n);
+                    let er = graph.row_range(i);
+                    // Safety: disjoint rows; pool joins before reads.
+                    let (ds_row, dq_row) = unsafe {
+                        (
+                            std::slice::from_raw_parts_mut(
+                                ds_ptr.get().add(bi * nnz + er.start),
+                                er.len(),
+                            ),
+                            std::slice::from_raw_parts_mut(dq_ptr.get().add(r * d), d),
+                        )
+                    };
+                    run_row(r, ds_row, dq_row);
+                }
+            });
+        } else {
+            for r in 0..rows {
+                let (bi, i) = (r / n, r % n);
+                let er = graph.row_range(i);
+                let ds_row = &mut ds[bi * nnz + er.start..bi * nnz + er.end];
+                let dq_row = &mut dq[r * d..(r + 1) * d];
+                run_row(r, ds_row, dq_row);
+            }
+        }
+    }
+
+    // Pass 2 (row-parallel over j via the transpose): dk and dh gather
+    // their incoming edges with sources ascending — `matmul_tn`'s
+    // contraction order — so the scatter needs no atomics and no
+    // thread-count-dependent reassociation.
+    let mut dk = memory::take_scratch(batch * n * d);
+    let mut dh = memory::take_scratch(batch * n * d);
+    {
+        let ds_ref: &[f32] = &ds;
+        let run_col = |r: usize, dk_row: &mut [f32], dh_row: &mut [f32]| {
+            let (bi, j) = (r / n, r % n);
+            let base = bi * n * d;
+            dk_row.fill(0.0);
+            dh_row.fill(0.0);
+            for t in graph.t_offsets[j]..graph.t_offsets[j + 1] {
+                let i = graph.t_src[t] as usize;
+                let e = graph.t_edge[t] as usize;
+                let dsv = ds_ref[bi * nnz + e];
+                let wv = wd[bi * nnz + e];
+                let qrow = &qd[base + i * d..base + (i + 1) * d];
+                let grow = &gd[base + i * d..base + (i + 1) * d];
+                for ((o, qv), (p, gv)) in dk_row
+                    .iter_mut()
+                    .zip(qrow)
+                    .zip(dh_row.iter_mut().zip(grow))
+                {
+                    *o += dsv * qv;
+                    *p += wv * gv;
+                }
+            }
+        };
+        if groups > 1 {
+            let per = rows.div_ceil(groups);
+            let dk_ptr = SendPtr(dk.as_mut_ptr());
+            let dh_ptr = SendPtr(dh.as_mut_ptr());
+            stwa_pool::parallel_for(groups, |g| {
+                for r in g * per..((g + 1) * per).min(rows) {
+                    // Safety: disjoint rows; pool joins before reads.
+                    let (dk_row, dh_row) = unsafe {
+                        (
+                            std::slice::from_raw_parts_mut(dk_ptr.get().add(r * d), d),
+                            std::slice::from_raw_parts_mut(dh_ptr.get().add(r * d), d),
+                        )
+                    };
+                    run_col(r, dk_row, dh_row);
+                }
+            });
+        } else {
+            for r in 0..rows {
+                let dk_row = &mut dk[r * d..(r + 1) * d];
+                let dh_row = &mut dh[r * d..(r + 1) * d];
+                run_col(r, dk_row, dh_row);
+            }
+        }
+    }
+    memory::recycle(ds);
+    Ok((
+        Tensor::from_vec(dq, q.shape())?,
+        Tensor::from_vec(dk, q.shape())?,
+        Tensor::from_vec(dh, q.shape())?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense_chain(q: &Tensor, k: &Tensor, h: &Tensor, scale: f32) -> Tensor {
+        let scores = linalg::matmul_nt(q, k).unwrap().mul_scalar(scale);
+        let w = scores.softmax(scores.rank() - 1).unwrap();
+        linalg::matmul(&w, h).unwrap()
+    }
+
+    fn rand_t(shape: &[usize], seed: u64) -> Tensor {
+        Tensor::randn(shape, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn complete_graph_matches_dense_bitwise() {
+        for n in [1usize, 2, 3, 7, 13] {
+            let d = 5;
+            let g = SensorGraph::complete(n);
+            let q = rand_t(&[2, n, d], 1);
+            let k = rand_t(&[2, n, d], 2);
+            let h = rand_t(&[2, n, d], 3);
+            let scale = 1.0 / (d as f32).sqrt();
+            let (sparse, _) = sparse_attention_forward(&q, &k, &h, &g, scale).unwrap();
+            let dense = dense_chain(&q, &k, &h, scale);
+            let a: Vec<u32> = sparse.data().iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = dense.data().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_vjp_matches_dense_bitwise() {
+        let (n, d) = (6usize, 4);
+        let g = SensorGraph::complete(n);
+        let q = rand_t(&[1, n, d], 11);
+        let k = rand_t(&[1, n, d], 12);
+        let h = rand_t(&[1, n, d], 13);
+        let grad = rand_t(&[1, n, d], 14);
+        let scale = 1.0 / (d as f32).sqrt();
+        let (_, w) = sparse_attention_forward(&q, &k, &h, &g, scale).unwrap();
+        let (dq, dk, dh) = sparse_attention_vjp(&grad, &q, &k, &h, &w, &g, scale).unwrap();
+
+        // Dense reference: the exact op-by-op chain the tape runs.
+        let scores = linalg::matmul_nt(&q, &k).unwrap().mul_scalar(scale);
+        let wt = scores.softmax(scores.rank() - 1).unwrap();
+        let dwt = linalg::matmul_nt(&grad, &h).unwrap();
+        let dh_ref = linalg::matmul_tn(&wt, &grad).unwrap();
+        let ds = wt.softmax_vjp_lastdim(&dwt).unwrap().mul_scalar(scale);
+        let dq_ref = linalg::matmul(&ds, &k).unwrap();
+        let dk_ref = linalg::matmul_tn(&ds, &q).unwrap();
+
+        for (name, got, want) in [
+            ("dq", &dq, &dq_ref),
+            ("dk", &dk, &dk_ref),
+            ("dh", &dh, &dh_ref),
+        ] {
+            let a: Vec<u32> = got.data().iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = want.data().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "{name}");
+        }
+    }
+
+    #[test]
+    fn sparse_rows_are_masked_softmax() {
+        // 4 sensors in a line (self + immediate neighbors): weights over
+        // excluded pairs must be exactly zero influence, and each row's
+        // kept weights must match a masked dense softmax.
+        let n = 4;
+        let d = 3;
+        let lists: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| (j as isize - i as isize).abs() <= 1)
+                    .collect()
+            })
+            .collect();
+        let g = SensorGraph::from_neighbor_lists(n, &lists).unwrap();
+        let q = rand_t(&[1, n, d], 21);
+        let k = rand_t(&[1, n, d], 22);
+        let h = rand_t(&[1, n, d], 23);
+        let (out, w) = sparse_attention_forward(&q, &k, &h, &g, 0.5).unwrap();
+        // Per-row weights sum to 1 and the output is a convex mix of
+        // neighbor rows only.
+        for i in 0..n {
+            let r = g.row_range(i);
+            let sum: f32 = w.data()[r].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(out.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn empty_row_yields_zero_not_nan() {
+        let n = 3;
+        let d = 2;
+        let lists = vec![vec![0usize, 1], vec![], vec![2]];
+        let g = SensorGraph::from_neighbor_lists(n, &lists).unwrap();
+        let q = rand_t(&[1, n, d], 31);
+        let k = rand_t(&[1, n, d], 32);
+        let h = rand_t(&[1, n, d], 33);
+        let (out, w) = sparse_attention_forward(&q, &k, &h, &g, 1.0).unwrap();
+        assert!(out.data().iter().all(|x| x.is_finite()));
+        assert_eq!(out.at(&[0, 1, 0]), 0.0);
+        assert_eq!(out.at(&[0, 1, 1]), 0.0);
+        let grad = rand_t(&[1, n, d], 34);
+        let (dq, dk, dh) = sparse_attention_vjp(&grad, &q, &k, &h, &w, &g, 1.0).unwrap();
+        for t in [&dq, &dk, &dh] {
+            assert!(t.data().iter().all(|x| x.is_finite()));
+        }
+        // The isolated sensor receives no score gradient...
+        assert_eq!(dq.at(&[0, 1, 0]), 0.0);
+        // ...and nothing flows into sensors only it would have attended.
+        assert!(dh.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn transpose_index_is_consistent() {
+        let lists = vec![vec![1usize, 2], vec![0], vec![0, 2]];
+        let g = SensorGraph::from_neighbor_lists(3, &lists).unwrap();
+        assert_eq!(g.nnz(), 5);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        // Incoming edges of sensor 0: from rows 1 and 2, ascending.
+        let r = g.t_offsets[0]..g.t_offsets[1];
+        let srcs: Vec<u32> = g.t_src[r.clone()].to_vec();
+        assert_eq!(srcs, vec![1, 2]);
+        for t in r {
+            let e = g.t_edge[t] as usize;
+            assert_eq!(g.neighbors[e], 0);
+        }
+    }
+
+    #[test]
+    fn invalid_lists_rejected() {
+        assert!(SensorGraph::from_neighbor_lists(2, &[vec![0, 0], vec![]]).is_err());
+        assert!(SensorGraph::from_neighbor_lists(2, &[vec![1, 0], vec![]]).is_err());
+        assert!(SensorGraph::from_neighbor_lists(2, &[vec![2], vec![]]).is_err());
+        assert!(SensorGraph::from_neighbor_lists(2, &[vec![]]).is_err());
+    }
+
+    #[test]
+    fn from_adjacency_includes_self() {
+        let adj = Tensor::from_fn(&[3, 3], |i| {
+            if i[0].abs_diff(i[1]) == 1 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let g = SensorGraph::from_adjacency(&adj).unwrap();
+        assert_eq!(g.neighbors_of(0), &[0, 1]);
+        assert_eq!(g.neighbors_of(1), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn top_k_keeps_strongest_and_self() {
+        let w = Tensor::from_fn(&[3, 3], |i| ((i[0] * 3 + i[1]) as f32) * 0.1);
+        let g = SensorGraph::top_k(&w, 1).unwrap();
+        // Row 0: strongest off-diagonal is j=2 (0.2), plus self.
+        assert_eq!(g.neighbors_of(0), &[0, 2]);
+        assert_eq!(g.neighbors_of(1), &[1, 2]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let (n, d) = (64usize, 8);
+        let g = SensorGraph::complete(n);
+        let q = rand_t(&[4, n, d], 41);
+        let k = rand_t(&[4, n, d], 42);
+        let h = rand_t(&[4, n, d], 43);
+        let grad = rand_t(&[4, n, d], 44);
+        let run = || {
+            let (out, w) = sparse_attention_forward(&q, &k, &h, &g, 0.25).unwrap();
+            let (dq, dk, dh) = sparse_attention_vjp(&grad, &q, &k, &h, &w, &g, 0.25).unwrap();
+            let mut bits: Vec<u32> = Vec::new();
+            for t in [&out, &dq, &dk, &dh] {
+                bits.extend(t.data().iter().map(|x| x.to_bits()));
+            }
+            bits
+        };
+        let before = stwa_pool::current_threads();
+        stwa_pool::set_threads(1);
+        let solo = run();
+        stwa_pool::set_threads(4);
+        let pooled = run();
+        stwa_pool::set_threads(before);
+        assert_eq!(solo, pooled);
+    }
+}

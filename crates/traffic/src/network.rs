@@ -135,6 +135,41 @@ impl RoadNetwork {
         a
     }
 
+    /// Corridor-topology neighbor lists in O(N·k): each sensor links to
+    /// every sensor at most `hops` positions away along its own corridor,
+    /// plus itself — the sparse mirror of [`Self::adjacency`] raised to
+    /// `hops` hops, built without materializing an `N x N` matrix. This
+    /// is what makes city-scale (10k+ sensor) attention tractable.
+    pub fn sensor_graph(&self, hops: usize) -> stwa_tensor::SensorGraph {
+        let n = self.num_sensors();
+        // One pass to find each corridor's contiguous id run (sensors are
+        // laid out corridor-major by `generate`).
+        let mut run_len = vec![0usize; n];
+        let mut i = 0;
+        while i < n {
+            let c = self.sensors[i].corridor;
+            let mut j = i;
+            while j < n && self.sensors[j].corridor == c {
+                j += 1;
+            }
+            run_len[i..j].fill(j - i);
+            i = j;
+        }
+        let lists: Vec<Vec<usize>> = self
+            .sensors
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let start = i - s.position;
+                let lo = start + s.position.saturating_sub(hops);
+                let hi = start + (s.position + hops).min(run_len[i] - 1);
+                (lo..=hi).collect()
+            })
+            .collect();
+        stwa_tensor::SensorGraph::from_neighbor_lists(n, &lists)
+            .expect("corridor neighbor lists are sorted, unique, and in range")
+    }
+
     /// Gaussian-kernel distance adjacency (`exp(-dist^2 / sigma^2)`,
     /// thresholded), the alternative weighting used by DCRNN-style
     /// baselines.
@@ -214,6 +249,38 @@ mod tests {
                 assert!((0.0..=1.0).contains(&v));
                 assert!((v - a.at(&[j, i])).abs() < 1e-6);
             }
+        }
+    }
+
+    #[test]
+    fn sensor_graph_hops1_matches_dense_adjacency() {
+        // The sparse builder and the dense matrix describe the same
+        // topology: hops=1 neighbor lists == nonzero(adjacency) + self.
+        let n = net();
+        let sparse = n.sensor_graph(1);
+        let dense = stwa_tensor::SensorGraph::from_adjacency(&n.adjacency()).unwrap();
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn sensor_graph_city_scale_corridor_topology() {
+        // 160 corridors x 64 sensors = 10240 sensors, built without an
+        // N x N matrix (which would be 400 MB of scores downstream).
+        let net = RoadNetwork::generate(160, 64, &mut StdRng::seed_from_u64(3));
+        let g = net.sensor_graph(8);
+        assert_eq!(g.n(), 10_240);
+        assert_eq!(g.max_degree(), 17); // self + 8 each way, mid-corridor
+        assert!(g.nnz() <= 10_240 * 17);
+        // Corridor ends clip: sensor 0 sees positions 0..=8 only.
+        assert_eq!(g.neighbors_of(0), (0..9).map(|v| v as u32).collect::<Vec<_>>());
+        // Neighbors never cross a corridor boundary.
+        let spc = 64;
+        for &i in &[0usize, 63, 64, 5_000, 10_239] {
+            let c = i / spc;
+            assert!(g
+                .neighbors_of(i)
+                .iter()
+                .all(|&j| (j as usize) / spc == c));
         }
     }
 

@@ -16,6 +16,7 @@ verify:
     cargo run --release -p stwa-bench --bin bench_infer -- --check BENCH_infer.json
     cargo run --release -p stwa-bench --bin bench_epoch -- --check BENCH_epoch.json
     cargo run --release -p stwa-bench --bin bench_ckpt -- --check BENCH_ckpt.json
+    cargo run --release -p stwa-bench --bin bench_attention -- --check BENCH_attention.json
 
 # Fast inner-loop check.
 check:
@@ -48,6 +49,12 @@ bench-epoch:
 # bitwise round-trip assertion (refreshes BENCH_ckpt.json).
 bench-ckpt:
     cargo run --release -p stwa-bench --bin bench_ckpt -- --out BENCH_ckpt.json
+
+# Sparse vs dense sensor-attention scaling on corridor topologies up
+# to 10240 sensors, with a bitwise sparse==dense self-check and a hard
+# near-linearity floor (refreshes BENCH_attention.json).
+bench-attention:
+    cargo run --release -p stwa-bench --bin bench_attention -- --out BENCH_attention.json
 
 # Regenerate every paper table/figure CSV under results/.
 experiments:
