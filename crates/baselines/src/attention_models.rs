@@ -4,9 +4,11 @@
 
 use crate::rnn_models::check_input;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use stwa_autograd::{Graph, Var};
-use stwa_core::{ForecastModel, ForwardOutput, SensorCorrelationAttention, SparsityMode};
+use stwa_core::{
+    ForecastModel, ForwardOutput, ReplicaFactory, SensorCorrelationAttention, SparsityMode,
+};
 use stwa_nn::layers::{Linear, Mlp, MultiHeadSelfAttention, TemporalConv};
 use stwa_nn::ParamStore;
 use stwa_tensor::{Result, Tensor};
@@ -27,6 +29,10 @@ pub struct SaTransformer {
     h: usize,
     u: usize,
     f: usize,
+    /// Kept so [`ForecastModel::replica_builder`] can rebuild replicas
+    /// with the same layer widths.
+    d: usize,
+    heads: usize,
     name: String,
 }
 
@@ -59,6 +65,8 @@ impl SaTransformer {
             h,
             u,
             f,
+            d,
+            heads,
             name: "ATT".to_string(),
         }
     }
@@ -82,6 +90,25 @@ impl ForecastModel for SaTransformer {
 
     fn store(&self) -> &ParamStore {
         &self.store
+    }
+
+    fn replica_builder(&self) -> Option<ReplicaFactory> {
+        let (n, h, u, f, d, heads) = (self.n, self.h, self.u, self.f, self.d, self.heads);
+        let depth = self.layers.len();
+        let name = self.name.clone();
+        // Sparsity selects which sensor pairs the replica scores, so it
+        // must match the leader or shard gradients diverge. The graph is
+        // `Arc`-shared plain data, hence `Send` into the factory.
+        let mode = self.sca.sparsity().clone();
+        Some(Box::new(move || {
+            // Replica init values are overwritten from the live snapshot
+            // every shard step; any fixed seed registers the same
+            // parameter order and shapes.
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut m = SaTransformer::new(n, h, u, f, d, heads, depth, &mut rng).named(&name);
+            m.set_sparsity(mode);
+            Ok(Box::new(m) as Box<dyn ForecastModel>)
+        }))
     }
 
     fn forward(
@@ -130,6 +157,9 @@ pub struct LongFormerLite {
     u: usize,
     f: usize,
     d: usize,
+    /// Kept so [`ForecastModel::replica_builder`] can rebuild the band
+    /// mask (the mask tensor itself encodes but does not expose it).
+    window: usize,
 }
 
 impl LongFormerLite {
@@ -178,6 +208,7 @@ impl LongFormerLite {
             u,
             f,
             d,
+            window,
         }
     }
 
@@ -194,6 +225,18 @@ impl ForecastModel for LongFormerLite {
 
     fn store(&self) -> &ParamStore {
         &self.store
+    }
+
+    fn replica_builder(&self) -> Option<ReplicaFactory> {
+        let (n, h, u, f, d) = (self.n, self.h, self.u, self.f, self.d);
+        let (window, depth) = (self.window, self.wq.len());
+        let mode = self.sca.sparsity().clone();
+        Some(Box::new(move || {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut m = LongFormerLite::new(n, h, u, f, d, window, depth, &mut rng);
+            m.set_sparsity(mode);
+            Ok(Box::new(m) as Box<dyn ForecastModel>)
+        }))
     }
 
     fn forward(
@@ -241,6 +284,10 @@ pub struct AstgnnLite {
     h: usize,
     u: usize,
     f: usize,
+    /// Kept so [`ForecastModel::replica_builder`] can rebuild replicas
+    /// with the same layer widths.
+    d: usize,
+    heads: usize,
 }
 
 impl AstgnnLite {
@@ -272,6 +319,8 @@ impl AstgnnLite {
             h,
             u,
             f,
+            d,
+            heads,
         }
     }
 
@@ -288,6 +337,17 @@ impl ForecastModel for AstgnnLite {
 
     fn store(&self) -> &ParamStore {
         &self.store
+    }
+
+    fn replica_builder(&self) -> Option<ReplicaFactory> {
+        let (n, h, u, f, d, heads) = (self.n, self.h, self.u, self.f, self.d, self.heads);
+        let mode = self.sca.sparsity().clone();
+        Some(Box::new(move || {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut m = AstgnnLite::new(n, h, u, f, d, heads, &mut rng);
+            m.set_sparsity(mode);
+            Ok(Box::new(m) as Box<dyn ForecastModel>)
+        }))
     }
 
     fn forward(

@@ -1,10 +1,11 @@
-//! Data-parallel contract for the graph baselines that opt into
-//! [`ForecastModel::replica_builder`] (DCRNN, AGCRN, STGCN, GWN — the
-//! strongest graph-structured and spatial-aware baselines):
+//! Data-parallel contract for the baselines that opt into
+//! [`ForecastModel::replica_builder`] (the graph family — DCRNN, AGCRN,
+//! STGCN, GWN — and the attention family — ATT/SA, LongFormer, ASTGNN):
 //!
 //! 1. The shard engine actually spins up for them (a missing builder
 //!    would silently fall back to sequential training and vacuously pass
-//!    every determinism test below).
+//!    every determinism test below), and replicas reproduce the leader's
+//!    parameter layout, display name, and sparsity mode.
 //! 2. `shards = k` training is run-to-run bitwise deterministic.
 //! 3. The sharded objective and reduced gradients match a full-batch
 //!    reference up to f32 reassociation, exactly as for ST-WA.
@@ -12,10 +13,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stwa_autograd::Graph;
-use stwa_baselines::{AgcrnLite, DcrnnLite, GwnLite, StgcnLite, Stg2SeqLite};
-use stwa_core::{ForecastModel, ShardEngine, TrainConfig, Trainer};
+use stwa_baselines::{
+    AgcrnLite, AstgnnLite, DcrnnLite, GwnLite, LongFormerLite, SaTransformer, Stg2SeqLite,
+    StgcnLite,
+};
+use stwa_core::{ForecastModel, ShardEngine, SparsityMode, TrainConfig, Trainer};
 use stwa_nn::loss::huber;
-use stwa_tensor::Tensor;
+use stwa_tensor::{SensorGraph, Tensor};
 use stwa_traffic::{DatasetConfig, TrafficDataset};
 
 const H: usize = 12;
@@ -47,6 +51,21 @@ fn stgcn(n: usize, seed: u64) -> StgcnLite {
 fn gwn(n: usize, seed: u64) -> GwnLite {
     let mut rng = StdRng::seed_from_u64(seed);
     GwnLite::new(n, H, U, 1, D, &line_adj(n), &mut rng).unwrap()
+}
+
+fn sa(n: usize, seed: u64) -> SaTransformer {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SaTransformer::new(n, H, U, 1, D, 2, 2, &mut rng)
+}
+
+fn longformer(n: usize, seed: u64) -> LongFormerLite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    LongFormerLite::new(n, H, U, 1, D, 2, 1, &mut rng)
+}
+
+fn astgnn(n: usize, seed: u64) -> AstgnnLite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    AstgnnLite::new(n, H, U, 1, D, 2, &mut rng)
 }
 
 fn param_bits(model: &dyn ForecastModel) -> Vec<u32> {
@@ -90,6 +109,18 @@ fn graph_baseline_replicas_power_the_shard_engine() {
         ShardEngine::new(&gwn(n, 0), 4).is_some(),
         "GWN must provide a replica builder"
     );
+    assert!(
+        ShardEngine::new(&sa(n, 0), 4).is_some(),
+        "ATT must provide a replica builder"
+    );
+    assert!(
+        ShardEngine::new(&longformer(n, 0), 4).is_some(),
+        "LongFormer must provide a replica builder"
+    );
+    assert!(
+        ShardEngine::new(&astgnn(n, 0), 4).is_some(),
+        "ASTGNN must provide a replica builder"
+    );
     // Replica parameter layout must mirror the live model exactly —
     // names, order, and shapes — or snapshot sync would scramble weights.
     for model in [
@@ -97,6 +128,9 @@ fn graph_baseline_replicas_power_the_shard_engine() {
         Box::new(agcrn(n, 1)) as Box<dyn ForecastModel>,
         Box::new(stgcn(n, 1)) as Box<dyn ForecastModel>,
         Box::new(gwn(n, 1)) as Box<dyn ForecastModel>,
+        Box::new(sa(n, 1)) as Box<dyn ForecastModel>,
+        Box::new(longformer(n, 1)) as Box<dyn ForecastModel>,
+        Box::new(astgnn(n, 1)) as Box<dyn ForecastModel>,
     ] {
         let replica = (model.replica_builder().unwrap())().unwrap();
         let live = model.store().params();
@@ -107,6 +141,42 @@ fn graph_baseline_replicas_power_the_shard_engine() {
             assert_eq!(a.shape(), b.shape(), "{}: {}", model.name(), a.name());
         }
     }
+    // Display name and sparsity mode must survive replication: a replica
+    // is built with the same fixed seed as the leader below, so if the
+    // mode carried over, leader and replica are bitwise the same model —
+    // and the graph here is a strict line (no complete-graph alias), so
+    // a replica silently falling back to dense attention would diverge.
+    let lists: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            let mut row: Vec<usize> = [i.checked_sub(1), Some(i), (i + 1 < n).then_some(i + 1)]
+                .into_iter()
+                .flatten()
+                .collect();
+            row.sort_unstable();
+            row
+        })
+        .collect();
+    let sensor_graph = std::sync::Arc::new(SensorGraph::from_neighbor_lists(n, &lists).unwrap());
+    let mut leader = sa(n, 0).named("SA");
+    leader.set_sparsity(SparsityMode::Sparse(sensor_graph));
+    let replica = (leader.replica_builder().unwrap())().unwrap();
+    assert_eq!(replica.name(), "SA", "display name lost in replication");
+    let x = Tensor::randn(&[2, n, H, 1], &mut StdRng::seed_from_u64(3));
+    let run = |m: &dyn ForecastModel| {
+        let g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        m.forward(&g, &g.constant(x.clone()), &mut rng, false)
+            .unwrap()
+            .pred
+            .value()
+            .data()
+            .to_vec()
+    };
+    assert_eq!(
+        run(&leader),
+        run(replica.as_ref()),
+        "sparse replica diverged from its leader"
+    );
     // Baselines that have not opted in keep the sequential fallback.
     let mut rng = StdRng::seed_from_u64(2);
     let stg2seq = Stg2SeqLite::new(n, H, U, 1, D, 2, &line_adj(n), &mut rng).unwrap();
@@ -123,6 +193,9 @@ fn sharded_baseline_training_is_bitwise_deterministic_run_to_run() {
             "DCRNN" => Box::new(dcrnn(n, 5)),
             "AGCRN" => Box::new(agcrn(n, 5)),
             "STGCN" => Box::new(stgcn(n, 5)),
+            "ATT" => Box::new(sa(n, 5)),
+            "LongFormer" => Box::new(longformer(n, 5)),
+            "ASTGNN" => Box::new(astgnn(n, 5)),
             _ => Box::new(gwn(n, 5)),
         };
         let report = Trainer::new(config(4, 2))
@@ -131,7 +204,7 @@ fn sharded_baseline_training_is_bitwise_deterministic_run_to_run() {
         (report.history, param_bits(model.as_ref()))
     };
 
-    for which in ["DCRNN", "AGCRN", "STGCN", "GWN"] {
+    for which in ["DCRNN", "AGCRN", "STGCN", "GWN", "ATT", "LongFormer", "ASTGNN"] {
         let (hist_a, params_a) = run(which);
         let (hist_b, params_b) = run(which);
         assert_eq!(hist_a.len(), hist_b.len());
@@ -153,7 +226,7 @@ fn sharded_baseline_training_is_bitwise_deterministic_run_to_run() {
 
 #[test]
 fn sharded_baseline_objective_and_gradients_match_full_batch() {
-    // All four baselines are deterministic forwards (no latents, no
+    // All seven baselines are deterministic forwards (no latents, no
     // regularizer), so sharded loss and reduced gradients must equal the
     // full-batch values up to the documented f32 reassociation of
     // summing per-shard partials.
@@ -169,6 +242,9 @@ fn sharded_baseline_objective_and_gradients_match_full_batch() {
         (Box::new(agcrn(n, 17)), Box::new(agcrn(n, 17))),
         (Box::new(stgcn(n, 17)), Box::new(stgcn(n, 17))),
         (Box::new(gwn(n, 17)), Box::new(gwn(n, 17))),
+        (Box::new(sa(n, 17)), Box::new(sa(n, 17))),
+        (Box::new(longformer(n, 17)), Box::new(longformer(n, 17))),
+        (Box::new(astgnn(n, 17)), Box::new(astgnn(n, 17))),
     ];
     for (sharded_model, full_model) in pairs {
         let engine = ShardEngine::new(sharded_model.as_ref(), 4).unwrap();

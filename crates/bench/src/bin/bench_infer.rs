@@ -16,6 +16,13 @@
 //! across hosts of different absolute speed, exactly like
 //! `bench_kernels` and `bench_train_step`. The batch-1 speedup is also
 //! a hard floor: below 2x the engine has lost its reason to exist.
+//!
+//! A second section times the **quantized** frozen paths (f32 vs bf16
+//! vs int8 panels; `quant_*` keys) on a serving-scale configuration
+//! whose weight panels exceed L2 — the memory-bandwidth-bound regime
+//! quantization exists for. Two hard gates ride on it: the batch-64
+//! int8 speedup floor (`MIN_INT8_SPEEDUP_B64`) and the forecast-MAE
+//! accuracy gate of each quantized path against the f32 frozen path.
 
 use std::time::Instant;
 
@@ -23,18 +30,29 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stwa_autograd::Graph;
 use stwa_core::{ForecastModel, StwaConfig, StwaModel};
-use stwa_infer::InferSession;
+use stwa_infer::{InferSession, Precision};
 use stwa_tensor::Tensor;
 
 /// Allowed relative loss of a baseline ratio before `--check` fails.
 const REGRESSION_TOLERANCE: f64 = 0.15;
 /// Hard floor on the batch-1 speedup, independent of any baseline.
 const MIN_SPEEDUP_B1: f64 = 2.0;
+/// Hard floor on the batch-64 int8-vs-f32 frozen speedup: below 1.3x
+/// the quantized panels are not paying for their accuracy loss.
+const MIN_INT8_SPEEDUP_B64: f64 = 1.3;
+/// Forecast-MAE accuracy gates (normalized units, batch-64 request)
+/// for the quantized frozen paths against the f32 frozen path.
+const MAE_GATE_BF16: f64 = 0.02;
+const MAE_GATE_INT8: f64 = 0.08;
 
 const SENSORS: usize = 32;
 const HISTORY: usize = 12;
 const HORIZON: usize = 3;
 const BATCHES: [usize; 3] = [1, 8, 64];
+
+/// Serving-scale dims for the quant section: wide enough that the
+/// decoder/predictor panels dominate the forward and spill L2 at f32.
+const QSENSORS: usize = 48;
 
 const WARMUP: usize = 3;
 /// Per-batch measured iterations, scaled down as rows per call grow.
@@ -107,6 +125,46 @@ fn measure_pair(
     (stats(&mut graph_ms), stats(&mut infer_ms))
 }
 
+/// Time three paths with their iterations interleaved, same rationale
+/// as [`measure_pair`] but for the f32/bf16/int8 frozen trio.
+fn measure_trio(
+    batch: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+    mut c: impl FnMut(),
+) -> (PathStats, PathStats, PathStats) {
+    for _ in 0..WARMUP {
+        a();
+        b();
+        c();
+    }
+    let iters = iters_for(batch);
+    let mut a_ms = Vec::with_capacity(iters);
+    let mut b_ms = Vec::with_capacity(iters);
+    let mut c_ms = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        a();
+        a_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        b();
+        b_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        c();
+        c_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let stats = |ms: &mut Vec<f64>| {
+        ms.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+        let p50 = percentile(ms, 0.50);
+        PathStats {
+            p50_ms: p50,
+            p99_ms: percentile(ms, 0.99),
+            rows_per_sec: batch as f64 / (p50 / 1e3),
+        }
+    };
+    (stats(&mut a_ms), stats(&mut b_ms), stats(&mut c_ms))
+}
+
 fn graph_eval(model: &StwaModel, x: &Tensor) -> Tensor {
     let g = Graph::new();
     let xv = g.constant(x.clone());
@@ -151,7 +209,108 @@ fn run_suite() -> Vec<BatchResult> {
         .collect()
 }
 
-fn render_json(results: &[BatchResult]) -> String {
+struct QuantBatch {
+    batch: usize,
+    f32_ms: PathStats,
+    bf16_ms: PathStats,
+    int8_ms: PathStats,
+}
+
+impl QuantBatch {
+    fn bf16_speedup(&self) -> f64 {
+        self.f32_ms.p50_ms / self.bf16_ms.p50_ms
+    }
+    fn int8_speedup(&self) -> f64 {
+        self.f32_ms.p50_ms / self.int8_ms.p50_ms
+    }
+}
+
+struct QuantSuite {
+    batches: Vec<QuantBatch>,
+    bf16_mae: f64,
+    int8_mae: f64,
+    f32_bytes: usize,
+    bf16_bytes: usize,
+    int8_bytes: usize,
+}
+
+/// Serving-scale ST-WA: same data shape family as the main section but
+/// with paper-scale widths so the decoder/predictor panels dominate the
+/// forward and the f32 panels spill L2.
+fn quant_config() -> StwaConfig {
+    let mut cfg = StwaConfig::st_wa(QSENSORS, HISTORY, HORIZON);
+    cfg.d = 32;
+    cfg.heads = 8;
+    cfg.k = 32;
+    cfg.predictor_hidden = 512;
+    cfg.decoder_hidden = (64, 128);
+    cfg
+}
+
+fn mae(a: &Tensor, b: &Tensor) -> f64 {
+    let (x, y) = (a.data(), b.data());
+    assert_eq!(x.len(), y.len(), "MAE over mismatched tensors");
+    x.iter()
+        .zip(y.iter())
+        .map(|(p, q)| (p - q).abs() as f64)
+        .sum::<f64>()
+        / x.len() as f64
+}
+
+fn run_quant_suite() -> QuantSuite {
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = StwaModel::new(quant_config(), &mut rng).expect("quant model");
+    let s_f32 = InferSession::new_at(&model, Precision::F32).expect("freeze f32");
+    let s_bf16 = InferSession::new_at(&model, Precision::Bf16).expect("freeze bf16");
+    let s_int8 = InferSession::new_at(&model, Precision::Int8).expect("freeze int8");
+
+    // Accuracy gate on the largest request before any timing: the
+    // quantized forecasts must track the f32 frozen forecasts.
+    let x64 = Tensor::randn(&[64, QSENSORS, HISTORY, 1], &mut rng);
+    let base = s_f32.run(&x64).expect("f32 forward");
+    let bf16_mae = mae(&base, &s_bf16.run(&x64).expect("bf16 forward"));
+    let int8_mae = mae(&base, &s_int8.run(&x64).expect("int8 forward"));
+
+    let batches = BATCHES
+        .iter()
+        .map(|&batch| {
+            let x = if batch == 64 {
+                x64.clone()
+            } else {
+                Tensor::randn(&[batch, QSENSORS, HISTORY, 1], &mut rng)
+            };
+            let (f32_ms, bf16_ms, int8_ms) = measure_trio(
+                batch,
+                || {
+                    std::hint::black_box(s_f32.run(&x).expect("f32"));
+                },
+                || {
+                    std::hint::black_box(s_bf16.run(&x).expect("bf16"));
+                },
+                || {
+                    std::hint::black_box(s_int8.run(&x).expect("int8"));
+                },
+            );
+            QuantBatch {
+                batch,
+                f32_ms,
+                bf16_ms,
+                int8_ms,
+            }
+        })
+        .collect();
+
+    QuantSuite {
+        batches,
+        bf16_mae,
+        int8_mae,
+        f32_bytes: s_f32.frozen().packed_bytes(),
+        bf16_bytes: s_bf16.frozen().packed_bytes(),
+        int8_bytes: s_int8.frozen().packed_bytes(),
+    }
+}
+
+fn render_json(results: &[BatchResult], quant: &QuantSuite) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"threads\": {},\n  \"shape\": \"[B,{SENSORS},{HISTORY},1] -> [B,{SENSORS},{HORIZON},1]\",\n",
@@ -172,7 +331,35 @@ fn render_json(results: &[BatchResult]) -> String {
         ));
     }
     s.push_str(&format!(
-        "  \"min_speedup_b1\": {MIN_SPEEDUP_B1:.1}\n}}\n"
+        "  \"min_speedup_b1\": {MIN_SPEEDUP_B1:.1},\n"
+    ));
+    s.push_str(&format!(
+        "  \"quant_shape\": \"[B,{QSENSORS},{HISTORY},1] d=32 heads=8 k=32 ph=512 dh=(64,128)\",\n"
+    ));
+    for q in &quant.batches {
+        let b = q.batch;
+        s.push_str(&format!(
+            "  \"quant_b{b}_f32_p50_ms\": {:.3},\n  \"quant_b{b}_bf16_p50_ms\": {:.3},\n  \
+             \"quant_b{b}_int8_p50_ms\": {:.3},\n  \"quant_b{b}_bf16_speedup\": {:.3},\n  \
+             \"quant_b{b}_int8_speedup\": {:.3},\n",
+            q.f32_ms.p50_ms,
+            q.bf16_ms.p50_ms,
+            q.int8_ms.p50_ms,
+            q.bf16_speedup(),
+            q.int8_speedup(),
+        ));
+    }
+    let mib = |bytes: usize| bytes as f64 / (1024.0 * 1024.0);
+    s.push_str(&format!(
+        "  \"quant_bf16_mae\": {:.6},\n  \"quant_int8_mae\": {:.6},\n  \
+         \"quant_mae_gate_bf16\": {MAE_GATE_BF16},\n  \"quant_mae_gate_int8\": {MAE_GATE_INT8},\n  \
+         \"quant_f32_panel_mib\": {:.3},\n  \"quant_bf16_panel_mib\": {:.3},\n  \
+         \"quant_int8_panel_mib\": {:.3},\n  \"min_int8_speedup_b64\": {MIN_INT8_SPEEDUP_B64:.1}\n}}\n",
+        quant.bf16_mae,
+        quant.int8_mae,
+        mib(quant.f32_bytes),
+        mib(quant.bf16_bytes),
+        mib(quant.int8_bytes),
     ));
     s
 }
@@ -238,17 +425,73 @@ fn main() {
         std::process::exit(1);
     }
 
+    let quant = run_quant_suite();
+    for q in &quant.batches {
+        println!(
+            "quant batch {:>2}  f32 p50 {:>7.2} ms  bf16 p50 {:>7.2} ms ({:.2}x)  \
+             int8 p50 {:>7.2} ms ({:.2}x)",
+            q.batch,
+            q.f32_ms.p50_ms,
+            q.bf16_ms.p50_ms,
+            q.bf16_speedup(),
+            q.int8_ms.p50_ms,
+            q.int8_speedup(),
+        );
+    }
+    println!(
+        "quant panels  f32 {:.2} MiB  bf16 {:.2} MiB  int8 {:.2} MiB  |  \
+         mae bf16 {:.5}  int8 {:.5}",
+        quant.f32_bytes as f64 / (1 << 20) as f64,
+        quant.bf16_bytes as f64 / (1 << 20) as f64,
+        quant.int8_bytes as f64 / (1 << 20) as f64,
+        quant.bf16_mae,
+        quant.int8_mae,
+    );
+    if quant.bf16_mae > MAE_GATE_BF16 {
+        eprintln!(
+            "ACCURACY: bf16 forecast MAE {:.5} exceeds the {MAE_GATE_BF16} gate",
+            quant.bf16_mae
+        );
+        std::process::exit(1);
+    }
+    if quant.int8_mae > MAE_GATE_INT8 {
+        eprintln!(
+            "ACCURACY: int8 forecast MAE {:.5} exceeds the {MAE_GATE_INT8} gate",
+            quant.int8_mae
+        );
+        std::process::exit(1);
+    }
+    let qb64 = quant
+        .batches
+        .iter()
+        .find(|q| q.batch == 64)
+        .expect("quant batch 64 run");
+    if qb64.int8_speedup() < MIN_INT8_SPEEDUP_B64 {
+        eprintln!(
+            "REGRESSION: batch-64 int8 speedup {:.2}x fell below the \
+             {MIN_INT8_SPEEDUP_B64:.1}x floor",
+            qb64.int8_speedup()
+        );
+        std::process::exit(1);
+    }
+
     if let Some(baseline_path) = check_path {
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
         let mut failed = false;
-        for r in &results {
-            let key = format!("b{}_speedup", r.batch);
+        let mut ratios: Vec<(String, f64)> = results
+            .iter()
+            .map(|r| (format!("b{}_speedup", r.batch), r.speedup()))
+            .collect();
+        for q in &quant.batches {
+            ratios.push((format!("quant_b{}_bf16_speedup", q.batch), q.bf16_speedup()));
+            ratios.push((format!("quant_b{}_int8_speedup", q.batch), q.int8_speedup()));
+        }
+        for (key, new_val) in ratios {
             let Some(old_val) = parse_number(&baseline, &key) else {
                 println!("note: no baseline value for {key}, skipping");
                 continue;
             };
-            let new_val = r.speedup();
             let floor = old_val * (1.0 - REGRESSION_TOLERANCE);
             if new_val < floor {
                 eprintln!(
@@ -266,7 +509,7 @@ fn main() {
         }
         println!("infer check passed");
     } else {
-        std::fs::write(&out_path, render_json(&results))
+        std::fs::write(&out_path, render_json(&results, &quant))
             .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
         println!("wrote {out_path}");
     }

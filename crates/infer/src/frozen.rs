@@ -24,6 +24,7 @@ use crate::packed::{PackedDense, PackedMlp, PackedWeight};
 use stwa_core::generator::GeneratedTensors;
 use stwa_core::{AggregatorKind, ForecastModel, StGenerator, StwaModel};
 use stwa_nn::StoreVersion;
+use stwa_tensor::quant::Precision;
 use stwa_tensor::{linalg, mathfn, memory, Result, Tensor, TensorError};
 
 /// Frozen per-layer state of one window-attention layer.
@@ -125,17 +126,31 @@ pub struct FrozenStwa {
     u: usize,
     f_in: usize,
     d: usize,
+    precision: Precision,
     version: StoreVersion,
     frozen_at: u64,
 }
 
 impl FrozenStwa {
-    /// Snapshot `model`'s parameters into the frozen serving form.
+    /// Snapshot `model`'s parameters into the frozen serving form at
+    /// f32 — the precision whose forward is bitwise identical to the
+    /// training graph's eval path.
     pub fn freeze(model: &StwaModel) -> Result<FrozenStwa> {
+        Self::freeze_at(model, Precision::F32)
+    }
+
+    /// Snapshot `model`'s parameters at the given panel [`Precision`].
+    /// Training stays f32 and untouched; only the serving snapshot's
+    /// static weight panels change width. The pre-decoded S-WA
+    /// projection caches and all activations remain f32 at every
+    /// precision (they are request-scale data, not frozen weights).
+    /// Quantized snapshots trade the bitwise-vs-graph contract for the
+    /// accuracy gate in DESIGN.md §14.
+    pub fn freeze_at(model: &StwaModel, precision: Precision) -> Result<FrozenStwa> {
         let cfg = model.config();
         let generator = match model.generator() {
             None => None,
-            Some(gen) => Some(Self::freeze_generator(gen)?),
+            Some(gen) => Some(Self::freeze_generator(gen, precision)?),
         };
 
         let mut layers = Vec::with_capacity(model.layers().len());
@@ -148,8 +163,8 @@ impl FrozenStwa {
                 Some(sca) => {
                     let (t1, t2) = sca.shared_transforms();
                     Some(FrozenSca {
-                        theta1: t1.map(PackedDense::from_linear).transpose()?,
-                        theta2: t2.map(PackedDense::from_linear).transpose()?,
+                        theta1: t1.map(|l| PackedDense::from_linear_at(l, precision)).transpose()?,
+                        theta2: t2.map(|l| PackedDense::from_linear_at(l, precision)).transpose()?,
                         d: sca.dim(),
                         graph: sca.sparsity().graph().cloned(),
                     })
@@ -161,10 +176,14 @@ impl FrozenStwa {
                 fusion_b: layer
                     .fusion()
                     .and_then(|l| l.bias_param().map(|b| b.value())),
-                k_shared: k_shared.map(PackedDense::from_linear).transpose()?,
-                v_shared: v_shared.map(PackedDense::from_linear).transpose()?,
-                agg_w1: PackedWeight::pack(&agg_w1.value())?,
-                agg_w2: PackedWeight::pack(&agg_w2.value())?,
+                k_shared: k_shared
+                    .map(|l| PackedDense::from_linear_at(l, precision))
+                    .transpose()?,
+                v_shared: v_shared
+                    .map(|l| PackedDense::from_linear_at(l, precision))
+                    .transpose()?,
+                agg_w1: PackedWeight::pack_at(&agg_w1.value(), precision)?,
+                agg_w2: PackedWeight::pack_at(&agg_w2.value(), precision)?,
                 aggregator: layer.aggregator_kind(),
                 sca,
                 n,
@@ -184,14 +203,15 @@ impl FrozenStwa {
             skips: model
                 .skips()
                 .iter()
-                .map(PackedDense::from_linear)
+                .map(|l| PackedDense::from_linear_at(l, precision))
                 .collect::<Result<Vec<_>>>()?,
-            predictor: PackedMlp::from_mlp(model.predictor())?,
+            predictor: PackedMlp::from_mlp_at(model.predictor(), precision)?,
             n: cfg.n,
             h: cfg.h,
             u: cfg.u,
             f_in: cfg.f_in,
             d: cfg.d,
+            precision,
             version: model.store().version_handle(),
             frozen_at: model.store().version(),
         })
@@ -213,6 +233,18 @@ impl FrozenStwa {
         name: &str,
         version: Option<u32>,
     ) -> Result<FrozenStwa> {
+        Self::freeze_from_registry_at(model, registry, name, version, Precision::F32)
+    }
+
+    /// [`FrozenStwa::freeze_from_registry`] at a chosen panel
+    /// precision — the hot-swap transport for quantized serving.
+    pub fn freeze_from_registry_at(
+        model: &StwaModel,
+        registry: &stwa_ckpt::Registry,
+        name: &str,
+        version: Option<u32>,
+        precision: Precision,
+    ) -> Result<FrozenStwa> {
         let _span = stwa_observe::span!("freeze_from_registry");
         let ckpt = registry.load(name, version).map_err(|e| {
             TensorError::Invalid(format!("freeze_from_registry: {e}"))
@@ -220,10 +252,10 @@ impl FrozenStwa {
         ckpt.load_best_into(model.store()).map_err(|e| {
             TensorError::Invalid(format!("freeze_from_registry: {e}"))
         })?;
-        Self::freeze(model)
+        Self::freeze_at(model, precision)
     }
 
-    fn freeze_generator(gen: &StGenerator) -> Result<FrozenGenerator> {
+    fn freeze_generator(gen: &StGenerator, precision: Precision) -> Result<FrozenGenerator> {
         match gen.temporal() {
             // Spatial-only: `Theta` is input-independent, so decode the
             // per-sensor parameters once, with a singleton batch axis
@@ -268,8 +300,8 @@ impl FrozenStwa {
             }
             Some(temporal) => Ok(FrozenGenerator::Dynamic(Box::new(DynamicGenerator {
                 spatial_mean: gen.spatial().map(|s| s.means()),
-                temporal_body: PackedMlp::from_mlp(temporal.body())?,
-                temporal_head: PackedDense::from_linear(temporal.head_mu())?,
+                temporal_body: PackedMlp::from_mlp_at(temporal.body(), precision)?,
+                temporal_head: PackedDense::from_linear_at(temporal.head_mu(), precision)?,
                 enc_h: temporal.h(),
                 enc_f: temporal.f(),
                 flow: gen
@@ -279,13 +311,13 @@ impl FrozenStwa {
                 decoders: gen
                     .decoders()
                     .iter()
-                    .map(|d| PackedMlp::from_mlp(d.mlp()))
+                    .map(|d| PackedMlp::from_mlp_at(d.mlp(), precision))
                     .collect::<Result<Vec<_>>>()?,
                 sca_decoders: gen
                     .sca_decoders()
                     .map(|decs| {
                         decs.iter()
-                            .map(|d| PackedMlp::from_mlp(d.mlp()))
+                            .map(|d| PackedMlp::from_mlp_at(d.mlp(), precision))
                             .collect::<Result<Vec<_>>>()
                     })
                     .transpose()?,
@@ -312,6 +344,11 @@ impl FrozenStwa {
     /// Attributes per timestamp.
     pub fn features(&self) -> usize {
         self.f_in
+    }
+
+    /// Panel precision this snapshot was frozen at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Store version this snapshot was taken at.
@@ -352,9 +389,11 @@ impl FrozenStwa {
     }
 
     /// One tape-free forward through the frozen stack: normalized-scale
-    /// predictions `[B, N, U, F]`, bitwise identical to the graph eval
-    /// path of the source model. `plan` must come from
-    /// [`FrozenStwa::record_plan`] for `x`'s batch size.
+    /// predictions `[B, N, U, F]`. At [`Precision::F32`] the output is
+    /// bitwise identical to the graph eval path of the source model; at
+    /// bf16/int8 it is the same op sequence over quantized panels,
+    /// gated by the forecast-MAE accuracy check instead. `plan` must
+    /// come from [`FrozenStwa::record_plan`] for `x`'s batch size.
     pub fn forward(&self, x: &Tensor, plan: &BatchPlan) -> Result<Tensor> {
         let shape = x.shape();
         if shape.len() != 4 || shape[1] != self.n || shape[2] != self.h || shape[3] != self.f_in

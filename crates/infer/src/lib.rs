@@ -17,12 +17,20 @@
 //! - [`InferQueue`] coalesces single-sample requests into micro-batches
 //!   (`max_batch` / `max_wait`) in front of a session.
 //!
-//! The engine's contract is **bitwise equality**: every forward here
-//! runs the same tensor kernels in the same order as the training
+//! The engine's contract is **bitwise equality**: every f32 forward
+//! here runs the same tensor kernels in the same order as the training
 //! graph's eval path, so `InferSession::run` and
 //! `model.forward(graph, x, rng, false)` agree bit-for-bit. The
 //! property tests in `tests/` enforce this across random
 //! configurations.
+//!
+//! A model can also be frozen at a reduced panel [`Precision`]
+//! ([`FrozenStwa::freeze_at`] / [`InferSession::new_at`]): bf16 or
+//! symmetric int8 weight panels for memory-bandwidth-bound large-batch
+//! serving. Quantized snapshots keep the bitwise contract one level
+//! down (SIMD kernels vs their scalar references) and gate end-to-end
+//! correctness on a forecast-MAE delta against the f32 snapshot
+//! (DESIGN.md §14); training is f32-only and untouched.
 
 pub mod frozen;
 pub mod packed;
@@ -33,3 +41,4 @@ pub use frozen::{BatchPlan, FrozenStwa};
 pub use packed::{PackedDense, PackedMlp, PackedWeight};
 pub use queue::{InferQueue, QueueConfig, RequestId};
 pub use session::InferSession;
+pub use stwa_tensor::quant::Precision;

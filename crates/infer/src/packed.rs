@@ -1,32 +1,90 @@
 //! Pre-packed dense layers: frozen `Linear`/`Mlp` weights re-laid into
 //! the GEMM panel format at freeze time, so serving skips the per-call
-//! B-matrix pack entirely.
+//! B-matrix pack entirely. Each packed layer carries its panels at one
+//! of three [`Precision`]s — f32 (bitwise-equal serving), bf16, or
+//! symmetric int8 (see `stwa_tensor::quant`).
 //!
-//! Every forward here mirrors the corresponding tape-free path in
+//! Every f32 forward here mirrors the corresponding tape-free path in
 //! `stwa-nn` branch-for-branch; `matmul_packed_lean` is bitwise
 //! identical to `matmul` by the kernel accumulation-order contract (the
 //! lean entry runs the same prepacked kernel minus the per-call
-//! span/counter/pool dispatch), so a packed layer's output matches the
-//! training-graph eval path bit-for-bit.
+//! span/counter/pool dispatch), so an f32 packed layer's output matches
+//! the training-graph eval path bit-for-bit. The quantized precisions
+//! trade that bitwise contract for smaller panels; their correctness is
+//! gated by the round-trip error bounds and the end-to-end forecast
+//! accuracy gate instead (DESIGN.md §14).
 
 use stwa_nn::layers::{Activation, Linear, Mlp};
 use stwa_tensor::linalg::{matmul_packed_lean, PackedMatrix};
+use stwa_tensor::quant::{
+    matmul_packed_bf16_lean, matmul_packed_int8_lean, PackedMatrixBf16, PackedMatrixInt8,
+    Precision,
+};
 use stwa_tensor::{mathfn, Result, Tensor, TensorError};
+
+/// One weight matrix packed at a chosen [`Precision`].
+enum PackedPanels {
+    F32(PackedMatrix),
+    Bf16(PackedMatrixBf16),
+    Int8(PackedMatrixInt8),
+}
+
+impl PackedPanels {
+    fn pack(w: &Tensor, precision: Precision) -> Result<PackedPanels> {
+        Ok(match precision {
+            Precision::F32 => PackedPanels::F32(PackedMatrix::pack(w)?),
+            Precision::Bf16 => PackedPanels::Bf16(PackedMatrixBf16::pack(w)?),
+            Precision::Int8 => PackedPanels::Int8(PackedMatrixInt8::pack(w)?),
+        })
+    }
+
+    fn matmul_lean(&self, x: &Tensor) -> Result<Tensor> {
+        match self {
+            PackedPanels::F32(p) => matmul_packed_lean(x, p),
+            PackedPanels::Bf16(p) => matmul_packed_bf16_lean(x, p),
+            PackedPanels::Int8(p) => matmul_packed_int8_lean(x, p),
+        }
+    }
+
+    fn packed_bytes(&self) -> usize {
+        match self {
+            PackedPanels::F32(p) => p.packed_bytes(),
+            PackedPanels::Bf16(p) => p.packed_bytes(),
+            PackedPanels::Int8(p) => p.packed_bytes(),
+        }
+    }
+
+    fn precision(&self) -> Precision {
+        match self {
+            PackedPanels::F32(_) => Precision::F32,
+            PackedPanels::Bf16(_) => Precision::Bf16,
+            PackedPanels::Int8(_) => Precision::Int8,
+        }
+    }
+}
 
 /// A frozen [`Linear`]: panel-packed weight plus a bias snapshot.
 pub struct PackedDense {
-    packed: PackedMatrix,
+    panels: PackedPanels,
     bias: Option<Tensor>,
     in_dim: usize,
     out_dim: usize,
 }
 
 impl PackedDense {
-    /// Snapshot and pack a linear layer's current parameters.
+    /// Snapshot and pack a linear layer's current parameters at f32
+    /// (the bitwise-equal serving precision).
     pub fn from_linear(layer: &Linear) -> Result<PackedDense> {
+        PackedDense::from_linear_at(layer, Precision::F32)
+    }
+
+    /// Snapshot and pack a linear layer at the given precision. The
+    /// bias stays f32 at every precision — it is O(n) against the
+    /// weight's O(k·n) and is added post-GEMM in f32 regardless.
+    pub fn from_linear_at(layer: &Linear, precision: Precision) -> Result<PackedDense> {
         let w = layer.weight_param().value();
         Ok(PackedDense {
-            packed: PackedMatrix::pack(&w)?,
+            panels: PackedPanels::pack(&w, precision)?,
             bias: layer.bias_param().map(|b| b.value()),
             in_dim: layer.in_dim(),
             out_dim: layer.out_dim(),
@@ -41,9 +99,14 @@ impl PackedDense {
         self.out_dim
     }
 
+    /// Storage precision of the packed weight panels.
+    pub fn precision(&self) -> Precision {
+        self.panels.precision()
+    }
+
     /// Bytes held by the packed weight panels.
     pub fn packed_bytes(&self) -> usize {
-        self.packed.packed_bytes()
+        self.panels.packed_bytes()
     }
 
     /// [`Linear::forward_nograd`] on the packed weight.
@@ -68,7 +131,7 @@ impl PackedDense {
         }
         let lead: usize = shape[..rank - 1].iter().product();
         let flat = x.reshape(&[lead, self.in_dim])?;
-        let mut y = matmul_packed_lean(&flat, &self.packed)?;
+        let mut y = self.panels.matmul_lean(&flat)?;
         // Bias pass, then one wide activation pass over the whole
         // buffer — per element the same add-then-apply chain as the
         // interleaved `kind.apply(a + bias)` zip, so both the fused and
@@ -105,11 +168,15 @@ pub struct PackedMlp {
 
 impl PackedMlp {
     pub fn from_mlp(mlp: &Mlp) -> Result<PackedMlp> {
+        PackedMlp::from_mlp_at(mlp, Precision::F32)
+    }
+
+    pub fn from_mlp_at(mlp: &Mlp, precision: Precision) -> Result<PackedMlp> {
         Ok(PackedMlp {
             layers: mlp
                 .layers()
                 .iter()
-                .map(PackedDense::from_linear)
+                .map(|l| PackedDense::from_linear_at(l, precision))
                 .collect::<Result<Vec<_>>>()?,
             activations: mlp.activations().to_vec(),
         })
@@ -134,22 +201,26 @@ impl PackedMlp {
 /// `[..., k]` input by flattening the leading axes, exactly as the
 /// graph path's broadcast matmul does.
 pub struct PackedWeight {
-    packed: PackedMatrix,
+    panels: PackedPanels,
 }
 
 impl PackedWeight {
     pub fn pack(w: &Tensor) -> Result<PackedWeight> {
+        PackedWeight::pack_at(w, Precision::F32)
+    }
+
+    pub fn pack_at(w: &Tensor, precision: Precision) -> Result<PackedWeight> {
         Ok(PackedWeight {
-            packed: PackedMatrix::pack(w)?,
+            panels: PackedPanels::pack(w, precision)?,
         })
     }
 
     pub fn matmul(&self, x: &Tensor) -> Result<Tensor> {
-        matmul_packed_lean(x, &self.packed)
+        self.panels.matmul_lean(x)
     }
 
     pub fn packed_bytes(&self) -> usize {
-        self.packed.packed_bytes()
+        self.panels.packed_bytes()
     }
 }
 
@@ -179,6 +250,7 @@ mod tests {
             assert_eq!(want.data(), got.data());
         }
         assert!(packed.packed_bytes() > 0);
+        assert_eq!(packed.precision(), Precision::F32);
         // Wrong trailing dim rejected.
         assert!(packed.forward(&Tensor::zeros(&[2, 8])).is_err());
     }
@@ -212,5 +284,36 @@ mod tests {
             linalg::matmul(&x, &w).unwrap().data(),
             packed.matmul(&x).unwrap().data()
         );
+    }
+
+    #[test]
+    fn quantized_dense_tracks_its_precision_and_shrinks() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = Linear::new(&store, "q", 64, 48, &mut rng);
+        let f32p = PackedDense::from_linear(&layer).unwrap();
+        let bf16 = PackedDense::from_linear_at(&layer, Precision::Bf16).unwrap();
+        let int8 = PackedDense::from_linear_at(&layer, Precision::Int8).unwrap();
+        assert_eq!(bf16.precision(), Precision::Bf16);
+        assert_eq!(int8.precision(), Precision::Int8);
+        assert!(bf16.packed_bytes() < f32p.packed_bytes());
+        assert!(int8.packed_bytes() < bf16.packed_bytes());
+        // Quantized forwards stay close to the f32 forward on
+        // unit-scale inputs.
+        let x = Tensor::randn(&[5, 64], &mut rng);
+        let want = f32p.forward_act(&x, Activation::Tanh).unwrap();
+        for (label, got) in [
+            ("bf16", bf16.forward_act(&x, Activation::Tanh).unwrap()),
+            ("int8", int8.forward_act(&x, Activation::Tanh).unwrap()),
+        ] {
+            let mae: f32 = want
+                .data()
+                .iter()
+                .zip(got.data())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / want.len() as f32;
+            assert!(mae < 0.05, "{label}: MAE {mae}");
+        }
     }
 }

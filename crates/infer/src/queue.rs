@@ -71,6 +71,14 @@ impl InferQueue {
         &self.session
     }
 
+    /// Panel precision of the session being served. Micro-batching is
+    /// precision-agnostic — coalescing and row slicing never touch the
+    /// packed panels — so a queue over a quantized session behaves
+    /// identically, just on smaller weights.
+    pub fn precision(&self) -> stwa_tensor::quant::Precision {
+        self.session.precision()
+    }
+
     /// Rows currently waiting for a flush.
     pub fn pending_rows(&self) -> usize {
         self.pending.len()

@@ -6,6 +6,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use stwa_core::StwaModel;
+use stwa_tensor::quant::Precision;
 use stwa_tensor::{Result, Tensor, TensorError};
 
 /// A serving session over a [`FrozenStwa`].
@@ -21,9 +22,20 @@ pub struct InferSession {
 }
 
 impl InferSession {
-    /// Freeze `model` and open a session over the snapshot.
+    /// Freeze `model` at f32 and open a session over the snapshot.
     pub fn new(model: &StwaModel) -> Result<InferSession> {
         Ok(InferSession::from_frozen(FrozenStwa::freeze(model)?))
+    }
+
+    /// Freeze `model` at the given panel precision and open a session.
+    /// The plan arena is precision-agnostic (plans hold f32 broadcast
+    /// buffers at every precision), so everything downstream — plan
+    /// recording, staleness guard, [`crate::InferQueue`] micro-batching
+    /// — serves quantized snapshots unchanged.
+    pub fn new_at(model: &StwaModel, precision: Precision) -> Result<InferSession> {
+        Ok(InferSession::from_frozen(FrozenStwa::freeze_at(
+            model, precision,
+        )?))
     }
 
     pub fn from_frozen(frozen: FrozenStwa) -> InferSession {
@@ -35,6 +47,11 @@ impl InferSession {
 
     pub fn frozen(&self) -> &FrozenStwa {
         &self.frozen
+    }
+
+    /// Panel precision of the underlying snapshot.
+    pub fn precision(&self) -> Precision {
+        self.frozen.precision()
     }
 
     /// True when the source parameters changed after the freeze.

@@ -1,0 +1,134 @@
+//! End-to-end accuracy gates for quantized frozen serving.
+//!
+//! The quantized paths give up bitwise equality with the training
+//! graph, so this suite pins what they promise instead (DESIGN.md §14):
+//! a frozen-at-f32 session still *is* bitwise the graph eval (the
+//! precision plumbing must be invisible at `Precision::F32`), and the
+//! bf16/int8 sessions track the f32 session's forecasts within
+//! checked-in MAE budgets on a deterministic model + request. The same
+//! thresholds gate `bench_infer` at serving scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stwa_core::{StwaConfig, StwaModel};
+use stwa_infer::{InferQueue, InferSession, Precision, QueueConfig};
+use stwa_tensor::Tensor;
+
+/// Forecast-MAE budgets (normalized units) for quantized sessions
+/// against the f32 frozen session. Deliberately loose multiples of the
+/// measured deltas (~2e-5 bf16, ~9e-5 int8 at serving scale) so the
+/// gate trips on real regressions, not on noise.
+const MAE_GATE_BF16: f64 = 0.02;
+const MAE_GATE_INT8: f64 = 0.08;
+
+const SENSORS: usize = 12;
+const HISTORY: usize = 12;
+const HORIZON: usize = 3;
+
+fn mae(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.shape(), b.shape());
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(p, q)| (p - q).abs() as f64)
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+fn model_and_request() -> (StwaModel, Tensor) {
+    let mut rng = StdRng::seed_from_u64(33);
+    let model =
+        StwaModel::new(StwaConfig::st_wa(SENSORS, HISTORY, HORIZON), &mut rng).expect("model");
+    let x = Tensor::randn(&[4, SENSORS, HISTORY, 1], &mut rng);
+    (model, x)
+}
+
+#[test]
+fn freezing_at_f32_is_bitwise_the_default_freeze() {
+    let (model, x) = model_and_request();
+    let plain = InferSession::new(&model).expect("freeze");
+    let at_f32 = InferSession::new_at(&model, Precision::F32).expect("freeze_at");
+    assert_eq!(plain.precision(), Precision::F32);
+    assert_eq!(at_f32.precision(), Precision::F32);
+    assert_eq!(
+        plain.run(&x).expect("run").data(),
+        at_f32.run(&x).expect("run").data(),
+        "Precision::F32 must be the identity on the frozen path"
+    );
+}
+
+#[test]
+fn quantized_forecasts_stay_within_their_mae_gates() {
+    let (model, x) = model_and_request();
+    let base = InferSession::new(&model)
+        .expect("freeze")
+        .run(&x)
+        .expect("f32 forward");
+    for (precision, gate) in [
+        (Precision::Bf16, MAE_GATE_BF16),
+        (Precision::Int8, MAE_GATE_INT8),
+    ] {
+        let session = InferSession::new_at(&model, precision).expect("freeze_at");
+        assert_eq!(session.precision(), precision);
+        let pred = session.run(&x).expect("quantized forward");
+        assert_eq!(pred.shape(), base.shape());
+        assert!(pred.data().iter().all(|v| v.is_finite()));
+        let delta = mae(&base, &pred);
+        assert!(
+            delta <= gate,
+            "{precision}: forecast MAE {delta} exceeds the {gate} gate"
+        );
+    }
+}
+
+#[test]
+fn int8_session_actually_quantizes_and_shrinks() {
+    let (model, x) = model_and_request();
+    let f32_session = InferSession::new(&model).expect("freeze");
+    let int8_session = InferSession::new_at(&model, Precision::Int8).expect("freeze int8");
+    // Smaller panels...
+    assert!(
+        int8_session.frozen().packed_bytes() * 2 < f32_session.frozen().packed_bytes(),
+        "int8 panels did not shrink: {} vs {}",
+        int8_session.frozen().packed_bytes(),
+        f32_session.frozen().packed_bytes()
+    );
+    // ...and genuinely different arithmetic: an int8 forward that is
+    // bitwise the f32 forward means the precision never reached the
+    // kernels.
+    let delta = mae(
+        &f32_session.run(&x).expect("f32"),
+        &int8_session.run(&x).expect("int8"),
+    );
+    assert!(delta > 0.0, "int8 forward is bitwise f32 — nothing quantized");
+}
+
+#[test]
+fn quantized_batching_is_row_exact() {
+    // Micro-batching must stay exact at reduced precision: a coalesced
+    // forward equals each row served alone, bitwise, because row
+    // quantization is per-row and panels are shared.
+    let (model, x) = model_and_request();
+    let solo = InferSession::new_at(&model, Precision::Int8).expect("freeze");
+    let mut queue = InferQueue::new(
+        InferSession::new_at(&model, Precision::Int8).expect("freeze"),
+        QueueConfig {
+            max_batch: 4,
+            max_wait: std::time::Duration::from_secs(60),
+        },
+    )
+    .expect("queue");
+    assert_eq!(queue.precision(), Precision::Int8);
+    let ids: Vec<_> = (0..4)
+        .map(|i| {
+            let row = x.narrow(0, i, 1).expect("row");
+            queue.submit(row).expect("submit")
+        })
+        .collect();
+    for (i, id) in ids.into_iter().enumerate() {
+        let got = queue.take(id).expect("batch flushed at max_batch");
+        let row = x.narrow(0, i, 1).expect("row");
+        let want = solo.run(&row).expect("solo run");
+        assert_eq!(got.data(), want.data(), "row {i} diverged under batching");
+    }
+}

@@ -23,6 +23,7 @@ pub mod linalg;
 pub mod manip;
 pub mod mathfn;
 pub mod memory;
+pub mod quant;
 pub mod random;
 pub mod reduce;
 pub mod shape;
@@ -30,6 +31,7 @@ pub mod sparse;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use quant::Precision;
 pub use sparse::SensorGraph;
 pub use tensor::Tensor;
 

@@ -33,7 +33,7 @@ use stwa_pool::SendPtr;
 
 /// Problems smaller than this many fused multiply-adds stay
 /// single-threaded; pool dispatch overhead dominates below it.
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
+pub(crate) const PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
 
 /// Per-matrix FLOP count below which the plain i-k-j loop beats the
 /// blocked kernel (packing costs more than it saves).
@@ -46,12 +46,12 @@ const BLOCKED_MIN_FLOPS: usize = 1 << 15;
 const BLOCKED_MIN_FLOPS_NT: usize = 1 << 12;
 
 /// Register-tile rows (distinct A rows live per microkernel call).
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Register-tile columns (one packed B strip; two AVX2 vectors wide).
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 /// Contraction-depth of one packed panel pass; sized so an `NR`-wide B
 /// strip (`KC * NR * 4 = 16 KiB`) plus the A panel stays L1-resident.
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 
 /// How the left operand's trailing two axes are laid out.
 #[derive(Clone, Copy, PartialEq, Eq)]

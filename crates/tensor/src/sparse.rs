@@ -25,7 +25,13 @@
 //!
 //! A sensor with an *empty* neighbor row (degenerate graph) contributes
 //! no edges: its output row is zero and the softmax is never evaluated
-//! over an empty set, so no NaN can appear.
+//! over an empty set, so no NaN can appear. Opting into
+//! [`SensorGraph::with_identity_passthrough`] changes that one case —
+//! an isolated sensor forwards its own summary `h_i` unchanged (and its
+//! VJP routes `g_i` straight back into `dh_i`) instead of going dark,
+//! which keeps severed sensors serving their last-known dynamics rather
+//! than predicting from a zeroed embedding. The default stays off so
+//! the zero-row contract above is unchanged.
 
 use crate::tensor::{elementwise_chunks, PARALLEL_ELEMS};
 use crate::{memory, Result, Tensor, TensorError};
@@ -52,6 +58,9 @@ pub struct SensorGraph {
     t_src: Vec<u32>,
     /// Forward edge index of each incoming edge (into `neighbors`).
     t_edge: Vec<u32>,
+    /// When set, an isolated sensor (empty neighbor row) passes its own
+    /// summary through unchanged instead of emitting zeros.
+    identity_passthrough: bool,
 }
 
 impl SensorGraph {
@@ -129,7 +138,23 @@ impl SensorGraph {
             t_offsets,
             t_src,
             t_edge,
+            identity_passthrough: false,
         })
+    }
+
+    /// Opt isolated sensors into identity passthrough: an empty neighbor
+    /// row forwards `h_i` unchanged (VJP: `dh_i += g_i`) instead of
+    /// zeroing the sensor out. Rows with at least one neighbor are
+    /// untouched — in particular this adds **no** self-loop to rows that
+    /// merely omit `i` from their own list.
+    pub fn with_identity_passthrough(mut self) -> SensorGraph {
+        self.identity_passthrough = true;
+        self
+    }
+
+    /// Whether isolated sensors pass their summary through unchanged.
+    pub fn identity_passthrough(&self) -> bool {
+        self.identity_passthrough
     }
 
     /// Neighbors = every sensor (self included): the `k = N−1`
@@ -302,7 +327,11 @@ pub fn sparse_attention_forward(
         let qrow = &qd[base + i * d..base + (i + 1) * d];
         let nbrs = graph.neighbors_of(i);
         if nbrs.is_empty() {
-            out_row.fill(0.0);
+            if graph.identity_passthrough {
+                out_row.copy_from_slice(&hd[base + i * d..base + (i + 1) * d]);
+            } else {
+                out_row.fill(0.0);
+            }
             return;
         }
         // Scores: ascending-d dot products (the reference GEMM fold
@@ -509,7 +538,14 @@ pub fn sparse_attention_vjp(
             let (bi, j) = (r / n, r % n);
             let base = bi * n * d;
             dk_row.fill(0.0);
-            dh_row.fill(0.0);
+            // An isolated sensor's forward was `out_j = h_j` under the
+            // passthrough, so its summary gradient starts at `g_j`
+            // before any incoming-edge contributions accumulate.
+            if graph.identity_passthrough && graph.degree(j) == 0 {
+                dh_row.copy_from_slice(&gd[base + j * d..base + (j + 1) * d]);
+            } else {
+                dh_row.fill(0.0);
+            }
             for t in graph.t_offsets[j]..graph.t_offsets[j + 1] {
                 let i = graph.t_src[t] as usize;
                 let e = graph.t_edge[t] as usize;
@@ -676,6 +712,68 @@ mod tests {
         assert_eq!(dq.at(&[0, 1, 0]), 0.0);
         // ...and nothing flows into sensors only it would have attended.
         assert!(dh.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn identity_passthrough_serves_isolated_sensors() {
+        // Sensor 1 has no outgoing *or* incoming edges, and no sensor
+        // here lists itself — the passthrough must not invent self-loops
+        // for connected rows, only rescue the truly isolated one.
+        let n = 3;
+        let d = 4;
+        let lists = vec![vec![0usize], vec![], vec![2]];
+        let g_off = SensorGraph::from_neighbor_lists(n, &lists).unwrap();
+        let g_on = g_off.clone().with_identity_passthrough();
+        assert!(!g_off.identity_passthrough());
+        assert!(g_on.identity_passthrough());
+        let q = rand_t(&[2, n, d], 51);
+        let k = rand_t(&[2, n, d], 52);
+        let h = rand_t(&[2, n, d], 53);
+        let (out_off, w_off) = sparse_attention_forward(&q, &k, &h, &g_off, 0.5).unwrap();
+        let (out_on, w_on) = sparse_attention_forward(&q, &k, &h, &g_on, 0.5).unwrap();
+        assert_eq!(w_off.data(), w_on.data(), "edge weights must not change");
+        for bi in 0..2 {
+            for c in 0..d {
+                // The isolated row forwards its own summary bitwise...
+                assert_eq!(out_off.at(&[bi, 1, c]), 0.0);
+                assert_eq!(
+                    out_on.at(&[bi, 1, c]).to_bits(),
+                    h.at(&[bi, 1, c]).to_bits()
+                );
+                // ...and connected rows are untouched by the opt-in.
+                for i in [0usize, 2] {
+                    assert_eq!(
+                        out_on.at(&[bi, i, c]).to_bits(),
+                        out_off.at(&[bi, i, c]).to_bits()
+                    );
+                }
+            }
+        }
+        let grad = rand_t(&[2, n, d], 54);
+        let (dq_on, dk_on, dh_on) =
+            sparse_attention_vjp(&grad, &q, &k, &h, &w_on, &g_on, 0.5).unwrap();
+        let (dq_off, dk_off, dh_off) =
+            sparse_attention_vjp(&grad, &q, &k, &h, &w_off, &g_off, 0.5).unwrap();
+        // The identity has no q/k dependence.
+        assert_eq!(dq_on.data(), dq_off.data());
+        assert_eq!(dk_on.data(), dk_off.data());
+        for bi in 0..2 {
+            for c in 0..d {
+                // g_1 flows straight back into dh_1 (was dropped before)...
+                assert_eq!(dh_off.at(&[bi, 1, c]), 0.0);
+                assert_eq!(
+                    dh_on.at(&[bi, 1, c]).to_bits(),
+                    grad.at(&[bi, 1, c]).to_bits()
+                );
+                // ...while connected rows keep their exact gradients.
+                for j in [0usize, 2] {
+                    assert_eq!(
+                        dh_on.at(&[bi, j, c]).to_bits(),
+                        dh_off.at(&[bi, j, c]).to_bits()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -536,3 +536,109 @@ proptest! {
         prop_assert_eq!(z1, z0);
     }
 }
+
+// ---------------------------------------------------------------------
+// Quantized serving panels (quant module): per-element round-trip
+// error bounds, bf16 conversion monotonicity, and the determinism
+// contract — dispatched SIMD GEMMs bitwise equal to their scalar
+// references across shapes *and thread counts*.
+// ---------------------------------------------------------------------
+
+use stwa_tensor::quant::{self, PackedMatrixBf16, PackedMatrixInt8};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn int8_round_trip_error_is_within_half_scale_per_element(
+        k in 1usize..40, n in 1usize..40, seed in 0u64..1 << 32,
+    ) {
+        let w = Tensor::from_fn(&[k, n], fill(seed, 20));
+        let q = PackedMatrixInt8::pack(&w).unwrap();
+        let deq = q.dequantize().unwrap();
+        for j in 0..n {
+            let s = q.scales()[j];
+            prop_assert!(s > 0.0);
+            for p in 0..k {
+                let err = (w.at(&[p, j]) - deq.at(&[p, j])).abs();
+                prop_assert!(
+                    err <= 0.5 * s + 1e-12,
+                    "col {j} row {p}: err {err} vs scale {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_row_quantization_error_is_within_half_scale(
+        rows in 1usize..6, k in 1usize..50, seed in 0u64..1 << 32,
+    ) {
+        let a = Tensor::from_fn(&[rows, k], fill(seed, 21));
+        let mut qa = Vec::new();
+        let mut scales = Vec::new();
+        quant::quantize_rows(a.data(), rows, k, &mut qa, &mut scales);
+        for r in 0..rows {
+            let s = scales[r];
+            for p in 0..k {
+                let err = (a.at(&[r, p]) - qa[r * k + p] as f32 * s).abs();
+                prop_assert!(err <= 0.5 * s + 1e-12, "row {r} col {p}: err {err} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_conversion_is_monotone_and_tight(
+        a in -1e30f32..1e30, b in -1e30f32..1e30,
+    ) {
+        // Round-to-nearest never swaps an order...
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let wlo = quant::bf16_to_f32(quant::bf16_from_f32(lo));
+        let whi = quant::bf16_to_f32(quant::bf16_from_f32(hi));
+        prop_assert!(wlo <= whi, "{lo} -> {wlo} vs {hi} -> {whi}");
+        // ...and lands within half a ulp (2^-9 relative for normal
+        // bf16 values; 2^-8 is a safely loose bound).
+        for x in [a, b] {
+            let w = quant::bf16_to_f32(quant::bf16_from_f32(x));
+            // (+1e-37 absorbs the subnormal range, where relative
+            // precision legitimately degrades.)
+            prop_assert!(
+                (x - w).abs() <= x.abs() * (1.0 / 256.0) + 1e-37,
+                "{x} widened to {w}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn quantized_gemms_bitwise_match_scalar_reference_across_threads(
+        m in edge_dim(), k in edge_dim(), n in edge_dim(),
+        threads in 1usize..4, seed in 0u64..1 << 32,
+    ) {
+        // The pool thread count is process-global state, like the
+        // pool/fused switches — serialize on the same lock.
+        let _guard = TOGGLE_LOCK.lock().unwrap();
+        // Restore the configured thread count even if an assert below
+        // panics, so one failing case can't skew every later test.
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                stwa_pool::set_threads(self.0);
+            }
+        }
+        let _restore = Restore(stwa_pool::current_threads());
+        stwa_pool::set_threads(threads);
+        let a = Tensor::from_fn(&[m, k], fill(seed, 22));
+        let w = Tensor::from_fn(&[k, n], fill(seed, 23));
+        let bf = PackedMatrixBf16::pack(&w).unwrap();
+        let lean = quant::matmul_packed_bf16_lean(&a, &bf).unwrap();
+        let refr = quant::matmul_packed_bf16_reference(&a, &bf).unwrap();
+        prop_assert_eq!(lean.data(), refr.data(), "bf16 {}x{}x{} t{}", m, k, n, threads);
+        let q = PackedMatrixInt8::pack(&w).unwrap();
+        let lean = quant::matmul_packed_int8_lean(&a, &q).unwrap();
+        let refr = quant::matmul_packed_int8_reference(&a, &q).unwrap();
+        prop_assert_eq!(lean.data(), refr.data(), "int8 {}x{}x{} t{}", m, k, n, threads);
+    }
+}
