@@ -48,6 +48,7 @@ pub struct InferQueue {
     oldest: Option<Instant>,
     ready: HashMap<RequestId, Tensor>,
     next_id: RequestId,
+    closed: bool,
 }
 
 impl InferQueue {
@@ -64,6 +65,7 @@ impl InferQueue {
             oldest: None,
             ready: HashMap::new(),
             next_id: 0,
+            closed: false,
         })
     }
 
@@ -89,6 +91,17 @@ impl InferQueue {
     /// the pending queue reaches `max_batch` the batch runs before this
     /// call returns.
     pub fn submit(&mut self, x: Tensor) -> Result<RequestId> {
+        // A closed queue refuses instead of accepting work that no
+        // poll/flush will ever run — the caller would wait forever on a
+        // ticket that can't complete.
+        if self.closed {
+            stwa_observe::counter!("infer.closed_rejections").incr();
+            return Err(TensorError::Invalid(
+                "InferQueue::submit: queue is closed (drained by close()); \
+                 open a new queue over a fresh session to keep serving"
+                    .into(),
+            ));
+        }
         let row = match x.rank() {
             3 => x.unsqueeze(0)?,
             4 if x.shape()[0] == 1 => x,
@@ -144,6 +157,32 @@ impl InferQueue {
         }
         stwa_observe::counter!("infer.flush_forced").incr();
         self.run_batch()
+    }
+
+    /// Graceful shutdown: flush every pending request so its result
+    /// becomes collectable via [`InferQueue::take`], then reject all
+    /// later submits with a typed error. Returns the rows flushed.
+    ///
+    /// The closed flag is set *before* the flush so a failing flush
+    /// (e.g. a stale session) still leaves the queue closed — the
+    /// pending rows stay queued for a caller that can recover, but no
+    /// new work can pile onto a queue that is going away.
+    pub fn close(&mut self) -> Result<usize> {
+        if self.closed {
+            return Ok(0);
+        }
+        self.closed = true;
+        stwa_observe::counter!("infer.closes").incr();
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        stwa_observe::counter!("infer.flush_close").incr();
+        self.run_batch()
+    }
+
+    /// Whether [`InferQueue::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.closed
     }
 
     /// Collect a finished request's predictions `[1, N, U, F]`.

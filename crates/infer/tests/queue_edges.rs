@@ -1,7 +1,9 @@
 //! `InferQueue` edge cases left open by the engine tests: a `max_wait`
-//! expiry flushing a partial batch, zero-length request rejection, and
-//! the staleness error after a registry-driven hot swap (the
-//! freeze-from-registry transport).
+//! expiry flushing a partial batch, zero-length request rejection, the
+//! staleness error after a registry-driven hot swap (the
+//! freeze-from-registry transport), graceful `close()` drain
+//! semantics, and concurrent submitters funneling mixed batch sizes
+//! through the owning thread.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,6 +110,114 @@ fn zero_length_requests_are_rejected_at_submit() {
     let id = queue.submit(sample(60)).unwrap();
     queue.flush().unwrap();
     assert!(queue.take(id).is_some());
+}
+
+#[test]
+fn close_flushes_pending_and_rejects_new_submits() {
+    let m = model(14);
+    let mut queue = InferQueue::new(
+        InferSession::new(&m).unwrap(),
+        QueueConfig {
+            max_batch: 8,
+            // Pending rows would sit forever without the close() drain.
+            max_wait: Duration::from_secs(3600),
+        },
+    )
+    .unwrap();
+
+    let ids: Vec<_> = (0..3).map(|i| queue.submit(sample(80 + i)).unwrap()).collect();
+    assert_eq!(queue.pending_rows(), 3);
+    assert!(!queue.is_closed());
+
+    let flushed = queue.close().unwrap();
+    assert_eq!(flushed, 3, "close must drain every pending request");
+    assert!(queue.is_closed());
+    assert_eq!(queue.pending_rows(), 0);
+
+    // The drained results are collectable and bitwise equal to solo
+    // eval — shutdown never changes an answer.
+    let solo = InferSession::new(&m).unwrap();
+    for (i, id) in ids.iter().enumerate() {
+        let got = queue.take(*id).expect("close must flush pending results");
+        let want = solo.run(&sample(80 + i as u64).unsqueeze(0).unwrap()).unwrap();
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "request {i} diverged at close");
+        }
+    }
+
+    // Submitting after close fails with the typed closed error instead
+    // of queueing work that nothing will ever flush.
+    let err = queue.submit(sample(90)).unwrap_err();
+    assert!(err.to_string().contains("closed"), "got: {err}");
+
+    // close() is idempotent.
+    assert_eq!(queue.close().unwrap(), 0);
+}
+
+#[test]
+fn concurrent_submitters_coalesce_row_bitwise() {
+    // Tensors are single-threaded (`Rc` storage), so concurrency lives
+    // *in front of* the queue: producer threads funnel raw windows
+    // through a channel to the owning thread, which submits in arrival
+    // order — exactly the shape of the network serving front-end. The
+    // flush points are a mix of max_batch auto-flushes and manual
+    // flushes at a different stride, so coalesced batch sizes vary.
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 25;
+    let m = model(21);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, usize, Vec<f32>)>();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let x = sample((1000 + t * PER_THREAD + i) as u64);
+                    tx.send((t, i, x.data().to_vec())).unwrap();
+                }
+            });
+        }
+        drop(tx);
+
+        let mut queue = InferQueue::new(
+            InferSession::new(&m).unwrap(),
+            QueueConfig {
+                max_batch: 5,
+                max_wait: Duration::from_secs(3600),
+            },
+        )
+        .unwrap();
+        let mut tickets = Vec::new();
+        let mut submitted = 0usize;
+        while let Ok((t, i, data)) = rx.recv() {
+            let x = Tensor::from_vec(data, &[N, H, 1]).unwrap();
+            tickets.push(((t, i), queue.submit(x).unwrap()));
+            submitted += 1;
+            if submitted.is_multiple_of(7) {
+                queue.flush().unwrap();
+            }
+        }
+        queue.flush().unwrap();
+        assert_eq!(tickets.len(), THREADS * PER_THREAD);
+
+        // Every coalesced row must be bitwise identical to serving the
+        // same window alone, regardless of which batch it landed in.
+        let solo = InferSession::new(&m).unwrap();
+        for ((t, i), id) in tickets {
+            let got = queue.take(id).expect("every ticket resolves");
+            let want = solo
+                .run(
+                    &sample((1000 + t * PER_THREAD + i) as u64)
+                        .unsqueeze(0)
+                        .unwrap(),
+                )
+                .unwrap();
+            assert_eq!(got.shape(), want.shape());
+            for (a, b) in got.data().iter().zip(want.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "thread {t} request {i} diverged");
+            }
+        }
+    });
 }
 
 #[test]

@@ -1,0 +1,259 @@
+//! Sharded per-sensor forecast cache with TTL expiry.
+//!
+//! A served forecast is a pure function of (model version, sensor,
+//! horizon, window contents), so the cache key is exactly that tuple —
+//! the window enters as a 64-bit FNV-1a fingerprint of its f32 bits.
+//! Any of the three invalidation events changes the key or removes the
+//! entry: a new observation changes the fingerprint, a hot swap changes
+//! the version (plus an explicit [`ForecastCache::purge_version`]
+//! sweep to free the dead entries), and wall-clock expiry is enforced
+//! on read because a forecast for step t+1 stops being useful once
+//! step t+1 has arrived — the TTL is tied to the forecast step length.
+//!
+//! Shards are independent `Mutex<HashMap>`s picked by key hash, so IO
+//! workers serving different sensors rarely contend on one lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Cache key: everything a forecast depends on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// `FrozenStwa::frozen_at` store version of the serving snapshot.
+    pub version: u64,
+    pub sensor: u32,
+    pub horizon: u32,
+    /// FNV-1a over the input window's f32 bit patterns.
+    pub window_fp: u64,
+}
+
+struct Entry {
+    values: Arc<Vec<f32>>,
+    expires: Instant,
+}
+
+/// The sharded cache. Cheap to clone-by-Arc at the server level; all
+/// methods take `&self`.
+pub struct ForecastCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Entry>>>,
+    ttl: Duration,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ForecastCache {
+    /// `shards` is rounded up to a power of two so shard selection is a
+    /// mask, not a division.
+    pub fn new(shards: usize, ttl: Duration) -> ForecastCache {
+        let n = shards.max(1).next_power_of_two();
+        ForecastCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            ttl,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Entry>> {
+        let mut h = fnv1a64(&key.window_fp.to_le_bytes());
+        h ^= (key.sensor as u64) << 32 | key.horizon as u64;
+        h ^= key.version.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Fetch a live entry; expired entries are removed on the way out.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<f32>>> {
+        let mut shard = self.shard(key).lock().unwrap();
+        match shard.get(key) {
+            Some(e) if e.expires > Instant::now() => {
+                let v = Arc::clone(&e.values);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            Some(_) => {
+                shard.remove(key);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub fn put(&self, key: CacheKey, values: Arc<Vec<f32>>) {
+        let entry = Entry {
+            values,
+            expires: Instant::now() + self.ttl,
+        };
+        self.shard(&key).lock().unwrap().insert(key, entry);
+    }
+
+    /// Drop every entry frozen under `version` — called after a hot
+    /// swap so dead-version entries don't sit around until TTL.
+    pub fn purge_version(&self, version: u64) {
+        for shard in &self.shards {
+            shard.lock().unwrap().retain(|k, _| k.version != version);
+        }
+    }
+
+    /// Drop expired entries everywhere (maintenance; correctness never
+    /// depends on it because `get` checks expiry).
+    pub fn sweep(&self) {
+        let now = Instant::now();
+        for shard in &self.shards {
+            shard.lock().unwrap().retain(|_, e| e.expires > now);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// FNV-1a over arbitrary bytes — the window fingerprint hash. Stable
+/// across runs (unlike `DefaultHasher`), so fingerprints are
+/// reproducible in logs and tests.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint an f32 window by its exact bit patterns: two windows
+/// collide only if every sample is bitwise identical, which is exactly
+/// the cache-correctness condition for a bitwise-deterministic model.
+pub fn fingerprint_f32(values: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(version: u64, sensor: u32, horizon: u32, fp: u64) -> CacheKey {
+        CacheKey {
+            version,
+            sensor,
+            horizon,
+            window_fp: fp,
+        }
+    }
+
+    #[test]
+    fn hit_after_put_miss_after_ttl() {
+        let cache = ForecastCache::new(4, Duration::from_millis(30));
+        let k = key(1, 3, 2, 0xabc);
+        assert!(cache.get(&k).is_none());
+        cache.put(k, Arc::new(vec![1.0, 2.0]));
+        assert_eq!(cache.get(&k).unwrap().as_slice(), &[1.0, 2.0]);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(cache.get(&k).is_none(), "expired entry must not serve");
+        assert!(cache.is_empty(), "expired entry is removed on read");
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 2));
+    }
+
+    #[test]
+    fn keys_differ_by_every_component() {
+        let cache = ForecastCache::new(4, Duration::from_secs(60));
+        let base = key(1, 0, 1, 7);
+        cache.put(base, Arc::new(vec![1.0]));
+        for other in [
+            key(2, 0, 1, 7),
+            key(1, 1, 1, 7),
+            key(1, 0, 2, 7),
+            key(1, 0, 1, 8),
+        ] {
+            assert!(
+                cache.get(&other).is_none(),
+                "{other:?} must not alias {base:?}"
+            );
+        }
+        assert!(cache.get(&base).is_some());
+    }
+
+    #[test]
+    fn purge_version_removes_only_that_version() {
+        let cache = ForecastCache::new(2, Duration::from_secs(60));
+        for s in 0..10u32 {
+            cache.put(key(1, s, 1, 5), Arc::new(vec![s as f32]));
+            cache.put(key(2, s, 1, 5), Arc::new(vec![s as f32]));
+        }
+        assert_eq!(cache.len(), 20);
+        cache.purge_version(1);
+        assert_eq!(cache.len(), 10);
+        for s in 0..10u32 {
+            assert!(cache.get(&key(1, s, 1, 5)).is_none());
+            assert!(cache.get(&key(2, s, 1, 5)).is_some());
+        }
+    }
+
+    #[test]
+    fn sweep_reaps_expired_entries() {
+        let cache = ForecastCache::new(2, Duration::from_millis(20));
+        for s in 0..8u32 {
+            cache.put(key(1, s, 1, 5), Arc::new(vec![0.0]));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        cache.sweep();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_bit_exact() {
+        let a = fingerprint_f32(&[1.0, 2.0, 3.0]);
+        let b = fingerprint_f32(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_ne!(a, fingerprint_f32(&[1.0, 2.0, 3.000001]));
+        // 0.0 and -0.0 compare equal as floats but are different bits —
+        // the fingerprint must distinguish them (the model may not).
+        assert_ne!(fingerprint_f32(&[0.0]), fingerprint_f32(&[-0.0]));
+        // Stable constant: locks the hash against accidental change.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn shards_are_safe_under_concurrent_mixed_traffic() {
+        let cache = Arc::new(ForecastCache::new(8, Duration::from_secs(60)));
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..500u32 {
+                        let k = key(1, (t * 500 + i) % 64, 1 + i % 3, i as u64);
+                        cache.put(k, Arc::new(vec![t as f32, i as f32]));
+                        let got = cache.get(&k).expect("just inserted");
+                        assert_eq!(got[0], t as f32);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64 * 3 * 500);
+    }
+}

@@ -1,0 +1,272 @@
+//! Hand-rolled incremental HTTP/1.1 parser and response writer.
+//!
+//! Scope is exactly what the forecast front-end needs: request line +
+//! headers + optional `Content-Length` body, keep-alive (the HTTP/1.1
+//! default) with pipelining, and nothing more — no chunked encoding,
+//! no multipart, no TLS. The parser is incremental over a connection's
+//! read buffer: [`parse_request`] either consumes one complete request
+//! (returning it plus the bytes consumed), reports that more bytes are
+//! needed, or rejects the stream with a status code to answer with
+//! before closing.
+
+use std::collections::HashMap;
+
+/// Don't let a single request head or body grow without bound.
+pub const MAX_HEAD: usize = 8 * 1024;
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed request. Header names are lowercased; the query string
+/// is split off the target but left unparsed (see [`Request::query`]).
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string, e.g. `/forecast`.
+    pub path: String,
+    /// Raw query string without the `?`, possibly empty.
+    pub query_raw: String,
+    pub headers: HashMap<String, String>,
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// Look up one query parameter (`a=1&b=2` style, no percent
+    /// decoding — tokens in this protocol are numbers and identifiers).
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query_raw.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Outcome of one incremental parse step.
+#[derive(Debug)]
+pub enum Parse {
+    /// A full request plus how many buffer bytes it consumed.
+    Complete(Request, usize),
+    /// The buffer holds only a prefix; read more and retry.
+    Partial,
+    /// Malformed or over-limit stream: answer with this status/reason
+    /// and close the connection.
+    Bad(u16, &'static str),
+}
+
+/// Try to parse one request from the front of `buf`.
+pub fn parse_request(buf: &[u8]) -> Parse {
+    // Head = everything up to the blank line.
+    let head_end = match find_double_crlf(buf) {
+        Some(i) => i,
+        None => {
+            if buf.len() > MAX_HEAD {
+                return Parse::Bad(431, "Request Header Fields Too Large");
+            }
+            return Parse::Partial;
+        }
+    };
+    if head_end > MAX_HEAD {
+        return Parse::Bad(431, "Request Header Fields Too Large");
+    }
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(s) => s,
+        Err(_) => return Parse::Bad(400, "Bad Request"),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() && !m.is_empty() => {
+            (m.to_string(), t, v)
+        }
+        _ => return Parse::Bad(400, "Bad Request"),
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Parse::Bad(505, "HTTP Version Not Supported"),
+    };
+
+    let mut headers = HashMap::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Parse::Bad(400, "Bad Request");
+        };
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    if headers.contains_key("transfer-encoding") {
+        // Chunked bodies are out of scope; refusing beats misparsing.
+        return Parse::Bad(501, "Not Implemented");
+    }
+    let content_length = match headers.get("content-length") {
+        None => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n <= MAX_BODY => n,
+            Ok(_) => return Parse::Bad(413, "Payload Too Large"),
+            Err(_) => return Parse::Bad(400, "Bad Request"),
+        },
+    };
+
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Parse::Partial;
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+
+    // Keep-alive: HTTP/1.1 defaults open, 1.0 defaults closed; an
+    // explicit Connection header overrides either way.
+    let keep_alive = match headers.get("connection").map(|v| v.to_ascii_lowercase()) {
+        Some(v) if v == "close" => false,
+        Some(v) if v == "keep-alive" => true,
+        _ => http11,
+    };
+
+    let (path, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    Parse::Complete(
+        Request {
+            method,
+            path,
+            query_raw,
+            headers,
+            body,
+            keep_alive,
+        },
+        body_start + content_length,
+    )
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Serialize one response onto `out`. `content_type` is usually
+/// `application/json`; the body is written as-is with an exact
+/// `Content-Length` so pipelined peers can frame replies.
+pub fn write_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) {
+    use std::io::Write;
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    out.extend_from_slice(body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8]) -> (Request, usize) {
+        match parse_request(buf) {
+            Parse::Complete(r, n) => (r, n),
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_with_query_and_keep_alive_default() {
+        let raw = b"GET /forecast?sensor=3&horizon=2 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (req, n) = complete(raw);
+        assert_eq!(n, raw.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/forecast");
+        assert_eq!(req.query("sensor"), Some("3"));
+        assert_eq!(req.query("horizon"), Some("2"));
+        assert_eq!(req.query("missing"), None);
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn post_body_framed_by_content_length() {
+        let raw = b"POST /observe HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"frame\":1}";
+        let (req, n) = complete(raw);
+        assert_eq!(n, raw.len());
+        assert_eq!(req.body, b"{\"frame\":1}");
+    }
+
+    #[test]
+    fn incremental_feed_across_every_chunk_boundary() {
+        // The parser must give Partial at every prefix and a bitwise
+        // identical request at the end, no matter where reads split.
+        let raw: &[u8] =
+            b"POST /observe HTTP/1.1\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello";
+        for cut in 0..raw.len() {
+            match parse_request(&raw[..cut]) {
+                Parse::Partial => {}
+                other => panic!("prefix {cut} should be Partial, got {other:?}"),
+            }
+        }
+        let (req, n) = complete(raw);
+        assert_eq!(n, raw.len());
+        assert_eq!(req.body, b"hello");
+        assert!(!req.keep_alive, "Connection: close overrides 1.1 default");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (r1, n1) = complete(raw);
+        assert_eq!(r1.path, "/a");
+        let (r2, n2) = complete(&raw[n1..]);
+        assert_eq!(r2.path, "/b");
+        assert_eq!(n1 + n2, raw.len());
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_are_rejected() {
+        for (raw, want) in [
+            (&b"BOGUS\r\n\r\n"[..], 400u16),
+            (&b"GET / HTTP/2.0\r\n\r\n"[..], 505),
+            (&b"GET / HTTP/1.1\r\nbadheader\r\n\r\n"[..], 400),
+            (&b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..], 400),
+            (
+                &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+                501,
+            ),
+        ] {
+            match parse_request(raw) {
+                Parse::Bad(status, _) => assert_eq!(status, want),
+                other => panic!("expected Bad({want}), got {other:?}"),
+            }
+        }
+        // Over-limit Content-Length.
+        let big = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse_request(big.as_bytes()), Parse::Bad(413, _)));
+        // A head that never terminates trips the size guard.
+        let mut endless = b"GET / HTTP/1.1\r\n".to_vec();
+        endless.extend(std::iter::repeat_n(b'a', MAX_HEAD + 1));
+        assert!(matches!(parse_request(&endless), Parse::Bad(431, _)));
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_keep_alive() {
+        let (req, _) = complete(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req, _) = complete(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn response_writer_frames_exactly() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "application/json", b"{}", true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

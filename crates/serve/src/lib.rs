@@ -1,0 +1,45 @@
+//! Network serving front-end for the frozen ST-WA forecaster.
+//!
+//! The inference engine (`stwa-infer`) is deliberately single-threaded:
+//! tensors are `Rc` copy-on-write, so a model, its frozen session, and
+//! the micro-batching [`stwa_infer::InferQueue`] all live on one
+//! thread. This crate puts a network in front of that thread without
+//! adding any dependency:
+//!
+//! - [`reactor`] — a minimal epoll readiness loop (the three epoll
+//!   syscalls glibc already links, wrapped safely) plus a socket-pair
+//!   [`reactor::Waker`] for cross-thread wakeups.
+//! - [`http`] — an incremental HTTP/1.1 keep-alive parser with
+//!   pipelining and a response writer. No chunked encoding, no TLS.
+//! - [`cache`] — a sharded per-sensor forecast cache keyed on (model
+//!   version, sensor, horizon, window fingerprint) with TTL tied to
+//!   the forecast step.
+//! - [`proto`] — JSON request/response bodies over
+//!   `stwa_observe::Json`; f32 forecasts survive the wire bitwise.
+//! - [`server`] — N IO worker threads (epoll + HTTP + cache) in front
+//!   of one model thread (`InferQueue`, rolling window, registry hot
+//!   swap); plain `Vec<f32>` jobs cross between them over `mpsc`.
+//! - [`client`] — a blocking pipelining client for tests and the load
+//!   generator.
+//!
+//! Endpoints: `GET /forecast?sensor=I&horizon=U`, `POST /observe`
+//! (`{"frame": [N*F floats]}` appended to the rolling window),
+//! `GET /healthz`, `GET /stats`, `POST /admin/swap` (force a registry
+//! poll). Every forecast response names the snapshot version and the
+//! exact window fingerprint it answers for, so clients can verify any
+//! response — cache hit or miss — bitwise against a direct
+//! [`stwa_infer::InferSession`] evaluation of that window.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod proto;
+#[cfg(target_os = "linux")]
+pub mod reactor;
+#[cfg(target_os = "linux")]
+pub mod server;
+
+pub use cache::{CacheKey, ForecastCache};
+pub use client::{Client, Response};
+#[cfg(target_os = "linux")]
+pub use server::{Dims, ServeConfig, Server};

@@ -1,0 +1,1246 @@
+//! The serving front-end: IO worker threads over an epoll reactor,
+//! one model thread owning the `InferQueue`, and the channels between
+//! them.
+//!
+//! Tensors are single-threaded (`Rc` copy-on-write storage), so the
+//! model, its frozen session, and the micro-batching queue all live on
+//! exactly one thread. Concurrency lives *in front of* it: N IO
+//! workers own the sockets, parse HTTP, and serve cache hits inline;
+//! everything that needs the model crosses to the model thread as a
+//! plain-`Vec<f32>` job over an `mpsc` channel and comes back as
+//! serialized response bytes plus an epoll wakeup.
+//!
+//! Correctness invariants:
+//! - **In-order responses per connection.** HTTP/1.1 pipelining means
+//!   responses must leave in request order even when a cache hit (an
+//!   inline reply) overtakes a model-thread round trip. Every parsed
+//!   request takes a per-connection sequence number and completed
+//!   responses wait in a `BTreeMap` until their turn.
+//! - **Read-your-writes per connection.** A forecast pipelined behind
+//!   an observation on the same connection skips the cache and rides
+//!   the same channel, so the model thread applies them in order.
+//!   Across connections, freshness is bounded by the cache TTL (tied
+//!   to the forecast step — an entry never outlives the step it
+//!   predicts) and every response names the exact window fingerprint
+//!   it answers for.
+//! - **Zero dropped requests at swap and shutdown.** A hot swap only
+//!   happens on the model thread between bursts, when the queue is
+//!   empty by construction; the old queue is `close()`d (drain +
+//!   reject), the new snapshot is frozen from the registry, and the
+//!   old version's cache entries are purged. Shutdown stops accepting,
+//!   drains every in-flight job, flushes every write buffer, and only
+//!   then lets threads exit.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stwa_core::StwaModel;
+use stwa_infer::{FrozenStwa, InferQueue, InferSession, QueueConfig};
+use stwa_observe::Json;
+use stwa_tensor::quant::Precision;
+use stwa_tensor::Tensor;
+
+use crate::cache::{fingerprint_f32, CacheKey, ForecastCache};
+use crate::http::{self, Parse, Request};
+use crate::proto;
+use crate::reactor::{Epoll, Event, WakeReader, Waker, EPOLLIN, EPOLLOUT};
+
+/// Everything tunable about a server.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick.
+    pub addr: String,
+    /// IO worker threads (the model always gets its own thread).
+    pub io_threads: usize,
+    /// Micro-batching knobs forwarded to [`InferQueue`].
+    pub max_batch: usize,
+    pub max_wait: Duration,
+    /// Forecast cache TTL — tie this to the forecast step length so an
+    /// entry never outlives the step it predicts.
+    pub ttl: Duration,
+    pub cache_shards: usize,
+    /// How often the model thread checks the registry for a newer
+    /// published version (hot swap). Ignored without a registry.
+    pub registry_poll: Duration,
+    /// Panel precision for the frozen serving snapshot.
+    pub precision: Precision,
+    /// Model-thread memo of recent full forwards, keyed by window
+    /// fingerprint (small: each entry is one `[N, U, F]` output).
+    pub memo_cap: usize,
+    /// Registry root + model name. With a registry the server freezes
+    /// from the latest published version and hot-swaps when a newer
+    /// one appears; without one it serves the builder's weights as-is.
+    pub registry: Option<(PathBuf, String)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            io_threads: stwa_pool::configured_threads().max(1),
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            ttl: Duration::from_secs(300),
+            cache_shards: 16,
+            registry_poll: Duration::from_millis(200),
+            precision: Precision::F32,
+            memo_cap: 8,
+            registry: None,
+        }
+    }
+}
+
+/// Model dimensions published once by the model thread.
+#[derive(Clone, Copy, Debug)]
+pub struct Dims {
+    pub sensors: usize,
+    pub history: usize,
+    pub horizon: usize,
+    pub features: usize,
+}
+
+/// Counters and snapshot state shared by every thread.
+struct Shared {
+    shutdown: AtomicBool,
+    /// `FrozenStwa::frozen_at` of the live snapshot (cache key part).
+    version: AtomicU64,
+    /// Fingerprint of the current input window (cache key part).
+    window_fp: AtomicU64,
+    cache: ForecastCache,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    inline_hits: AtomicU64,
+    model_jobs: AtomicU64,
+    swaps: AtomicU64,
+    swap_errors: AtomicU64,
+    client_aborts: AtomicU64,
+}
+
+enum JobKind {
+    Forecast { sensor: u32, horizon: u32 },
+    Observe { frame: Vec<f32> },
+    Swap,
+}
+
+struct Job {
+    worker: usize,
+    conn: u64,
+    seq: u64,
+    keep_alive: bool,
+    kind: JobKind,
+}
+
+struct Reply {
+    conn: u64,
+    seq: u64,
+    bytes: Vec<u8>,
+    close_after: bool,
+}
+
+/// A running server. Dropping without [`Server::shutdown`] leaks the
+/// threads; call shutdown for a clean drain.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    dims: Dims,
+    shared: Arc<Shared>,
+    wakers: Vec<Waker>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    model_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the model thread (which runs `build` and freezes a
+    /// serving snapshot), wait until it is ready, then spawn the IO
+    /// workers. `build` runs *on the model thread* because tensors are
+    /// not `Send`.
+    pub fn start<F>(config: ServeConfig, build: F) -> std::io::Result<Server>
+    where
+        F: FnOnce() -> stwa_tensor::Result<StwaModel> + Send + 'static,
+    {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            version: AtomicU64::new(0),
+            window_fp: AtomicU64::new(0),
+            cache: ForecastCache::new(config.cache_shards, config.ttl),
+            requests: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            inline_hits: AtomicU64::new(0),
+            model_jobs: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            swap_errors: AtomicU64::new(0),
+            client_aborts: AtomicU64::new(0),
+        });
+
+        let io_threads = config.io_threads.max(1);
+        let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
+        let mut reply_txs = Vec::with_capacity(io_threads);
+        let mut worker_parts = Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Reply>();
+            let (waker, wake_reader) = Waker::pair()?;
+            reply_txs.push((reply_tx, waker.clone()));
+            worker_parts.push((reply_rx, wake_reader, waker));
+        }
+
+        // Model thread first: workers must not accept until dims and
+        // the initial version are published.
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<Result<Dims, String>>();
+        let model_shared = Arc::clone(&shared);
+        let model_cfg = config.clone();
+        let model_thread = std::thread::Builder::new()
+            .name("stwa-serve-model".to_string())
+            .spawn(move || {
+                model_thread_main(model_cfg, build, model_shared, job_rx, reply_txs, ready_tx)
+            })?;
+        let dims = match ready_rx.recv() {
+            Ok(Ok(dims)) => dims,
+            Ok(Err(e)) => {
+                let _ = model_thread.join();
+                return Err(std::io::Error::other(format!("model thread failed: {e}")));
+            }
+            Err(_) => {
+                let _ = model_thread.join();
+                return Err(std::io::Error::other("model thread died before ready"));
+            }
+        };
+
+        let mut wakers = Vec::with_capacity(io_threads);
+        let mut workers = Vec::with_capacity(io_threads);
+        for (idx, (reply_rx, wake_reader, waker)) in worker_parts.into_iter().enumerate() {
+            wakers.push(waker);
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            let job_tx = job_tx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("stwa-serve-io{idx}"))
+                    .spawn(move || {
+                        worker_main(idx, listener, shared, dims, job_tx, reply_rx, wake_reader)
+                    })?,
+            );
+        }
+        drop(job_tx); // model thread exits once every worker is gone
+
+        Ok(Server {
+            addr,
+            dims,
+            shared,
+            wakers,
+            workers,
+            model_thread: Some(model_thread),
+        })
+    }
+
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Live snapshot version (`FrozenStwa::frozen_at`).
+    pub fn version(&self) -> u64 {
+        self.shared.version.load(Ordering::Acquire)
+    }
+
+    /// Completed hot swaps so far.
+    pub fn swaps(&self) -> u64 {
+        self.shared.swaps.load(Ordering::Relaxed)
+    }
+
+    /// (requests parsed, responses sent) so far.
+    pub fn traffic(&self) -> (u64, u64) {
+        (
+            self.shared.requests.load(Ordering::Relaxed),
+            self.shared.responses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Graceful drain: stop accepting, serve everything in flight,
+    /// flush every socket, join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for waker in &self.wakers {
+            waker.wake();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(model) = self.model_thread.take() {
+            let _ = model.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IO worker
+// ---------------------------------------------------------------------------
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_CONN0: u64 = 2;
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Next sequence number to assign to a parsed request.
+    next_seq: u64,
+    /// Next sequence number whose response may be written.
+    next_flush: u64,
+    /// Completed responses waiting for their turn.
+    done: BTreeMap<u64, (Vec<u8>, bool)>,
+    /// Requests handed to the model thread, not yet replied.
+    inflight: usize,
+    /// Observations handed to the model thread, not yet replied —
+    /// while nonzero, forecasts on this connection bypass the cache so
+    /// the model thread orders them after the observe.
+    inflight_observes: usize,
+    /// Stop reading (a `Connection: close` request or a fatal parse
+    /// error); the connection dies once fully flushed.
+    closing: bool,
+    /// Registered epoll interest, to skip redundant `EPOLL_CTL_MOD`s.
+    interest: u32,
+}
+
+fn worker_main(
+    worker_idx: usize,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    dims: Dims,
+    job_tx: Sender<Job>,
+    reply_rx: Receiver<Reply>,
+    wake_reader: WakeReader,
+) {
+    let mut epoll = match Epoll::new() {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    use std::os::unix::io::AsRawFd;
+    if epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN).is_err() {
+        return;
+    }
+    let _ = epoll.add(wake_reader.fd(), TOKEN_WAKER, EPOLLIN);
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = TOKEN_CONN0;
+    let mut events: Vec<Event> = Vec::new();
+    let mut accepting = true;
+
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        if shutting_down {
+            if accepting {
+                // Drain the accept backlog once: connections whose
+                // handshake finished before the shutdown signal get
+                // served, not reset when the listener closes.
+                accept_all(&listener, &epoll, &mut conns, &mut next_token);
+                let _ = epoll.delete(listener.as_raw_fd());
+                accepting = false;
+            }
+            // Final read pass before judging idleness: requests that
+            // reached the kernel buffer before the shutdown signal are
+            // parsed and served, not reset.
+            let tokens: Vec<u64> = conns.keys().copied().collect();
+            for token in tokens {
+                let conn = conns.get_mut(&token).unwrap();
+                if !conn.closing
+                    && read_and_dispatch(worker_idx, token, conn, &shared, &dims, &job_tx)
+                {
+                    let _ = epoll.delete(conn.stream.as_raw_fd());
+                    conns.remove(&token);
+                }
+            }
+            // Close connections with nothing left to serve; exit once
+            // none remain. Busy connections finish their responses.
+            conns.retain(|_, c| {
+                !(c.inflight == 0 && c.done.is_empty() && c.wbuf.is_empty())
+            });
+            if conns.is_empty() {
+                return;
+            }
+        }
+
+        let timeout = Some(if shutting_down {
+            Duration::from_millis(10)
+        } else {
+            Duration::from_millis(500)
+        });
+        if epoll.wait(&mut events, timeout).is_err() {
+            return;
+        }
+
+        let fired = std::mem::take(&mut events);
+        for ev in &fired {
+            match ev.token {
+                TOKEN_LISTENER => {
+                    if !accepting || shutting_down {
+                        continue;
+                    }
+                    // Level-triggered and shared across workers: accept
+                    // until WouldBlock, whoever wakes first wins.
+                    accept_all(&listener, &epoll, &mut conns, &mut next_token);
+                }
+                TOKEN_WAKER => wake_reader.drain(),
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let mut dead = false;
+                    if ev.readable && !conn.closing {
+                        dead = read_and_dispatch(
+                            worker_idx, token, conn, &shared, &dims, &job_tx,
+                        );
+                    }
+                    if ev.writable && !dead {
+                        dead = flush_wbuf(conn);
+                    }
+                    if ev.closed && conn.inflight == 0 && conn.wbuf.is_empty() {
+                        dead = true;
+                    }
+                    if dead {
+                        if conn.inflight > 0 {
+                            // Peer vanished with requests in flight;
+                            // their replies will be discarded.
+                            shared
+                                .client_aborts
+                                .fetch_add(conn.inflight as u64, Ordering::Relaxed);
+                            stwa_observe::counter!("serve.client_aborts")
+                                .add(conn.inflight as u64);
+                        }
+                        let _ = epoll.delete(conn.stream.as_raw_fd());
+                        conns.remove(&token);
+                    } else {
+                        update_interest(&epoll, token, conns.get_mut(&token).unwrap());
+                    }
+                }
+            }
+        }
+
+        // Model-thread replies (the waker fired, or we woke anyway).
+        while let Ok(reply) = reply_rx.try_recv() {
+            let Some(conn) = conns.get_mut(&reply.conn) else {
+                // Client hung up before its answer came back; the abort
+                // was counted when the connection died.
+                continue;
+            };
+            conn.inflight -= 1;
+            if conn.inflight_observes > 0 {
+                // Replies arrive in per-connection submission order, so
+                // pair the decrements conservatively: an observe reply
+                // is whichever arrives while one is outstanding.
+                conn.inflight_observes -= 1;
+            }
+            complete(conn, reply.seq, reply.bytes, reply.close_after);
+            shared.responses.fetch_add(1, Ordering::Relaxed);
+            let dead = flush_wbuf(conn);
+            let done = conn.closing
+                && conn.inflight == 0
+                && conn.done.is_empty()
+                && conn.wbuf.is_empty();
+            if dead || done {
+                let _ = epoll.delete(conn.stream.as_raw_fd());
+                conns.remove(&reply.conn);
+            } else {
+                let token = reply.conn;
+                update_interest(&epoll, token, conns.get_mut(&token).unwrap());
+            }
+        }
+        events = fired;
+    }
+}
+
+/// Accept every queued connection and register it for reads.
+fn accept_all(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    use std::os::unix::io::AsRawFd;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                if epoll.add(stream.as_raw_fd(), token, EPOLLIN).is_ok() {
+                    conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            rbuf: Vec::new(),
+                            wbuf: Vec::new(),
+                            next_seq: 0,
+                            next_flush: 0,
+                            done: BTreeMap::new(),
+                            inflight: 0,
+                            inflight_observes: 0,
+                            closing: false,
+                            interest: EPOLLIN,
+                        },
+                    );
+                }
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Read everything available, parse pipelined requests, answer inline
+/// or dispatch to the model thread. Returns true when the connection
+/// is dead.
+fn read_and_dispatch(
+    worker_idx: usize,
+    token: u64,
+    conn: &mut Conn,
+    shared: &Shared,
+    dims: &Dims,
+    job_tx: &Sender<Job>,
+) -> bool {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                // Orderly close; serve what was already parsed.
+                conn.closing = true;
+                break;
+            }
+            Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+
+    let mut consumed = 0;
+    while !conn.closing {
+        match http::parse_request(&conn.rbuf[consumed..]) {
+            Parse::Partial => break,
+            Parse::Bad(status, reason) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let mut out = Vec::new();
+                http::write_response(
+                    &mut out,
+                    status,
+                    reason,
+                    "application/json",
+                    &proto::error_body(reason),
+                    false,
+                );
+                complete(conn, seq, out, true);
+                shared.responses.fetch_add(1, Ordering::Relaxed);
+                conn.closing = true;
+            }
+            Parse::Complete(req, n) => {
+                consumed += n;
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                stwa_observe::counter!("serve.requests").incr();
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                if !req.keep_alive {
+                    conn.closing = true;
+                }
+                match route(worker_idx, token, seq, &req, conn, shared, dims, job_tx) {
+                    Routed::Inline(bytes) => {
+                        complete(conn, seq, bytes, !req.keep_alive);
+                        shared.responses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Routed::Dispatched => {
+                        conn.inflight += 1;
+                        shared.model_jobs.fetch_add(1, Ordering::Relaxed);
+                        stwa_observe::counter!("serve.model_jobs").incr();
+                    }
+                }
+            }
+        }
+    }
+    conn.rbuf.drain(..consumed);
+    flush_wbuf(conn)
+        || (conn.closing && conn.inflight == 0 && conn.done.is_empty() && conn.wbuf.is_empty())
+}
+
+enum Routed {
+    Inline(Vec<u8>),
+    Dispatched,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route(
+    worker_idx: usize,
+    token: u64,
+    seq: u64,
+    req: &Request,
+    conn: &mut Conn,
+    shared: &Shared,
+    dims: &Dims,
+    job_tx: &Sender<Job>,
+) -> Routed {
+    let inline = |status: u16, reason: &str, body: Vec<u8>| {
+        let mut out = Vec::new();
+        http::write_response(&mut out, status, reason, "application/json", &body, req.keep_alive);
+        Routed::Inline(out)
+    };
+
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => inline(200, "OK", b"{\"ok\": true}".to_vec()),
+        ("GET", "/stats") => {
+            let (hits, misses) = shared.cache.stats();
+            let doc = Json::Obj(vec![
+                ("version".into(), Json::Num(shared.version.load(Ordering::Acquire) as f64)),
+                ("requests".into(), Json::Num(shared.requests.load(Ordering::Relaxed) as f64)),
+                ("responses".into(), Json::Num(shared.responses.load(Ordering::Relaxed) as f64)),
+                ("inline_hits".into(), Json::Num(shared.inline_hits.load(Ordering::Relaxed) as f64)),
+                ("model_jobs".into(), Json::Num(shared.model_jobs.load(Ordering::Relaxed) as f64)),
+                ("cache_hits".into(), Json::Num(hits as f64)),
+                ("cache_misses".into(), Json::Num(misses as f64)),
+                ("cache_entries".into(), Json::Num(shared.cache.len() as f64)),
+                ("swaps".into(), Json::Num(shared.swaps.load(Ordering::Relaxed) as f64)),
+                ("swap_errors".into(), Json::Num(shared.swap_errors.load(Ordering::Relaxed) as f64)),
+                ("client_aborts".into(), Json::Num(shared.client_aborts.load(Ordering::Relaxed) as f64)),
+            ]);
+            inline(200, "OK", doc.to_string().into_bytes())
+        }
+        ("GET", "/forecast") => {
+            let sensor = req.query("sensor").and_then(|v| v.parse::<u32>().ok());
+            let horizon = req
+                .query("horizon")
+                .map_or(Some(dims.horizon as u32), |v| v.parse::<u32>().ok());
+            let (Some(sensor), Some(horizon)) = (sensor, horizon) else {
+                return inline(400, "Bad Request", proto::error_body("sensor/horizon must be integers"));
+            };
+            if sensor as usize >= dims.sensors {
+                return inline(
+                    400,
+                    "Bad Request",
+                    proto::error_body(&format!("sensor {sensor} out of range (N={})", dims.sensors)),
+                );
+            }
+            if horizon == 0 || horizon as usize > dims.horizon {
+                return inline(
+                    400,
+                    "Bad Request",
+                    proto::error_body(&format!("horizon {horizon} out of range (U={})", dims.horizon)),
+                );
+            }
+            // Cache lookup under a snapshot of (version, window). Both
+            // can move before the model thread would evaluate, which is
+            // exactly why misses carry the authoritative values back.
+            // Skip the cache while an observe from this connection is
+            // in flight so the model thread orders forecast-after-
+            // observe (read-your-writes per connection).
+            if conn.inflight_observes == 0 {
+                let key = CacheKey {
+                    version: shared.version.load(Ordering::Acquire),
+                    sensor,
+                    horizon,
+                    window_fp: shared.window_fp.load(Ordering::Acquire),
+                };
+                if let Some(values) = shared.cache.get(&key) {
+                    shared.inline_hits.fetch_add(1, Ordering::Relaxed);
+                    stwa_observe::counter!("serve.cache_hits").incr();
+                    return inline(
+                        200,
+                        "OK",
+                        proto::forecast_body(
+                            sensor,
+                            horizon,
+                            key.version,
+                            key.window_fp,
+                            "hit",
+                            &values,
+                        ),
+                    );
+                }
+            }
+            let job = Job {
+                worker: worker_idx,
+                conn: token,
+                seq,
+                keep_alive: req.keep_alive,
+                kind: JobKind::Forecast { sensor, horizon },
+            };
+            match job_tx.send(job) {
+                Ok(()) => Routed::Dispatched,
+                Err(_) => inline(503, "Service Unavailable", proto::error_body("model thread is gone")),
+            }
+        }
+        ("POST", "/observe") => {
+            match proto::parse_observe(&req.body, dims.sensors * dims.features) {
+                Err(e) => inline(400, "Bad Request", proto::error_body(&e)),
+                Ok(frame) => {
+                    let job = Job {
+                        worker: worker_idx,
+                        conn: token,
+                        seq,
+                        keep_alive: req.keep_alive,
+                        kind: JobKind::Observe { frame },
+                    };
+                    match job_tx.send(job) {
+                        Ok(()) => {
+                            conn.inflight_observes += 1;
+                            Routed::Dispatched
+                        }
+                        Err(_) => inline(503, "Service Unavailable", proto::error_body("model thread is gone")),
+                    }
+                }
+            }
+        }
+        ("POST", "/admin/swap") => {
+            let job = Job {
+                worker: worker_idx,
+                conn: token,
+                seq,
+                keep_alive: req.keep_alive,
+                kind: JobKind::Swap,
+            };
+            match job_tx.send(job) {
+                Ok(()) => Routed::Dispatched,
+                Err(_) => inline(503, "Service Unavailable", proto::error_body("model thread is gone")),
+            }
+        }
+        _ => inline(404, "Not Found", proto::error_body("unknown endpoint")),
+    }
+}
+
+/// File a finished response under its sequence number and move every
+/// now-unblocked response into the write buffer.
+fn complete(conn: &mut Conn, seq: u64, bytes: Vec<u8>, close_after: bool) {
+    conn.done.insert(seq, (bytes, close_after));
+    while let Some((bytes, close)) = conn.done.remove(&conn.next_flush) {
+        conn.wbuf.extend_from_slice(&bytes);
+        conn.next_flush += 1;
+        if close {
+            conn.closing = true;
+        }
+    }
+}
+
+/// Push the write buffer to the socket. Returns true when the
+/// connection is dead (write error).
+fn flush_wbuf(conn: &mut Conn) -> bool {
+    while !conn.wbuf.is_empty() {
+        match conn.stream.write(&conn.wbuf) {
+            Ok(0) => return true,
+            Ok(n) => {
+                conn.wbuf.drain(..n);
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    false
+}
+
+fn update_interest(epoll: &Epoll, token: u64, conn: &mut Conn) {
+    let want = if conn.wbuf.is_empty() {
+        EPOLLIN
+    } else {
+        EPOLLIN | EPOLLOUT
+    };
+    if want != conn.interest {
+        use std::os::unix::io::AsRawFd;
+        if epoll.modify(conn.stream.as_raw_fd(), token, want).is_ok() {
+            conn.interest = want;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model thread
+// ---------------------------------------------------------------------------
+
+struct ModelState {
+    model: StwaModel,
+    queue: InferQueue,
+    registry: Option<(stwa_ckpt::Registry, String)>,
+    /// Registry version currently loaded (0 = builder weights).
+    registry_version: u32,
+    precision: Precision,
+    queue_cfg: QueueConfig,
+    dims: Dims,
+    /// Rolling input window `[N, H, F]` shared by every sensor query.
+    window: Vec<f32>,
+    window_fp: u64,
+    /// Recent full forwards keyed by window fingerprint (version is
+    /// implicit: the memo is cleared on swap). Front = most recent.
+    memo: Vec<(u64, Arc<Vec<f32>>)>,
+    memo_cap: usize,
+}
+
+fn model_thread_main<F>(
+    config: ServeConfig,
+    build: F,
+    shared: Arc<Shared>,
+    job_rx: Receiver<Job>,
+    reply_txs: Vec<(Sender<Reply>, Waker)>,
+    ready_tx: Sender<Result<Dims, String>>,
+) where
+    F: FnOnce() -> stwa_tensor::Result<StwaModel> + Send + 'static,
+{
+    let mut state = match init_model(&config, build) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = ready_tx.send(Err(e));
+            return;
+        }
+    };
+    shared
+        .version
+        .store(state.queue.session().frozen().frozen_at(), Ordering::Release);
+    shared.window_fp.store(state.window_fp, Ordering::Release);
+    let _ = ready_tx.send(Ok(state.dims));
+
+    let mut last_poll = Instant::now();
+    let mut burst: Vec<Job> = Vec::new();
+    loop {
+        burst.clear();
+        match job_rx.recv_timeout(config.registry_poll) {
+            Ok(job) => {
+                burst.push(job);
+                // Drain whatever queued behind it — one settle per
+                // burst amortizes flushes across pipelined traffic.
+                while burst.len() < 256 {
+                    match job_rx.try_recv() {
+                        Ok(job) => burst.push(job),
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // Every worker is gone (shutdown drained them); nothing
+                // can be in flight anymore.
+                let _ = state.queue.close();
+                return;
+            }
+        }
+
+        process_burst(&mut state, &burst, &shared, &reply_txs);
+
+        if state.registry.is_some() && last_poll.elapsed() >= config.registry_poll {
+            last_poll = Instant::now();
+            try_swap(&mut state, &shared);
+        }
+    }
+}
+
+fn init_model<F>(config: &ServeConfig, build: F) -> Result<ModelState, String>
+where
+    F: FnOnce() -> stwa_tensor::Result<StwaModel>,
+{
+    let model = build().map_err(|e| format!("build model: {e}"))?;
+    let registry = match &config.registry {
+        None => None,
+        Some((root, name)) => {
+            let reg = stwa_ckpt::Registry::open(root).map_err(|e| format!("open registry: {e}"))?;
+            Some((reg, name.clone()))
+        }
+    };
+    let (frozen, registry_version) = match &registry {
+        Some((reg, name)) if !reg.versions(name).map_err(|e| e.to_string())?.is_empty() => {
+            let latest = reg.latest(name).map_err(|e| e.to_string())?;
+            let frozen =
+                FrozenStwa::freeze_from_registry_at(&model, reg, name, Some(latest), config.precision)
+                    .map_err(|e| format!("freeze from registry: {e}"))?;
+            (frozen, latest)
+        }
+        _ => (
+            FrozenStwa::freeze_at(&model, config.precision).map_err(|e| format!("freeze: {e}"))?,
+            0,
+        ),
+    };
+    let dims = Dims {
+        sensors: frozen.num_sensors(),
+        history: frozen.input_len(),
+        horizon: frozen.horizon(),
+        features: frozen.features(),
+    };
+    let queue = InferQueue::new(
+        InferSession::from_frozen(frozen),
+        QueueConfig {
+            max_batch: config.max_batch,
+            max_wait: config.max_wait,
+        },
+    )
+    .map_err(|e| format!("queue: {e}"))?;
+    let window = vec![0.0f32; dims.sensors * dims.history * dims.features];
+    let window_fp = fingerprint_f32(&window);
+    Ok(ModelState {
+        model,
+        queue,
+        registry,
+        registry_version,
+        precision: config.precision,
+        queue_cfg: QueueConfig {
+            max_batch: config.max_batch,
+            max_wait: config.max_wait,
+        },
+        dims,
+        window,
+        window_fp,
+        memo: Vec::new(),
+        memo_cap: config.memo_cap.max(1),
+    })
+}
+
+/// Forecast jobs waiting on one submitted window evaluation.
+struct PendingEval {
+    fp: u64,
+    ticket: stwa_infer::RequestId,
+    jobs: Vec<(usize, u64, u64, bool, u32, u32)>, // worker, conn, seq, keep_alive, sensor, horizon
+}
+
+fn process_burst(
+    state: &mut ModelState,
+    burst: &[Job],
+    shared: &Shared,
+    reply_txs: &[(Sender<Reply>, Waker)],
+) {
+    let mut pending: Vec<PendingEval> = Vec::new();
+    for job in burst {
+        match &job.kind {
+            JobKind::Forecast { sensor, horizon } => {
+                let fp = state.window_fp;
+                if let Some(values) = memo_get(state, fp) {
+                    answer_forecast(
+                        state, shared, reply_txs, job, *sensor, *horizon, fp, "memo", &values,
+                    );
+                    continue;
+                }
+                if let Some(p) = pending.iter_mut().find(|p| p.fp == fp) {
+                    p.jobs
+                        .push((job.worker, job.conn, job.seq, job.keep_alive, *sensor, *horizon));
+                    continue;
+                }
+                let x = Tensor::from_vec(
+                    state.window.clone(),
+                    &[state.dims.sensors, state.dims.history, state.dims.features],
+                );
+                match x.and_then(|x| state.queue.submit(x)) {
+                    Ok(ticket) => pending.push(PendingEval {
+                        fp,
+                        ticket,
+                        jobs: vec![(job.worker, job.conn, job.seq, job.keep_alive, *sensor, *horizon)],
+                    }),
+                    Err(e) => reply_error(reply_txs, job, 500, &format!("submit: {e}")),
+                }
+            }
+            JobKind::Observe { frame } => {
+                // Settle first: submitted forecasts answer for the
+                // window they saw, never a newer one.
+                settle(state, shared, reply_txs, &mut pending);
+                apply_observe(state, frame);
+                shared.window_fp.store(state.window_fp, Ordering::Release);
+                let version = state.queue.session().frozen().frozen_at();
+                reply_ok(
+                    reply_txs,
+                    job,
+                    proto::observe_ack(version, state.window_fp),
+                );
+            }
+            JobKind::Swap => {
+                settle(state, shared, reply_txs, &mut pending);
+                let before = shared.swaps.load(Ordering::Relaxed);
+                try_swap(state, shared);
+                let swapped = shared.swaps.load(Ordering::Relaxed) > before;
+                let doc = Json::Obj(vec![
+                    ("swapped".into(), Json::Bool(swapped)),
+                    (
+                        "version".into(),
+                        Json::Num(state.queue.session().frozen().frozen_at() as f64),
+                    ),
+                    (
+                        "registry_version".into(),
+                        Json::Num(state.registry_version as f64),
+                    ),
+                ]);
+                reply_ok(reply_txs, job, doc.to_string().into_bytes());
+            }
+        }
+    }
+    settle(state, shared, reply_txs, &mut pending);
+}
+
+/// Flush the queue and answer every job waiting on an evaluation.
+fn settle(
+    state: &mut ModelState,
+    shared: &Shared,
+    reply_txs: &[(Sender<Reply>, Waker)],
+    pending: &mut Vec<PendingEval>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    if let Err(e) = state.queue.flush() {
+        // A failed flush re-queued the batch inside the queue; answer
+        // the jobs with an error rather than stranding the clients.
+        // (Unreachable in normal operation: swaps rebuild the queue on
+        // this same thread, so the session can't go stale mid-burst.)
+        let msg = format!("flush: {e}");
+        for p in pending.drain(..) {
+            for (worker, conn, seq, keep_alive, _, _) in p.jobs {
+                send_reply(reply_txs, worker, conn, seq, error_response(500, &msg, keep_alive));
+            }
+        }
+        return;
+    }
+    let version = state.queue.session().frozen().frozen_at();
+    for p in pending.drain(..) {
+        match state.queue.take(p.ticket) {
+            Some(out) => {
+                // `[1, N, U, F]` → owned row-major values.
+                let values = Arc::new(out.data().to_vec());
+                memo_put(state, p.fp, Arc::clone(&values));
+                for (worker, conn, seq, keep_alive, sensor, horizon) in p.jobs {
+                    let sliced = slice_forecast(state, &values, sensor, horizon);
+                    // Prime the shared cache so repeats hit inline at
+                    // the workers.
+                    shared.cache.put(
+                        CacheKey {
+                            version,
+                            sensor,
+                            horizon,
+                            window_fp: p.fp,
+                        },
+                        Arc::new(sliced.clone()),
+                    );
+                    let body =
+                        proto::forecast_body(sensor, horizon, version, p.fp, "miss", &sliced);
+                    send_reply(
+                        reply_txs,
+                        worker,
+                        conn,
+                        seq,
+                        ok_response(body, keep_alive),
+                    );
+                }
+            }
+            None => {
+                for (worker, conn, seq, keep_alive, _, _) in p.jobs {
+                    send_reply(
+                        reply_txs,
+                        worker,
+                        conn,
+                        seq,
+                        error_response(500, "evaluation lost its result", keep_alive),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn memo_get(state: &ModelState, fp: u64) -> Option<Arc<Vec<f32>>> {
+    state
+        .memo
+        .iter()
+        .find(|(k, _)| *k == fp)
+        .map(|(_, v)| Arc::clone(v))
+}
+
+fn memo_put(state: &mut ModelState, fp: u64, values: Arc<Vec<f32>>) {
+    state.memo.retain(|(k, _)| *k != fp);
+    state.memo.insert(0, (fp, values));
+    state.memo.truncate(state.memo_cap);
+}
+
+/// Extract sensor `s`, steps `0..horizon` from a full `[N, U, F]`
+/// output (contiguous: the row-major slice `[s*U*F, s*U*F + h*F)`).
+fn slice_forecast(state: &ModelState, full: &[f32], sensor: u32, horizon: u32) -> Vec<f32> {
+    let (u, f) = (state.dims.horizon, state.dims.features);
+    let start = sensor as usize * u * f;
+    full[start..start + horizon as usize * f].to_vec()
+}
+
+/// Shift the rolling window one step left and append the new frame at
+/// `t = H-1` for every sensor.
+fn apply_observe(state: &mut ModelState, frame: &[f32]) {
+    let (n, h, f) = (state.dims.sensors, state.dims.history, state.dims.features);
+    for s in 0..n {
+        let row = &mut state.window[s * h * f..(s + 1) * h * f];
+        row.copy_within(f.., 0);
+        row[(h - 1) * f..].copy_from_slice(&frame[s * f..(s + 1) * f]);
+    }
+    state.window_fp = fingerprint_f32(&state.window);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn answer_forecast(
+    state: &ModelState,
+    shared: &Shared,
+    reply_txs: &[(Sender<Reply>, Waker)],
+    job: &Job,
+    sensor: u32,
+    horizon: u32,
+    fp: u64,
+    source: &str,
+    full: &Arc<Vec<f32>>,
+) {
+    let version = state.queue.session().frozen().frozen_at();
+    let sliced = slice_forecast(state, full, sensor, horizon);
+    shared.cache.put(
+        CacheKey {
+            version,
+            sensor,
+            horizon,
+            window_fp: fp,
+        },
+        Arc::new(sliced.clone()),
+    );
+    let body = proto::forecast_body(sensor, horizon, version, fp, source, &sliced);
+    send_reply(
+        reply_txs,
+        job.worker,
+        job.conn,
+        job.seq,
+        ok_response(body, job.keep_alive),
+    );
+}
+
+/// Poll the registry; swap the serving snapshot when a newer version
+/// is published. Old-version cache entries are purged so they can
+/// never answer again, and the old queue is closed (it is empty —
+/// swaps only run between settled bursts).
+fn try_swap(state: &mut ModelState, shared: &Shared) {
+    let Some((registry, name)) = &state.registry else {
+        return;
+    };
+    let latest = match registry.latest(name) {
+        Ok(v) => v,
+        Err(_) => return, // nothing published yet
+    };
+    if latest <= state.registry_version {
+        return;
+    }
+    let old_version = state.queue.session().frozen().frozen_at();
+    // Drain the (empty) queue and reject any stray submit from here on.
+    let _ = state.queue.close();
+    match FrozenStwa::freeze_from_registry_at(
+        &state.model,
+        registry,
+        name,
+        Some(latest),
+        state.precision,
+    ) {
+        Ok(frozen) => {
+            let new_version = frozen.frozen_at();
+            match InferQueue::new(InferSession::from_frozen(frozen), state.queue_cfg) {
+                Ok(queue) => {
+                    state.queue = queue;
+                    state.registry_version = latest;
+                    state.memo.clear();
+                    shared.version.store(new_version, Ordering::Release);
+                    shared.cache.purge_version(old_version);
+                    shared.swaps.fetch_add(1, Ordering::Relaxed);
+                    stwa_observe::counter!("serve.swaps").incr();
+                }
+                Err(_) => {
+                    shared.swap_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Err(_) => {
+            // Registry load failed (partial publish, IO error): keep
+            // serving the old snapshot. The old queue was closed, so
+            // rebuild one over the same frozen state via re-freeze.
+            shared.swap_errors.fetch_add(1, Ordering::Relaxed);
+            if let Ok(frozen) = FrozenStwa::freeze_at(&state.model, state.precision) {
+                if let Ok(queue) = InferQueue::new(InferSession::from_frozen(frozen), state.queue_cfg)
+                {
+                    let v = queue.session().frozen().frozen_at();
+                    state.queue = queue;
+                    shared.version.store(v, Ordering::Release);
+                    shared.cache.purge_version(old_version);
+                    state.memo.clear();
+                }
+            }
+        }
+    }
+}
+
+fn ok_response(body: Vec<u8>, keep_alive: bool) -> (Vec<u8>, bool) {
+    let mut out = Vec::new();
+    http::write_response(&mut out, 200, "OK", "application/json", &body, keep_alive);
+    (out, !keep_alive)
+}
+
+fn error_response(status: u16, message: &str, keep_alive: bool) -> (Vec<u8>, bool) {
+    let reason = match status {
+        400 => "Bad Request",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let mut out = Vec::new();
+    http::write_response(
+        &mut out,
+        status,
+        reason,
+        "application/json",
+        &proto::error_body(message),
+        keep_alive,
+    );
+    (out, !keep_alive)
+}
+
+fn send_reply(
+    reply_txs: &[(Sender<Reply>, Waker)],
+    worker: usize,
+    conn: u64,
+    seq: u64,
+    packaged: (Vec<u8>, bool),
+) {
+    let (bytes, close_after) = packaged;
+    if let Some((tx, waker)) = reply_txs.get(worker) {
+        if tx
+            .send(Reply {
+                conn,
+                seq,
+                bytes,
+                close_after,
+            })
+            .is_ok()
+        {
+            waker.wake();
+        }
+    }
+}
+
+fn reply_ok(reply_txs: &[(Sender<Reply>, Waker)], job: &Job, body: Vec<u8>) {
+    send_reply(
+        reply_txs,
+        job.worker,
+        job.conn,
+        job.seq,
+        ok_response(body, job.keep_alive),
+    );
+}
+
+fn reply_error(reply_txs: &[(Sender<Reply>, Waker)], job: &Job, status: u16, message: &str) {
+    send_reply(
+        reply_txs,
+        job.worker,
+        job.conn,
+        job.seq,
+        error_response(status, message, job.keep_alive),
+    );
+}

@@ -1,0 +1,328 @@
+//! End-to-end serving tests: a real server on a real socket, driven by
+//! the blocking pipelining client. The recurring assertion is the
+//! serving contract — every forecast that leaves the server is bitwise
+//! equal to a direct `InferSession` evaluation of the window named in
+//! the response, whether it came from a fresh forward, the model-thread
+//! memo, or the worker-side cache.
+
+#![cfg(target_os = "linux")]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use stwa_ckpt::{Registry, TrainCheckpoint};
+use stwa_core::{ForecastModel, StwaConfig, StwaModel};
+use stwa_infer::InferSession;
+use stwa_serve::{Client, ServeConfig, Server};
+use stwa_tensor::Tensor;
+
+const N: usize = 3;
+const H: usize = 12;
+const U: usize = 4;
+
+fn model(seed: u64) -> StwaModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    StwaModel::new(StwaConfig::st_wa(N, H, U), &mut rng).unwrap()
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        io_threads: 2,
+        max_wait: Duration::from_millis(1),
+        ttl: Duration::from_secs(300),
+        registry_poll: Duration::from_millis(50),
+        ..ServeConfig::default()
+    }
+}
+
+/// Deterministic observation frame for step `t`.
+fn frame(t: usize, n: usize, f: usize) -> Vec<f32> {
+    (0..n * f)
+        .map(|i| ((t * 31 + i * 7) % 23) as f32 * 0.125 - 1.0)
+        .collect()
+}
+
+/// Client-side mirror of the server's rolling window: shift one step,
+/// append `frame` at the end for every sensor.
+fn apply_frame(window: &mut [f32], frame: &[f32], n: usize, h: usize, f: usize) {
+    for s in 0..n {
+        let row = &mut window[s * h * f..(s + 1) * h * f];
+        row.copy_within(f.., 0);
+        row[(h - 1) * f..].copy_from_slice(&frame[s * f..(s + 1) * f]);
+    }
+}
+
+/// Direct evaluation of `window` on `session`, sliced to one sensor
+/// and horizon — the ground truth every served forecast must match.
+fn direct_eval(
+    session: &InferSession,
+    window: &[f32],
+    n: usize,
+    h: usize,
+    f: usize,
+    sensor: usize,
+    horizon: usize,
+) -> Vec<f32> {
+    let x = Tensor::from_vec(window.to_vec(), &[1, n, h, f]).unwrap();
+    let out = session.run(&x).unwrap(); // [1, N, U, F]
+    let u = out.shape()[2];
+    let start = sensor * u * f;
+    out.data()[start..start + horizon * f].to_vec()
+}
+
+fn observe_body(frame: &[f32]) -> Vec<u8> {
+    let items: Vec<String> = frame.iter().map(|v| format!("{}", *v as f64)).collect();
+    format!("{{\"frame\": [{}]}}", items.join(", ")).into_bytes()
+}
+
+fn assert_bitwise(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: value {i}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn served_forecasts_match_direct_eval_bitwise() {
+    let server = Server::start(config(), || Ok(model(42))).unwrap();
+    let dims = server.dims();
+    let (n, h, f) = (dims.sensors, dims.history, dims.features);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Fill the window over the wire and mirror it locally.
+    let mut window = vec![0.0f32; n * h * f];
+    for t in 0..h {
+        let fr = frame(t, n, f);
+        let resp = client.post("/observe", &observe_body(&fr)).unwrap();
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8_lossy(&resp.body));
+        apply_frame(&mut window, &fr, n, h, f);
+    }
+
+    // Ground truth: the same seed builds the same weights.
+    let reference = model(42);
+    let session = InferSession::new(&reference).unwrap();
+
+    for sensor in 0..n {
+        for horizon in 1..=dims.horizon {
+            let resp = client
+                .get(&format!("/forecast?sensor={sensor}&horizon={horizon}"))
+                .unwrap();
+            assert_eq!(resp.status, 200, "{:?}", String::from_utf8_lossy(&resp.body));
+            let got = stwa_serve::proto::parse_forecast_values(&resp.body).unwrap();
+            let want = direct_eval(&session, &window, n, h, f, sensor, horizon);
+            assert_bitwise(&got, &want, &format!("sensor {sensor} horizon {horizon}"));
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn repeat_queries_hit_the_cache_with_identical_values() {
+    let server = Server::start(config(), || Ok(model(7))).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let first = client.get("/forecast?sensor=1&horizon=2").unwrap();
+    assert_eq!(first.status, 200);
+    let first_vals = stwa_serve::proto::parse_forecast_values(&first.body).unwrap();
+    let text = String::from_utf8_lossy(&first.body).to_string();
+    assert!(text.contains("\"miss\""), "first query is a miss: {text}");
+
+    // The model thread primed the shared cache; repeats serve inline.
+    let mut saw_hit = false;
+    for _ in 0..5 {
+        let resp = client.get("/forecast?sensor=1&horizon=2").unwrap();
+        assert_eq!(resp.status, 200);
+        let vals = stwa_serve::proto::parse_forecast_values(&resp.body).unwrap();
+        assert_bitwise(&vals, &first_vals, "cached repeat");
+        let text = String::from_utf8_lossy(&resp.body).to_string();
+        saw_hit |= text.contains("\"hit\"");
+    }
+    assert!(saw_hit, "repeat queries must reach the worker-side cache");
+
+    // A second connection shares the cache.
+    let mut other = Client::connect(server.addr()).unwrap();
+    let resp = other.get("/forecast?sensor=1&horizon=2").unwrap();
+    let vals = stwa_serve::proto::parse_forecast_values(&resp.body).unwrap();
+    assert_bitwise(&vals, &first_vals, "cross-connection cache");
+
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_mixed_traffic_returns_in_order_with_read_your_writes() {
+    let server = Server::start(config(), || Ok(model(9))).unwrap();
+    let dims = server.dims();
+    let (n, h, f) = (dims.sensors, dims.history, dims.features);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // One pipelined burst: forecast, observe, forecast, stats,
+    // forecast. Responses must come back in exactly this order, and
+    // the post-observe forecasts must answer for the *new* window.
+    client.send_get("/forecast?sensor=0&horizon=1").unwrap();
+    let fr = frame(99, n, f);
+    client.send_post("/observe", &observe_body(&fr)).unwrap();
+    client.send_get("/forecast?sensor=0&horizon=1").unwrap();
+    client.send_get("/stats").unwrap();
+    client.send_get("/forecast?sensor=2&horizon=3").unwrap();
+
+    let before = client.recv().unwrap();
+    let ack = client.recv().unwrap();
+    let after = client.recv().unwrap();
+    let stats = client.recv().unwrap();
+    let last = client.recv().unwrap();
+    for (resp, what) in [
+        (&before, "pre-observe forecast"),
+        (&ack, "observe ack"),
+        (&after, "post-observe forecast"),
+        (&stats, "stats"),
+        (&last, "second post-observe forecast"),
+    ] {
+        assert_eq!(resp.status, 200, "{what}: {}", String::from_utf8_lossy(&resp.body));
+    }
+
+    let fp_before = stwa_serve::proto::parse_window_fp(&before.body).unwrap();
+    let fp_ack = stwa_serve::proto::parse_window_fp(&ack.body).unwrap();
+    let fp_after = stwa_serve::proto::parse_window_fp(&after.body).unwrap();
+    let fp_last = stwa_serve::proto::parse_window_fp(&last.body).unwrap();
+    assert_ne!(fp_before, fp_ack, "observe must change the window");
+    assert_eq!(fp_after, fp_ack, "read-your-writes: forecast after observe");
+    assert_eq!(fp_last, fp_ack);
+
+    // And the post-observe values really are the new window's values.
+    let mut window = vec![0.0f32; n * h * f];
+    apply_frame(&mut window, &fr, n, h, f);
+    let reference = model(9);
+    let session = InferSession::new(&reference).unwrap();
+    let got = stwa_serve::proto::parse_forecast_values(&after.body).unwrap();
+    let want = direct_eval(&session, &window, n, h, f, 0, 1);
+    assert_bitwise(&got, &want, "post-observe forecast");
+
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_4xx_without_killing_the_connection() {
+    let server = Server::start(config(), || Ok(model(3))).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for (target, expect) in [
+        ("/forecast?sensor=999&horizon=1", 400),
+        ("/forecast?sensor=zero&horizon=1", 400),
+        ("/forecast?sensor=0&horizon=0", 400),
+        ("/forecast?sensor=0&horizon=99", 400),
+        ("/nope", 404),
+    ] {
+        let resp = client.get(target).unwrap();
+        assert_eq!(resp.status, expect, "{target}");
+    }
+    let resp = client.post("/observe", b"{\"frame\": [1.0]}").unwrap();
+    assert_eq!(resp.status, 400, "short frame");
+
+    // The same connection still serves good requests afterwards.
+    let resp = client.get("/forecast?sensor=0&horizon=1").unwrap();
+    assert_eq!(resp.status, 200);
+    let resp = client.get("/healthz").unwrap();
+    assert_eq!(resp.status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn registry_hot_swap_serves_new_weights_and_drops_nothing() {
+    let root = std::env::temp_dir().join(format!("stwa_serve_swap_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let registry = Registry::open(&root).unwrap();
+
+    // v1 weights published before the server starts.
+    let v1 = model(101);
+    registry
+        .publish("ST-WA", &TrainCheckpoint::params_only("ST-WA", v1.store()))
+        .unwrap();
+
+    let cfg = ServeConfig {
+        registry: Some((root.clone(), "ST-WA".to_string())),
+        ..config()
+    };
+    // The builder's own weights don't matter: the server loads v1 from
+    // the registry before serving.
+    let server = Server::start(cfg, || Ok(model(1))).unwrap();
+    let dims = server.dims();
+    let (n, h, f) = (dims.sensors, dims.history, dims.features);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let window = vec![0.0f32; n * h * f];
+    let v1_session = InferSession::new(&model(101)).unwrap();
+    let resp = client.get("/forecast?sensor=0&horizon=2").unwrap();
+    assert_eq!(resp.status, 200);
+    let got = stwa_serve::proto::parse_forecast_values(&resp.body).unwrap();
+    let want = direct_eval(&v1_session, &window, n, h, f, 0, 2);
+    assert_bitwise(&got, &want, "v1 forecast");
+    let version_before = server.version();
+
+    // Publish v2 and force a poll; traffic keeps flowing pipelined
+    // around the swap request.
+    let v2 = model(202);
+    registry
+        .publish("ST-WA", &TrainCheckpoint::params_only("ST-WA", v2.store()))
+        .unwrap();
+    client.send_get("/forecast?sensor=1&horizon=1").unwrap();
+    client.send_post("/admin/swap", b"").unwrap();
+    client.send_get("/forecast?sensor=0&horizon=2").unwrap();
+    let pre_swap = client.recv().unwrap();
+    let swap = client.recv().unwrap();
+    let post_swap = client.recv().unwrap();
+    assert_eq!(pre_swap.status, 200);
+    assert_eq!(swap.status, 200);
+    assert!(
+        String::from_utf8_lossy(&swap.body).contains("\"swapped\":true"),
+        "{}",
+        String::from_utf8_lossy(&swap.body)
+    );
+    assert_eq!(post_swap.status, 200);
+
+    // Post-swap forecasts are v2's answers, computed fresh (the v1
+    // cache entries were purged with the old version).
+    assert_ne!(server.version(), version_before, "swap must change the version");
+    assert_eq!(server.swaps(), 1);
+    let v2_session = InferSession::new(&model(202)).unwrap();
+    let got = stwa_serve::proto::parse_forecast_values(&post_swap.body).unwrap();
+    let want = direct_eval(&v2_session, &window, n, h, f, 0, 2);
+    assert_bitwise(&got, &want, "v2 forecast after swap");
+
+    // Zero dropped requests: everything parsed got a response. The
+    // stats request itself is in flight while its body is built, so
+    // it appears in `requests` but not yet in `responses`.
+    let stats = client.get("/stats").unwrap();
+    let doc = stwa_observe::parse_json(std::str::from_utf8(&stats.body).unwrap()).unwrap();
+    let requests = doc.get("requests").unwrap().as_num().unwrap();
+    let responses = doc.get("responses").unwrap().as_num().unwrap();
+    assert_eq!(
+        requests,
+        responses + 1.0,
+        "stats: {}",
+        String::from_utf8_lossy(&stats.body)
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shutdown_drains_every_pipelined_request() {
+    let server = Server::start(config(), || Ok(model(5))).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    const K: usize = 24;
+    for i in 0..K {
+        client
+            .send_get(&format!("/forecast?sensor={}&horizon=1", i % 3))
+            .unwrap();
+    }
+    // Shutdown with K requests outstanding: the drain contract says
+    // every one of them is answered before the threads exit.
+    server.shutdown();
+    for i in 0..K {
+        let resp = client.recv().unwrap_or_else(|e| panic!("request {i} dropped: {e}"));
+        assert_eq!(resp.status, 200, "request {i}");
+    }
+}

@@ -34,9 +34,11 @@
 //!
 //! - int8: the `i8 × i8 → i32` accumulation is exact integer
 //!   arithmetic, associative by construction, so lane width cannot
-//!   change the sum — and the VNNI tile's `+128` activation offset is
-//!   undone by an exact integer correction, so it computes the *same
-//!   integer* as the scalar tile. The dequantize is the fixed chain
+//!   change the sum — and both SIMD tiles' `+128` activation offset
+//!   (VNNI `vpdpbusd`, AVX2 `vpmaddubsw` with even/odd byte splitting
+//!   to dodge i16 saturation) is undone by an exact integer
+//!   correction, so each computes the *same integer* as the scalar
+//!   tile. The dequantize is the fixed chain
 //!   `(acc as f32) * row_scale * col_scale`, one rounding per `*`,
 //!   identical lane-wise in scalar and SIMD.
 //! - bf16: each output element accumulates `acc += a * widen(b)` in a
@@ -467,10 +469,10 @@ enum Kernel {
     Avx2,
     #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
     Avx512,
-    /// AVX-512 with VNNI (`vpdpbusd`): the only tier where int8 GEMM
-    /// beats f32 — widening `i8` to `i32` lanes and `vpmulld`-ing them
-    /// costs more than the 4x bandwidth saving buys, so without VNNI
-    /// the int8 path stays on the scalar tile.
+    /// AVX-512 with VNNI (`vpdpbusd`): the fastest int8 tier. Hosts
+    /// with AVX2 but no VNNI take the `vpmaddubsw`-based tile instead
+    /// ([`int8_tile_avx2`]); only pre-AVX2 hardware falls back to the
+    /// scalar int8 tile.
     #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
     Avx512Vnni,
 }
@@ -481,11 +483,18 @@ fn detect_kernel() -> Kernel {
         use std::sync::OnceLock;
         static PICK: OnceLock<Kernel> = OnceLock::new();
         *PICK.get_or_init(|| {
+            // The AVX-512 tiers also require AVX2 so the int8 dispatch
+            // below can route them to the `vpmaddubsw` tile when VNNI
+            // is absent (every shipping AVX-512 part has AVX2, but the
+            // safety argument should not rest on that).
             if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx2")
                 && std::arch::is_x86_feature_detected!("avx512vnni")
             {
                 Kernel::Avx512Vnni
-            } else if std::arch::is_x86_feature_detected!("avx512f") {
+            } else if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx2")
+            {
                 Kernel::Avx512
             } else if std::arch::is_x86_feature_detected!("avx2") {
                 Kernel::Avx2
@@ -619,6 +628,90 @@ unsafe fn int8_tile_vnni(
     }
 }
 
+/// AVX2 int8 tile built on `vpmaddubsw`, for hosts without VNNI. A
+/// 256-bit load covers half a strip row (8 columns x 4 contraction
+/// steps). `vpmaddubsw` multiplies adjacent `u8 x i8` byte pairs into
+/// *saturating* i16 lanes, and with offset-u8 activations a pair sum
+/// can reach `2 * 255 * 128`, past i16 — saturation would silently
+/// break the bitwise contract. So each call sees only **one** live
+/// product per i16 lane: the broadcast activation quad is split into
+/// its even bytes (`t = 0, 2`) and odd bytes (`t = 1, 3`) with the
+/// other half zeroed, bounding every lane by `255 * 128 < 2^15`.
+/// `vpmaddwd` against ones then widens the pairs into i32 column dots
+/// — exact integer arithmetic end to end, so the tile computes the
+/// *same integer* as the scalar reference (via the same
+/// offset-and-correct identity as the VNNI tile) and dequantizes in
+/// the same `acc * row_scale * col_scale` chain, making the match
+/// bitwise.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn int8_tile_avx2(
+    ap: &[u32],
+    packed: &PackedMatrixInt8,
+    strip_off: usize,
+    col_scales: &[f32],
+    col_corr: &[i32],
+    row_scales: &[f32; MR],
+    c: &mut [f32],
+    cs: usize,
+    mr: usize,
+    nr: usize,
+) {
+    use std::arch::x86_64::*;
+    if mr != MR || nr != NR {
+        int8_tile_scalar(
+            ap, packed, strip_off, col_scales, row_scales, c, cs, mr, nr,
+        );
+        return;
+    }
+    let k4 = packed.k4;
+    debug_assert!(
+        ap.len() >= MR * k4
+            && c.len() >= 3 * cs + NR
+            && col_scales.len() >= NR
+            && col_corr.len() >= NR
+    );
+    // Safety (whole block): tile bounds checked above; every strip row
+    // is exactly NR*4 = 64 bytes (two 256-bit halves) of zero-padded
+    // panel, and corr/scales slices carry NR = 16 entries.
+    unsafe {
+        let even = _mm256_set1_epi32(0x00ff_00ff);
+        let odd = _mm256_set1_epi32(0xff00_ff00u32 as i32);
+        let ones = _mm256_set1_epi16(1);
+        let mut acc = [[_mm256_setzero_si256(); 2]; MR];
+        let mut b = packed.panels.as_ptr().add(strip_off);
+        for p4 in 0..k4 {
+            let b_lo = _mm256_loadu_si256(b as *const __m256i);
+            let b_hi = _mm256_loadu_si256(b.add(32) as *const __m256i);
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_epi32(ap[r * k4 + p4] as i32);
+                let a_even = _mm256_and_si256(av, even);
+                let a_odd = _mm256_and_si256(av, odd);
+                for (slot, bv) in accr.iter_mut().zip([b_lo, b_hi]) {
+                    let pe = _mm256_madd_epi16(_mm256_maddubs_epi16(a_even, bv), ones);
+                    let po = _mm256_madd_epi16(_mm256_maddubs_epi16(a_odd, bv), ones);
+                    *slot = _mm256_add_epi32(*slot, _mm256_add_epi32(pe, po));
+                }
+            }
+            b = b.add(NR * 4);
+        }
+        let cp = c.as_mut_ptr();
+        for (r, accr) in acc.iter().enumerate() {
+            let sa = _mm256_set1_ps(row_scales[r]);
+            for (half, &hacc) in accr.iter().enumerate() {
+                let corr =
+                    _mm256_loadu_si256(col_corr.as_ptr().add(8 * half) as *const __m256i);
+                let sc = _mm256_loadu_ps(col_scales.as_ptr().add(8 * half));
+                let v = _mm256_cvtepi32_ps(_mm256_sub_epi32(hacc, corr));
+                let v = _mm256_mul_ps(v, sa);
+                let v = _mm256_mul_ps(v, sc);
+                _mm256_storeu_ps(cp.add(r * cs + 8 * half), v);
+            }
+        }
+    }
+}
+
 /// Row-block walk of the quantized GEMM `c[r0..r1] = qa @ panels`,
 /// with one register tile covering the full contraction depth (the
 /// i32 accumulators cannot round-trip through f32 between tiles).
@@ -653,6 +746,12 @@ fn gemm_int8(
                 Kernel::Avx512Vnni => unsafe {
                     let corr = &packed.corr[j0..j0 + NR];
                     int8_tile_vnni(ap, packed, strip_off, scales, corr, &sa, tile, n, mr, nr)
+                },
+                #[cfg(target_arch = "x86_64")]
+                // Safety: both tiers imply AVX2 (see `detect_kernel`).
+                Kernel::Avx2 | Kernel::Avx512 => unsafe {
+                    let corr = &packed.corr[j0..j0 + NR];
+                    int8_tile_avx2(ap, packed, strip_off, scales, corr, &sa, tile, n, mr, nr)
                 },
                 _ => int8_tile_scalar(ap, packed, strip_off, scales, &sa, tile, n, mr, nr),
             }
@@ -996,6 +1095,21 @@ pub fn matmul_packed_int8_reference(a: &Tensor, packed: &PackedMatrixInt8) -> Re
     run_int8(a, packed, Kernel::Scalar)
 }
 
+/// Forced-AVX2 int8 entry point — a test hook so hosts that dispatch
+/// to VNNI still exercise the `vpmaddubsw` tile's bitwise contract.
+/// Returns `None` when the host lacks AVX2.
+#[doc(hidden)]
+pub fn matmul_packed_int8_avx2(a: &Tensor, packed: &PackedMatrixInt8) -> Option<Result<Tensor>> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Some(run_int8(a, packed, Kernel::Avx2));
+        }
+    }
+    let _ = (a, packed);
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1094,6 +1208,48 @@ mod tests {
                 matmul_packed_int8_reference(&a, &q).unwrap().data(),
                 "int8 {m}x{k}x{n}"
             );
+            if let Some(avx2) = matmul_packed_int8_avx2(&a, &q) {
+                assert_eq!(
+                    avx2.unwrap().data(),
+                    matmul_packed_int8_reference(&a, &q).unwrap().data(),
+                    "int8 avx2 {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+
+    /// The `vpmaddubsw` tile's one failure mode is i16 saturation; the
+    /// even/odd byte split must make it unreachable even at the numeric
+    /// extremes — full-scale weights (`q = ±127/-128` after rounding)
+    /// against full-scale activations (`u8 = 255/1`), the inputs that
+    /// maximize `|u8 * i8|` products of the same sign back to back.
+    #[test]
+    fn avx2_int8_tile_is_exact_at_saturation_extremes() {
+        let Some(probe) = matmul_packed_int8_avx2(
+            &Tensor::zeros(&[1, 4]),
+            &PackedMatrixInt8::pack(&Tensor::zeros(&[4, 1])).unwrap(),
+        ) else {
+            eprintln!("skipping: host has no AVX2");
+            return;
+        };
+        probe.unwrap();
+        for k in [1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 257] {
+            for n in [1, 15, 16, 17, 33] {
+                for m in [1, 3, 4, 5] {
+                    // Same-sign products at every position: +max * +max
+                    // and -max * -max both push the pair sums positive.
+                    let a = Tensor::from_fn(&[m, k], |idx| {
+                        if (idx[0] + idx[1]) % 2 == 0 { 10.0 } else { -10.0 }
+                    });
+                    let w = Tensor::from_fn(&[k, n], |idx| {
+                        if (idx[0] + idx[1]) % 2 == 0 { 3.0 } else { -3.0 }
+                    });
+                    let q = PackedMatrixInt8::pack(&w).unwrap();
+                    let got = matmul_packed_int8_avx2(&a, &q).unwrap().unwrap();
+                    let want = matmul_packed_int8_reference(&a, &q).unwrap();
+                    assert_eq!(got.data(), want.data(), "{m}x{k}x{n}");
+                }
+            }
         }
     }
 

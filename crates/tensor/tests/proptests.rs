@@ -640,5 +640,15 @@ proptest! {
         let lean = quant::matmul_packed_int8_lean(&a, &q).unwrap();
         let refr = quant::matmul_packed_int8_reference(&a, &q).unwrap();
         prop_assert_eq!(lean.data(), refr.data(), "int8 {}x{}x{} t{}", m, k, n, threads);
+        // The dispatched entry shadows the AVX2 `vpmaddubsw` tile on
+        // VNNI hosts; force it so its bitwise contract is proptested
+        // everywhere AVX2 exists.
+        if let Some(avx2) = quant::matmul_packed_int8_avx2(&a, &q) {
+            let avx2 = avx2.unwrap();
+            prop_assert_eq!(
+                avx2.data(), refr.data(),
+                "int8 avx2 {}x{}x{} t{}", m, k, n, threads
+            );
+        }
     }
 }

@@ -17,6 +17,7 @@ verify:
     cargo run --release -p stwa-bench --bin bench_epoch -- --check BENCH_epoch.json
     cargo run --release -p stwa-bench --bin bench_ckpt -- --check BENCH_ckpt.json
     cargo run --release -p stwa-bench --bin bench_attention -- --check BENCH_attention.json
+    cargo run --release -p stwa-bench --bin bench_serve -- --check BENCH_serve.json
 
 # Fast inner-loop check.
 check:
@@ -63,6 +64,14 @@ bench-ckpt:
 # near-linearity floor (refreshes BENCH_attention.json).
 bench-attention:
     cargo run --release -p stwa-bench --bin bench_attention -- --out BENCH_attention.json
+
+# Network-serving load benchmark: a million pipelined HTTP requests
+# against the stwa-serve front-end with a registry hot swap at the
+# halfway mark (refreshes BENCH_serve.json; enforces zero errors, zero
+# dropped requests, bitwise agreement with direct eval on every sampled
+# response, and the >=10x cached-hit-over-miss p50 floor).
+bench-serve:
+    cargo run --release -p stwa-bench --bin bench_serve -- --out BENCH_serve.json
 
 # Regenerate every paper table/figure CSV under results/.
 experiments:

@@ -19,6 +19,8 @@
 //!   micro-batching ([`stwa_infer`])
 //! - [`ckpt`] — versioned checkpoints + model registry with bitwise
 //!   resumable training ([`stwa_ckpt`])
+//! - [`serve`] — async HTTP forecast serving: per-sensor TTL caching,
+//!   registry hot swap ([`stwa_serve`])
 
 pub use stwa_autograd as autograd;
 pub use stwa_baselines as baselines;
@@ -27,6 +29,7 @@ pub use stwa_core as model;
 pub use stwa_infer as infer;
 pub use stwa_nn as nn;
 pub use stwa_observe as observe;
+pub use stwa_serve as serve;
 pub use stwa_tensor as tensor;
 pub use stwa_traffic as traffic;
 pub use stwa_tsne as tsne;
