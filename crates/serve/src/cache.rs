@@ -9,6 +9,9 @@
 //! sweep to free the dead entries), and wall-clock expiry is enforced
 //! on read because a forecast for step t+1 stops being useful once
 //! step t+1 has arrived — the TTL is tied to the forecast step length.
+//! Reads only *check* expiry; reclamation happens in the periodic
+//! [`ForecastCache::sweep`] the reactor loop drives, keeping removal
+//! (and its shard-lock write traffic) off the request path.
 //!
 //! Shards are independent `Mutex<HashMap>`s picked by key hash, so IO
 //! workers serving different sensors rarely contend on one lock.
@@ -63,21 +66,18 @@ impl ForecastCache {
         &self.shards[(h as usize) & (self.shards.len() - 1)]
     }
 
-    /// Fetch a live entry; expired entries are removed on the way out.
+    /// Fetch a live entry. An expired entry counts as a miss but is
+    /// *not* removed here — the periodic [`ForecastCache::sweep`]
+    /// reclaims it, so the hot read path never mutates a shard.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<f32>>> {
-        let mut shard = self.shard(key).lock().unwrap();
+        let shard = self.shard(key).lock().unwrap();
         match shard.get(key) {
             Some(e) if e.expires > Instant::now() => {
                 let v = Arc::clone(&e.values);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v)
             }
-            Some(_) => {
-                shard.remove(key);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-            None => {
+            _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -100,13 +100,19 @@ impl ForecastCache {
         }
     }
 
-    /// Drop expired entries everywhere (maintenance; correctness never
-    /// depends on it because `get` checks expiry).
-    pub fn sweep(&self) {
+    /// Drop expired entries everywhere and return how many were
+    /// reclaimed (maintenance; correctness never depends on it because
+    /// `get` checks expiry).
+    pub fn sweep(&self) -> usize {
         let now = Instant::now();
+        let mut removed = 0;
         for shard in &self.shards {
-            shard.lock().unwrap().retain(|_, e| e.expires > now);
+            let mut shard = shard.lock().unwrap();
+            let before = shard.len();
+            shard.retain(|_, e| e.expires > now);
+            removed += before - shard.len();
         }
+        removed
     }
 
     pub fn len(&self) -> usize {
@@ -174,9 +180,29 @@ mod tests {
         assert_eq!(cache.get(&k).unwrap().as_slice(), &[1.0, 2.0]);
         std::thread::sleep(Duration::from_millis(40));
         assert!(cache.get(&k).is_none(), "expired entry must not serve");
-        assert!(cache.is_empty(), "expired entry is removed on read");
+        assert_eq!(cache.len(), 1, "reads never remove; the sweep does");
         let (hits, misses) = cache.stats();
         assert_eq!((hits, misses), (1, 2));
+        assert_eq!(cache.sweep(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn expired_entries_stop_counting_as_hits_before_any_sweep() {
+        let cache = ForecastCache::new(2, Duration::from_millis(20));
+        for s in 0..6u32 {
+            cache.put(key(1, s, 1, 9), Arc::new(vec![s as f32]));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        // No sweep has run: every entry is still resident, yet none may
+        // serve — each read is a miss, counted as such.
+        assert_eq!(cache.len(), 6);
+        for s in 0..6u32 {
+            assert!(cache.get(&key(1, s, 1, 9)).is_none());
+        }
+        assert_eq!(cache.stats(), (0, 6));
+        assert_eq!(cache.sweep(), 6);
+        assert!(cache.is_empty());
     }
 
     #[test]

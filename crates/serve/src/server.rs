@@ -1,43 +1,62 @@
-//! The serving front-end: IO worker threads over an epoll reactor,
-//! one model thread owning the `InferQueue`, and the channels between
-//! them.
+//! The serving front-end: IO worker threads over an epoll reactor, a
+//! pool of model replica threads each owning its own frozen snapshot,
+//! and the channels between them.
 //!
-//! Tensors are single-threaded (`Rc` copy-on-write storage), so the
-//! model, its frozen session, and the micro-batching queue all live on
-//! exactly one thread. Concurrency lives *in front of* it: N IO
-//! workers own the sockets, parse HTTP, and serve cache hits inline;
-//! everything that needs the model crosses to the model thread as a
-//! plain-`Vec<f32>` job over an `mpsc` channel and comes back as
-//! serialized response bytes plus an epoll wakeup.
+//! Tensors are single-threaded (`Rc` copy-on-write storage), so a
+//! model, its frozen session, and its micro-batching queue all live on
+//! exactly one thread. PR 9 put *one* such thread behind N IO workers;
+//! on a many-core host that single evaluator is the bottleneck. The
+//! replica pool fixes it the same way `ShardEngine` parallelizes
+//! training: the builder closure runs once *per replica thread* (a
+//! `!Send` model can be built anywhere but moved nowhere), every
+//! replica freezes the same pinned registry version, and each owns a
+//! private `InferQueue`, plan arena, and memo LRU. IO workers still
+//! own the sockets, parse HTTP, and serve cache hits inline; misses
+//! are sharded across replicas by sensor-affinity hashing
+//! (`sensor % n` keeps a sensor's window-fingerprint coalescing and
+//! memo hot on one replica) with least-queue-depth spill when the
+//! affinity target backs up.
 //!
 //! Correctness invariants:
 //! - **In-order responses per connection.** HTTP/1.1 pipelining means
 //!   responses must leave in request order even when a cache hit (an
-//!   inline reply) overtakes a model-thread round trip. Every parsed
+//!   inline reply) overtakes a replica round trip. Every parsed
 //!   request takes a per-connection sequence number and completed
 //!   responses wait in a `BTreeMap` until their turn.
+//! - **Identical windows on every replica.** Observations broadcast to
+//!   all replicas under one lock, so every replica channel sees them
+//!   in the same order; each replica applies the same frames to the
+//!   same zero-initialized window and their fingerprints never
+//!   diverge. A forecast dispatched to any replica therefore answers
+//!   for the same window the others would.
 //! - **Read-your-writes per connection.** A forecast pipelined behind
-//!   an observation on the same connection skips the cache and rides
-//!   the same channel, so the model thread applies them in order.
-//!   Across connections, freshness is bounded by the cache TTL (tied
-//!   to the forecast step — an entry never outlives the step it
-//!   predicts) and every response names the exact window fingerprint
-//!   it answers for.
-//! - **Zero dropped requests at swap and shutdown.** A hot swap only
-//!   happens on the model thread between bursts, when the queue is
-//!   empty by construction; the old queue is `close()`d (drain +
-//!   reject), the new snapshot is frozen from the registry, and the
-//!   old version's cache entries are purged. Shutdown stops accepting,
-//!   drains every in-flight job, flushes every write buffer, and only
-//!   then lets threads exit.
+//!   an observation on the same connection skips the cache and lands
+//!   on some replica's channel *behind* that replica's copy of the
+//!   observe (one mpsc producer per worker ⇒ FIFO), so it is
+//!   evaluated against the new window.
+//! - **Version stamps are registry versions.** Responses name the
+//!   registry version they were computed under (0 = the builder's
+//!   weights, which can never be swapped). Unlike per-thread store
+//!   counters, registry versions are identical across replicas by
+//!   construction, so a (version, window_fp) stamp is
+//!   bitwise-verifiable against direct eval no matter which replica
+//!   answered.
+//! - **Coordinated swaps, zero drops.** A swap broadcasts like an
+//!   observe; each replica flips between settled bursts (queue empty
+//!   by construction), pinned to one target version. The shared
+//!   version is published and old-version cache entries are purged
+//!   only after the *last* replica flips; until then hits serve the
+//!   old version and misses truthfully stamp whichever version their
+//!   replica is on. Shutdown stops accepting, drains every in-flight
+//!   job, flushes every write buffer, and only then lets threads exit.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use stwa_core::StwaModel;
@@ -56,8 +75,13 @@ use crate::reactor::{Epoll, Event, WakeReader, Waker, EPOLLIN, EPOLLOUT};
 pub struct ServeConfig {
     /// Bind address; use port 0 to let the OS pick.
     pub addr: String,
-    /// IO worker threads (the model always gets its own thread).
+    /// IO worker threads (model replicas always get their own threads).
     pub io_threads: usize,
+    /// Model replica threads. Each runs the builder closure itself,
+    /// freezes the same pinned registry version, and owns a private
+    /// `InferQueue` + memo. 1 reproduces the PR 9 single-evaluator
+    /// path bit for bit.
+    pub model_threads: usize,
     /// Micro-batching knobs forwarded to [`InferQueue`].
     pub max_batch: usize,
     pub max_wait: Duration,
@@ -65,12 +89,15 @@ pub struct ServeConfig {
     /// entry never outlives the step it predicts.
     pub ttl: Duration,
     pub cache_shards: usize,
-    /// How often the model thread checks the registry for a newer
-    /// published version (hot swap). Ignored without a registry.
+    /// How often replica 0 checks the registry for a newer published
+    /// version (hot swap). Ignored without a registry.
     pub registry_poll: Duration,
+    /// How often IO worker 0 sweeps expired cache entries. Expiry is
+    /// checked on every read; the sweep only reclaims memory.
+    pub sweep_interval: Duration,
     /// Panel precision for the frozen serving snapshot.
     pub precision: Precision,
-    /// Model-thread memo of recent full forwards, keyed by window
+    /// Per-replica memo of recent full forwards, keyed by window
     /// fingerprint (small: each entry is one `[N, U, F]` output).
     pub memo_cap: usize,
     /// Registry root + model name. With a registry the server freezes
@@ -84,11 +111,13 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             io_threads: stwa_pool::configured_threads().max(1),
+            model_threads: 1,
             max_batch: 32,
             max_wait: Duration::from_millis(2),
             ttl: Duration::from_secs(300),
             cache_shards: 16,
             registry_poll: Duration::from_millis(200),
+            sweep_interval: Duration::from_secs(5),
             precision: Precision::F32,
             memo_cap: 8,
             registry: None,
@@ -96,8 +125,8 @@ impl Default for ServeConfig {
     }
 }
 
-/// Model dimensions published once by the model thread.
-#[derive(Clone, Copy, Debug)]
+/// Model dimensions published once by the replica pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Dims {
     pub sensors: usize,
     pub history: usize,
@@ -105,10 +134,24 @@ pub struct Dims {
     pub features: usize,
 }
 
+/// Coordinated-swap barrier: the last replica to flip to `target`
+/// publishes the shared version and purges the old one's cache
+/// entries.
+struct SwapState {
+    /// Public version the pool is flipping to (0 = no swap yet).
+    target: u64,
+    /// Replicas that have flipped to `target`.
+    flipped: usize,
+    /// Public version being retired, recorded by the first flipper.
+    old_version: u64,
+    started: Option<Instant>,
+}
+
 /// Counters and snapshot state shared by every thread.
 struct Shared {
     shutdown: AtomicBool,
-    /// `FrozenStwa::frozen_at` of the live snapshot (cache key part).
+    /// Registry version of the pool-wide published snapshot (0 =
+    /// builder weights; cache key part).
     version: AtomicU64,
     /// Fingerprint of the current input window (cache key part).
     window_fp: AtomicU64,
@@ -120,27 +163,60 @@ struct Shared {
     swaps: AtomicU64,
     swap_errors: AtomicU64,
     client_aborts: AtomicU64,
+    conns: AtomicU64,
+    /// Duration of the last coordinated swap, first close to last flip.
+    swap_us: AtomicU64,
+    /// In-flight jobs per replica channel (dispatch heuristic input).
+    replica_depth: Vec<AtomicUsize>,
+    /// Full window evaluations per replica.
+    replica_evals: Vec<AtomicU64>,
+    /// Serializes observe/swap broadcasts so every replica channel
+    /// receives them in the same order — the invariant that keeps
+    /// replica windows (and their fingerprints) identical.
+    broadcast: Mutex<()>,
+    swap_state: Mutex<SwapState>,
 }
 
+#[derive(Clone)]
 enum JobKind {
     Forecast { sensor: u32, horizon: u32 },
     Observe { frame: Vec<f32> },
-    Swap,
+    /// Pin to a specific registry version (poll broadcasts resolve the
+    /// target once so every replica loads the same version exactly
+    /// once); `None` (admin) resolves latest on each replica.
+    Swap { target: Option<u32> },
 }
 
-struct Job {
+/// Where a reply must go. Broadcast jobs carry a route only on
+/// replica 0's copy — it is the sole responder.
+#[derive(Clone, Copy)]
+struct Route {
     worker: usize,
     conn: u64,
     seq: u64,
     keep_alive: bool,
+}
+
+struct Job {
+    route: Option<Route>,
     kind: JobKind,
 }
+
+/// What a replica reports once its snapshot is frozen: `(dims, public
+/// version, window fingerprint)` on success — cross-checked for
+/// equality across the pool before the server accepts traffic.
+type ReadyInfo = (Dims, u64, u64);
+type ReplicaReady = (usize, Result<ReadyInfo, String>);
 
 struct Reply {
     conn: u64,
     seq: u64,
     bytes: Vec<u8>,
     close_after: bool,
+    /// Reply to an observe — pairs the worker's `inflight_observes`
+    /// decrement exactly (replica replies are not in per-connection
+    /// submission order once misses shard across replicas).
+    observe: bool,
 }
 
 /// A running server. Dropping without [`Server::shutdown`] leaks the
@@ -151,22 +227,23 @@ pub struct Server {
     shared: Arc<Shared>,
     wakers: Vec<Waker>,
     workers: Vec<std::thread::JoinHandle<()>>,
-    model_thread: Option<std::thread::JoinHandle<()>>,
+    replicas: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind, spawn the model thread (which runs `build` and freezes a
-    /// serving snapshot), wait until it is ready, then spawn the IO
-    /// workers. `build` runs *on the model thread* because tensors are
-    /// not `Send`.
+    /// Bind, spawn the replica pool (each replica runs `build` and
+    /// freezes its own serving snapshot on-thread, because tensors are
+    /// not `Send`), wait until every replica is ready and agrees on
+    /// dims/version/window, then spawn the IO workers.
     pub fn start<F>(config: ServeConfig, build: F) -> std::io::Result<Server>
     where
-        F: FnOnce() -> stwa_tensor::Result<StwaModel> + Send + 'static,
+        F: Fn() -> stwa_tensor::Result<StwaModel> + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        let n_replicas = config.model_threads.max(1);
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             version: AtomicU64::new(0),
@@ -179,10 +256,40 @@ impl Server {
             swaps: AtomicU64::new(0),
             swap_errors: AtomicU64::new(0),
             client_aborts: AtomicU64::new(0),
+            conns: AtomicU64::new(0),
+            swap_us: AtomicU64::new(0),
+            replica_depth: (0..n_replicas).map(|_| AtomicUsize::new(0)).collect(),
+            replica_evals: (0..n_replicas).map(|_| AtomicU64::new(0)).collect(),
+            broadcast: Mutex::new(()),
+            swap_state: Mutex::new(SwapState {
+                target: 0,
+                flipped: 0,
+                old_version: 0,
+                started: None,
+            }),
         });
 
+        // Resolve the initial registry version once, so every replica
+        // loads the same pinned version even if a publish races
+        // startup.
+        let pinned_version: u32 = match &config.registry {
+            None => 0,
+            Some((root, name)) => {
+                let reg = stwa_ckpt::Registry::open(root)
+                    .map_err(|e| std::io::Error::other(format!("open registry: {e}")))?;
+                let versions = reg
+                    .versions(name)
+                    .map_err(|e| std::io::Error::other(format!("registry versions: {e}")))?;
+                if versions.is_empty() {
+                    0
+                } else {
+                    reg.latest(name)
+                        .map_err(|e| std::io::Error::other(format!("registry latest: {e}")))?
+                }
+            }
+        };
+
         let io_threads = config.io_threads.max(1);
-        let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
         let mut reply_txs = Vec::with_capacity(io_threads);
         let mut worker_parts = Vec::with_capacity(io_threads);
         for _ in 0..io_threads {
@@ -192,27 +299,86 @@ impl Server {
             worker_parts.push((reply_rx, wake_reader, waker));
         }
 
-        // Model thread first: workers must not accept until dims and
-        // the initial version are published.
-        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<Result<Dims, String>>();
-        let model_shared = Arc::clone(&shared);
-        let model_cfg = config.clone();
-        let model_thread = std::thread::Builder::new()
-            .name("stwa-serve-model".to_string())
-            .spawn(move || {
-                model_thread_main(model_cfg, build, model_shared, job_rx, reply_txs, ready_tx)
-            })?;
-        let dims = match ready_rx.recv() {
-            Ok(Ok(dims)) => dims,
-            Ok(Err(e)) => {
-                let _ = model_thread.join();
-                return Err(std::io::Error::other(format!("model thread failed: {e}")));
-            }
-            Err(_) => {
-                let _ = model_thread.join();
-                return Err(std::io::Error::other("model thread died before ready"));
+        // Replica pool first: workers must not accept until dims and
+        // the initial version are published. Replica 0 additionally
+        // holds senders to its peers for registry-poll swap broadcasts;
+        // teardown cascades through it (workers drop their senders →
+        // replica 0 exits and drops the peer senders → peers exit).
+        let build = Arc::new(build);
+        let mut job_txs: Vec<Sender<Job>> = Vec::with_capacity(n_replicas);
+        let mut job_rxs: Vec<Receiver<Job>> = Vec::with_capacity(n_replicas);
+        for _ in 0..n_replicas {
+            let (tx, rx) = std::sync::mpsc::channel::<Job>();
+            job_txs.push(tx);
+            job_rxs.push(rx);
+        }
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<ReplicaReady>();
+        let mut replicas = Vec::with_capacity(n_replicas);
+        for (idx, job_rx) in job_rxs.into_iter().enumerate() {
+            let peer_txs: Vec<Sender<Job>> = if idx == 0 {
+                job_txs[1..].to_vec()
+            } else {
+                Vec::new()
+            };
+            let cfg = config.clone();
+            let build = Arc::clone(&build);
+            let shared = Arc::clone(&shared);
+            let reply_txs = reply_txs.clone();
+            let ready_tx = ready_tx.clone();
+            replicas.push(
+                std::thread::Builder::new()
+                    .name(format!("stwa-serve-model{idx}"))
+                    .spawn(move || {
+                        replica_main(
+                            idx,
+                            n_replicas,
+                            cfg,
+                            build,
+                            shared,
+                            job_rx,
+                            peer_txs,
+                            reply_txs,
+                            ready_tx,
+                            pinned_version,
+                        )
+                    })?,
+            );
+        }
+        drop(ready_tx);
+
+        let abort = |job_txs: Vec<Sender<Job>>, replicas: Vec<std::thread::JoinHandle<()>>| {
+            drop(job_txs);
+            for replica in replicas {
+                let _ = replica.join();
             }
         };
+        let mut infos: Vec<Option<ReadyInfo>> = vec![None; n_replicas];
+        for _ in 0..n_replicas {
+            match ready_rx.recv() {
+                Ok((idx, Ok(info))) => infos[idx] = Some(info),
+                Ok((idx, Err(e))) => {
+                    abort(job_txs, replicas);
+                    return Err(std::io::Error::other(format!("replica {idx} failed: {e}")));
+                }
+                Err(_) => {
+                    abort(job_txs, replicas);
+                    return Err(std::io::Error::other("replica died before ready"));
+                }
+            }
+        }
+        let (dims, version, window_fp) = infos[0].expect("replica 0 reported ready");
+        for (idx, info) in infos.iter().enumerate() {
+            let (d, v, fp) = info.expect("replica reported ready");
+            if d != dims || v != version || fp != window_fp {
+                abort(job_txs, replicas);
+                return Err(std::io::Error::other(format!(
+                    "replica {idx} diverged at startup: \
+                     ({d:?}, v{v}, fp {fp:#x}) vs ({dims:?}, v{version}, fp {window_fp:#x})"
+                )));
+            }
+        }
+        shared.version.store(version, Ordering::Release);
+        shared.window_fp.store(window_fp, Ordering::Release);
 
         let mut wakers = Vec::with_capacity(io_threads);
         let mut workers = Vec::with_capacity(io_threads);
@@ -220,16 +386,26 @@ impl Server {
             wakers.push(waker);
             let listener = listener.try_clone()?;
             let shared = Arc::clone(&shared);
-            let job_tx = job_tx.clone();
+            let job_txs = job_txs.clone();
+            let sweep_interval = config.sweep_interval;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("stwa-serve-io{idx}"))
                     .spawn(move || {
-                        worker_main(idx, listener, shared, dims, job_tx, reply_rx, wake_reader)
+                        worker_main(
+                            idx,
+                            listener,
+                            shared,
+                            dims,
+                            job_txs,
+                            reply_rx,
+                            wake_reader,
+                            sweep_interval,
+                        )
                     })?,
             );
         }
-        drop(job_tx); // model thread exits once every worker is gone
+        drop(job_txs); // replicas exit once every worker is gone
 
         Ok(Server {
             addr,
@@ -237,7 +413,7 @@ impl Server {
             shared,
             wakers,
             workers,
-            model_thread: Some(model_thread),
+            replicas,
         })
     }
 
@@ -249,14 +425,20 @@ impl Server {
         self.dims
     }
 
-    /// Live snapshot version (`FrozenStwa::frozen_at`).
+    /// Pool-wide published snapshot version: the registry version every
+    /// replica currently serves (0 = builder weights, never swapped).
     pub fn version(&self) -> u64 {
         self.shared.version.load(Ordering::Acquire)
     }
 
-    /// Completed hot swaps so far.
+    /// Completed (pool-wide) hot swaps so far.
     pub fn swaps(&self) -> u64 {
         self.shared.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Model replica threads serving this instance.
+    pub fn replicas(&self) -> usize {
+        self.shared.replica_depth.len()
     }
 
     /// (requests parsed, responses sent) so far.
@@ -277,10 +459,98 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        if let Some(model) = self.model_thread.take() {
-            let _ = model.join();
+        for replica in self.replicas.drain(..) {
+            let _ = replica.join();
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Replica dispatch
+// ---------------------------------------------------------------------------
+
+/// Queue depth at which the affinity replica is considered backed up.
+const SPILL_DEPTH: usize = 32;
+
+/// Pick a replica for a cache-miss forecast: sensor-affinity hashing
+/// (`sensor % n` keeps one sensor's fingerprint coalescing and memo
+/// hot on one replica) with least-depth spill only when the affinity
+/// target is backed up *and* meaningfully deeper than the least-loaded
+/// replica — the hysteresis keeps affinity sticky under jitter.
+fn pick_replica(sensor: u32, depths: &[usize]) -> usize {
+    let n = depths.len();
+    let affinity = sensor as usize % n;
+    if n == 1 || depths[affinity] < SPILL_DEPTH {
+        return affinity;
+    }
+    let (mut min_idx, mut min_depth) = (affinity, depths[affinity]);
+    for (idx, &depth) in depths.iter().enumerate() {
+        if depth < min_depth {
+            min_idx = idx;
+            min_depth = depth;
+        }
+    }
+    if depths[affinity] - min_depth >= SPILL_DEPTH / 2 {
+        min_idx
+    } else {
+        affinity
+    }
+}
+
+/// Send a forecast miss to its replica. Returns false when the pool is
+/// gone (shutdown).
+fn dispatch_forecast(
+    job_txs: &[Sender<Job>],
+    shared: &Shared,
+    route: Route,
+    sensor: u32,
+    horizon: u32,
+) -> bool {
+    let idx = if job_txs.len() == 1 {
+        0
+    } else {
+        let depths: Vec<usize> = shared
+            .replica_depth
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect();
+        pick_replica(sensor, &depths)
+    };
+    shared.replica_depth[idx].fetch_add(1, Ordering::Relaxed);
+    let job = Job {
+        route: Some(route),
+        kind: JobKind::Forecast { sensor, horizon },
+    };
+    if job_txs[idx].send(job).is_ok() {
+        true
+    } else {
+        shared.replica_depth[idx].fetch_sub(1, Ordering::Relaxed);
+        false
+    }
+}
+
+/// Send an observe/swap to every replica in one atomic order (the
+/// broadcast lock is what keeps replica windows identical). Replica 0
+/// gets the route and answers; the rest apply silently. Returns false
+/// when the responder channel is gone.
+fn broadcast(job_txs: &[Sender<Job>], shared: &Shared, route: Route, kind: JobKind) -> bool {
+    let _order = shared.broadcast.lock().unwrap();
+    let mut routed_ok = false;
+    for (idx, tx) in job_txs.iter().enumerate() {
+        let job = Job {
+            route: (idx == 0).then_some(route),
+            kind: kind.clone(),
+        };
+        shared.replica_depth[idx].fetch_add(1, Ordering::Relaxed);
+        if tx.send(job).is_ok() {
+            if idx == 0 {
+                routed_ok = true;
+            }
+        } else {
+            shared.replica_depth[idx].fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    routed_ok
 }
 
 // ---------------------------------------------------------------------------
@@ -301,11 +571,11 @@ struct Conn {
     next_flush: u64,
     /// Completed responses waiting for their turn.
     done: BTreeMap<u64, (Vec<u8>, bool)>,
-    /// Requests handed to the model thread, not yet replied.
+    /// Requests handed to the replica pool, not yet replied.
     inflight: usize,
-    /// Observations handed to the model thread, not yet replied —
-    /// while nonzero, forecasts on this connection bypass the cache so
-    /// the model thread orders them after the observe.
+    /// Observations handed to the pool, not yet replied — while
+    /// nonzero, forecasts on this connection bypass the cache so their
+    /// replica orders them after the observe.
     inflight_observes: usize,
     /// Stop reading (a `Connection: close` request or a fatal parse
     /// error); the connection dies once fully flushed.
@@ -314,14 +584,16 @@ struct Conn {
     interest: u32,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_main(
     worker_idx: usize,
     listener: TcpListener,
     shared: Arc<Shared>,
     dims: Dims,
-    job_tx: Sender<Job>,
+    job_txs: Vec<Sender<Job>>,
     reply_rx: Receiver<Reply>,
     wake_reader: WakeReader,
+    sweep_interval: Duration,
 ) {
     let mut epoll = match Epoll::new() {
         Ok(e) => e,
@@ -333,10 +605,16 @@ fn worker_main(
     }
     let _ = epoll.add(wake_reader.fd(), TOKEN_WAKER, EPOLLIN);
 
+    // Per-worker accept counter; the leak is one short name per worker
+    // thread for the process lifetime.
+    let conns_counter =
+        stwa_observe::counter(Box::leak(format!("serve.io{worker_idx}.conns").into_boxed_str()));
+
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_token = TOKEN_CONN0;
     let mut events: Vec<Event> = Vec::new();
     let mut accepting = true;
+    let mut last_sweep = Instant::now();
 
     loop {
         let shutting_down = shared.shutdown.load(Ordering::SeqCst);
@@ -345,7 +623,7 @@ fn worker_main(
                 // Drain the accept backlog once: connections whose
                 // handshake finished before the shutdown signal get
                 // served, not reset when the listener closes.
-                accept_all(&listener, &epoll, &mut conns, &mut next_token);
+                accept_all(&listener, &epoll, &shared, conns_counter, &mut conns, &mut next_token);
                 let _ = epoll.delete(listener.as_raw_fd());
                 accepting = false;
             }
@@ -356,7 +634,7 @@ fn worker_main(
             for token in tokens {
                 let conn = conns.get_mut(&token).unwrap();
                 if !conn.closing
-                    && read_and_dispatch(worker_idx, token, conn, &shared, &dims, &job_tx)
+                    && read_and_dispatch(worker_idx, token, conn, &shared, &dims, &job_txs)
                 {
                     let _ = epoll.delete(conn.stream.as_raw_fd());
                     conns.remove(&token);
@@ -372,10 +650,21 @@ fn worker_main(
             }
         }
 
+        // TTL reclamation off the request path: expiry is enforced on
+        // every read, the sweep only frees memory, so one worker doing
+        // it at a coarse interval is plenty.
+        if worker_idx == 0 && !shutting_down && last_sweep.elapsed() >= sweep_interval {
+            last_sweep = Instant::now();
+            let removed = shared.cache.sweep();
+            if removed > 0 {
+                stwa_observe::counter!("serve.cache_swept").add(removed as u64);
+            }
+        }
+
         let timeout = Some(if shutting_down {
             Duration::from_millis(10)
         } else {
-            Duration::from_millis(500)
+            Duration::from_millis(500).min(sweep_interval)
         });
         if epoll.wait(&mut events, timeout).is_err() {
             return;
@@ -390,7 +679,7 @@ fn worker_main(
                     }
                     // Level-triggered and shared across workers: accept
                     // until WouldBlock, whoever wakes first wins.
-                    accept_all(&listener, &epoll, &mut conns, &mut next_token);
+                    accept_all(&listener, &epoll, &shared, conns_counter, &mut conns, &mut next_token);
                 }
                 TOKEN_WAKER => wake_reader.drain(),
                 token => {
@@ -400,7 +689,7 @@ fn worker_main(
                     let mut dead = false;
                     if ev.readable && !conn.closing {
                         dead = read_and_dispatch(
-                            worker_idx, token, conn, &shared, &dims, &job_tx,
+                            worker_idx, token, conn, &shared, &dims, &job_txs,
                         );
                     }
                     if ev.writable && !dead {
@@ -428,7 +717,7 @@ fn worker_main(
             }
         }
 
-        // Model-thread replies (the waker fired, or we woke anyway).
+        // Replica replies (the waker fired, or we woke anyway).
         while let Ok(reply) = reply_rx.try_recv() {
             let Some(conn) = conns.get_mut(&reply.conn) else {
                 // Client hung up before its answer came back; the abort
@@ -436,11 +725,11 @@ fn worker_main(
                 continue;
             };
             conn.inflight -= 1;
-            if conn.inflight_observes > 0 {
-                // Replies arrive in per-connection submission order, so
-                // pair the decrements conservatively: an observe reply
-                // is whichever arrives while one is outstanding.
-                conn.inflight_observes -= 1;
+            if reply.observe {
+                // Exact pairing: replies are tagged, because with
+                // several replicas they no longer arrive in
+                // per-connection submission order.
+                conn.inflight_observes = conn.inflight_observes.saturating_sub(1);
             }
             complete(conn, reply.seq, reply.bytes, reply.close_after);
             shared.responses.fetch_add(1, Ordering::Relaxed);
@@ -465,6 +754,8 @@ fn worker_main(
 fn accept_all(
     listener: &TcpListener,
     epoll: &Epoll,
+    shared: &Shared,
+    conns_counter: &'static stwa_observe::Counter,
     conns: &mut HashMap<u64, Conn>,
     next_token: &mut u64,
 ) {
@@ -479,6 +770,9 @@ fn accept_all(
                 let token = *next_token;
                 *next_token += 1;
                 if epoll.add(stream.as_raw_fd(), token, EPOLLIN).is_ok() {
+                    shared.conns.fetch_add(1, Ordering::Relaxed);
+                    stwa_observe::counter!("serve.conns").incr();
+                    conns_counter.incr();
                     conns.insert(
                         token,
                         Conn {
@@ -503,7 +797,7 @@ fn accept_all(
 }
 
 /// Read everything available, parse pipelined requests, answer inline
-/// or dispatch to the model thread. Returns true when the connection
+/// or dispatch to the replica pool. Returns true when the connection
 /// is dead.
 fn read_and_dispatch(
     worker_idx: usize,
@@ -511,7 +805,7 @@ fn read_and_dispatch(
     conn: &mut Conn,
     shared: &Shared,
     dims: &Dims,
-    job_tx: &Sender<Job>,
+    job_txs: &[Sender<Job>],
 ) -> bool {
     let mut chunk = [0u8; 16 * 1024];
     loop {
@@ -558,7 +852,7 @@ fn read_and_dispatch(
                 if !req.keep_alive {
                     conn.closing = true;
                 }
-                match route(worker_idx, token, seq, &req, conn, shared, dims, job_tx) {
+                match route(worker_idx, token, seq, &req, conn, shared, dims, job_txs) {
                     Routed::Inline(bytes) => {
                         complete(conn, seq, bytes, !req.keep_alive);
                         shared.responses.fetch_add(1, Ordering::Relaxed);
@@ -591,29 +885,50 @@ fn route(
     conn: &mut Conn,
     shared: &Shared,
     dims: &Dims,
-    job_tx: &Sender<Job>,
+    job_txs: &[Sender<Job>],
 ) -> Routed {
     let inline = |status: u16, reason: &str, body: Vec<u8>| {
         let mut out = Vec::new();
         http::write_response(&mut out, status, reason, "application/json", &body, req.keep_alive);
         Routed::Inline(out)
     };
+    let route = Route {
+        worker: worker_idx,
+        conn: token,
+        seq,
+        keep_alive: req.keep_alive,
+    };
 
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => inline(200, "OK", b"{\"ok\": true}".to_vec()),
         ("GET", "/stats") => {
             let (hits, misses) = shared.cache.stats();
+            let evals: Vec<Json> = shared
+                .replica_evals
+                .iter()
+                .map(|e| Json::Num(e.load(Ordering::Relaxed) as f64))
+                .collect();
+            let depths: Vec<Json> = shared
+                .replica_depth
+                .iter()
+                .map(|d| Json::Num(d.load(Ordering::Relaxed) as f64))
+                .collect();
             let doc = Json::Obj(vec![
                 ("version".into(), Json::Num(shared.version.load(Ordering::Acquire) as f64)),
                 ("requests".into(), Json::Num(shared.requests.load(Ordering::Relaxed) as f64)),
                 ("responses".into(), Json::Num(shared.responses.load(Ordering::Relaxed) as f64)),
+                ("conns".into(), Json::Num(shared.conns.load(Ordering::Relaxed) as f64)),
                 ("inline_hits".into(), Json::Num(shared.inline_hits.load(Ordering::Relaxed) as f64)),
                 ("model_jobs".into(), Json::Num(shared.model_jobs.load(Ordering::Relaxed) as f64)),
                 ("cache_hits".into(), Json::Num(hits as f64)),
                 ("cache_misses".into(), Json::Num(misses as f64)),
                 ("cache_entries".into(), Json::Num(shared.cache.len() as f64)),
+                ("replicas".into(), Json::Num(shared.replica_depth.len() as f64)),
+                ("replica_evals".into(), Json::Arr(evals)),
+                ("replica_depth".into(), Json::Arr(depths)),
                 ("swaps".into(), Json::Num(shared.swaps.load(Ordering::Relaxed) as f64)),
                 ("swap_errors".into(), Json::Num(shared.swap_errors.load(Ordering::Relaxed) as f64)),
+                ("swap_ms".into(), Json::Num(shared.swap_us.load(Ordering::Relaxed) as f64 / 1000.0)),
                 ("client_aborts".into(), Json::Num(shared.client_aborts.load(Ordering::Relaxed) as f64)),
             ]);
             inline(200, "OK", doc.to_string().into_bytes())
@@ -641,11 +956,11 @@ fn route(
                 );
             }
             // Cache lookup under a snapshot of (version, window). Both
-            // can move before the model thread would evaluate, which is
+            // can move before a replica would evaluate, which is
             // exactly why misses carry the authoritative values back.
             // Skip the cache while an observe from this connection is
-            // in flight so the model thread orders forecast-after-
-            // observe (read-your-writes per connection).
+            // in flight so the replica orders forecast-after-observe
+            // (read-your-writes per connection).
             if conn.inflight_observes == 0 {
                 let key = CacheKey {
                     version: shared.version.load(Ordering::Acquire),
@@ -670,50 +985,30 @@ fn route(
                     );
                 }
             }
-            let job = Job {
-                worker: worker_idx,
-                conn: token,
-                seq,
-                keep_alive: req.keep_alive,
-                kind: JobKind::Forecast { sensor, horizon },
-            };
-            match job_tx.send(job) {
-                Ok(()) => Routed::Dispatched,
-                Err(_) => inline(503, "Service Unavailable", proto::error_body("model thread is gone")),
+            if dispatch_forecast(job_txs, shared, route, sensor, horizon) {
+                Routed::Dispatched
+            } else {
+                inline(503, "Service Unavailable", proto::error_body("replica pool is gone"))
             }
         }
         ("POST", "/observe") => {
             match proto::parse_observe(&req.body, dims.sensors * dims.features) {
                 Err(e) => inline(400, "Bad Request", proto::error_body(&e)),
                 Ok(frame) => {
-                    let job = Job {
-                        worker: worker_idx,
-                        conn: token,
-                        seq,
-                        keep_alive: req.keep_alive,
-                        kind: JobKind::Observe { frame },
-                    };
-                    match job_tx.send(job) {
-                        Ok(()) => {
-                            conn.inflight_observes += 1;
-                            Routed::Dispatched
-                        }
-                        Err(_) => inline(503, "Service Unavailable", proto::error_body("model thread is gone")),
+                    if broadcast(job_txs, shared, route, JobKind::Observe { frame }) {
+                        conn.inflight_observes += 1;
+                        Routed::Dispatched
+                    } else {
+                        inline(503, "Service Unavailable", proto::error_body("replica pool is gone"))
                     }
                 }
             }
         }
         ("POST", "/admin/swap") => {
-            let job = Job {
-                worker: worker_idx,
-                conn: token,
-                seq,
-                keep_alive: req.keep_alive,
-                kind: JobKind::Swap,
-            };
-            match job_tx.send(job) {
-                Ok(()) => Routed::Dispatched,
-                Err(_) => inline(503, "Service Unavailable", proto::error_body("model thread is gone")),
+            if broadcast(job_txs, shared, route, JobKind::Swap { target: None }) {
+                Routed::Dispatched
+            } else {
+                inline(503, "Service Unavailable", proto::error_body("replica pool is gone"))
             }
         }
         _ => inline(404, "Not Found", proto::error_body("unknown endpoint")),
@@ -765,14 +1060,16 @@ fn update_interest(epoll: &Epoll, token: u64, conn: &mut Conn) {
 }
 
 // ---------------------------------------------------------------------------
-// Model thread
+// Model replica
 // ---------------------------------------------------------------------------
 
 struct ModelState {
     model: StwaModel,
     queue: InferQueue,
     registry: Option<(stwa_ckpt::Registry, String)>,
-    /// Registry version currently loaded (0 = builder weights).
+    /// Registry version currently loaded (0 = builder weights). This
+    /// *is* the public version stamp — identical across replicas by
+    /// construction, unlike per-thread store counters.
     registry_version: u32,
     precision: Precision,
     queue_cfg: QueueConfig,
@@ -784,30 +1081,50 @@ struct ModelState {
     /// implicit: the memo is cleared on swap). Front = most recent.
     memo: Vec<(u64, Arc<Vec<f32>>)>,
     memo_cap: usize,
+    replica_idx: usize,
+    n_replicas: usize,
+    /// Per-replica eval counter (leaked name, one per replica).
+    evals_counter: &'static stwa_observe::Counter,
+    depth_gauge: &'static stwa_observe::Gauge,
 }
 
-fn model_thread_main<F>(
+fn public_version(state: &ModelState) -> u64 {
+    state.registry_version as u64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replica_main<F>(
+    replica_idx: usize,
+    n_replicas: usize,
     config: ServeConfig,
-    build: F,
+    build: Arc<F>,
     shared: Arc<Shared>,
     job_rx: Receiver<Job>,
+    peer_txs: Vec<Sender<Job>>,
     reply_txs: Vec<(Sender<Reply>, Waker)>,
-    ready_tx: Sender<Result<Dims, String>>,
+    ready_tx: Sender<ReplicaReady>,
+    pinned_version: u32,
 ) where
-    F: FnOnce() -> stwa_tensor::Result<StwaModel> + Send + 'static,
+    F: Fn() -> stwa_tensor::Result<StwaModel> + Send + Sync + 'static,
 {
-    let mut state = match init_model(&config, build) {
-        Ok(s) => s,
-        Err(e) => {
-            let _ = ready_tx.send(Err(e));
-            return;
-        }
-    };
-    shared
-        .version
-        .store(state.queue.session().frozen().frozen_at(), Ordering::Release);
-    shared.window_fp.store(state.window_fp, Ordering::Release);
-    let _ = ready_tx.send(Ok(state.dims));
+    // With several replicas the thread is the unit of parallelism:
+    // keep tensor kernels inline instead of contending for the global
+    // pool (kernel chunking depends only on shapes, so inline execution
+    // is bitwise identical to pooled — same contract ShardEngine uses).
+    let _seq = (n_replicas > 1).then(stwa_pool::sequential_scope);
+    let mut state =
+        match init_replica(replica_idx, n_replicas, &config, &*build, pinned_version) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = ready_tx.send((replica_idx, Err(e)));
+                return;
+            }
+        };
+    let _ = ready_tx.send((
+        replica_idx,
+        Ok((state.dims, public_version(&state), state.window_fp)),
+    ));
+    drop(ready_tx);
 
     let mut last_poll = Instant::now();
     let mut burst: Vec<Job> = Vec::new();
@@ -827,25 +1144,63 @@ fn model_thread_main<F>(
             }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                // Every worker is gone (shutdown drained them); nothing
-                // can be in flight anymore.
+                // Every sender is gone (workers drained at shutdown;
+                // for peers, replica 0 exited too); nothing can be in
+                // flight anymore.
                 let _ = state.queue.close();
                 return;
             }
         }
 
-        process_burst(&mut state, &burst, &shared, &reply_txs);
+        if !burst.is_empty() {
+            process_burst(&mut state, &burst, &shared, &reply_txs);
+            let was = shared.replica_depth[replica_idx].fetch_sub(burst.len(), Ordering::Relaxed);
+            state.depth_gauge.set((was - burst.len()) as f64);
+        }
 
-        if state.registry.is_some() && last_poll.elapsed() >= config.registry_poll {
+        // Only replica 0 polls the registry. It resolves the target
+        // version once and broadcasts a pinned swap to its peers, so
+        // every replica loads the same version exactly once.
+        if replica_idx == 0 && state.registry.is_some() && last_poll.elapsed() >= config.registry_poll
+        {
             last_poll = Instant::now();
-            try_swap(&mut state, &shared);
+            let latest = {
+                let (registry, name) = state.registry.as_ref().unwrap();
+                registry.latest(name).ok()
+            };
+            if let Some(latest) = latest {
+                if latest > state.registry_version {
+                    {
+                        let _order = shared.broadcast.lock().unwrap();
+                        for (peer, tx) in peer_txs.iter().enumerate() {
+                            shared.replica_depth[peer + 1].fetch_add(1, Ordering::Relaxed);
+                            let job = Job {
+                                route: None,
+                                kind: JobKind::Swap {
+                                    target: Some(latest),
+                                },
+                            };
+                            if tx.send(job).is_err() {
+                                shared.replica_depth[peer + 1].fetch_sub(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    try_swap(&mut state, &shared, Some(latest));
+                }
+            }
         }
     }
 }
 
-fn init_model<F>(config: &ServeConfig, build: F) -> Result<ModelState, String>
+fn init_replica<F>(
+    replica_idx: usize,
+    n_replicas: usize,
+    config: &ServeConfig,
+    build: &F,
+    pinned_version: u32,
+) -> Result<ModelState, String>
 where
-    F: FnOnce() -> stwa_tensor::Result<StwaModel>,
+    F: Fn() -> stwa_tensor::Result<StwaModel>,
 {
     let model = build().map_err(|e| format!("build model: {e}"))?;
     let registry = match &config.registry {
@@ -855,18 +1210,16 @@ where
             Some((reg, name.clone()))
         }
     };
-    let (frozen, registry_version) = match &registry {
-        Some((reg, name)) if !reg.versions(name).map_err(|e| e.to_string())?.is_empty() => {
-            let latest = reg.latest(name).map_err(|e| e.to_string())?;
-            let frozen =
-                FrozenStwa::freeze_from_registry_at(&model, reg, name, Some(latest), config.precision)
-                    .map_err(|e| format!("freeze from registry: {e}"))?;
-            (frozen, latest)
-        }
-        _ => (
-            FrozenStwa::freeze_at(&model, config.precision).map_err(|e| format!("freeze: {e}"))?,
-            0,
-        ),
+    let frozen = match &registry {
+        Some((reg, name)) if pinned_version > 0 => FrozenStwa::freeze_from_registry_at(
+            &model,
+            reg,
+            name,
+            Some(pinned_version),
+            config.precision,
+        )
+        .map_err(|e| format!("freeze from registry: {e}"))?,
+        _ => FrozenStwa::freeze_at(&model, config.precision).map_err(|e| format!("freeze: {e}"))?,
     };
     let dims = Dims {
         sensors: frozen.num_sensors(),
@@ -884,11 +1237,16 @@ where
     .map_err(|e| format!("queue: {e}"))?;
     let window = vec![0.0f32; dims.sensors * dims.history * dims.features];
     let window_fp = fingerprint_f32(&window);
+    let evals_counter =
+        stwa_observe::counter(Box::leak(format!("serve.replica{replica_idx}.evals").into_boxed_str()));
+    let depth_gauge = stwa_observe::gauge(Box::leak(
+        format!("serve.replica{replica_idx}.queue_depth").into_boxed_str(),
+    ));
     Ok(ModelState {
         model,
         queue,
         registry,
-        registry_version,
+        registry_version: pinned_version,
         precision: config.precision,
         queue_cfg: QueueConfig {
             max_batch: config.max_batch,
@@ -899,6 +1257,10 @@ where
         window_fp,
         memo: Vec::new(),
         memo_cap: config.memo_cap.max(1),
+        replica_idx,
+        n_replicas,
+        evals_counter,
+        depth_gauge,
     })
 }
 
@@ -906,7 +1268,7 @@ where
 struct PendingEval {
     fp: u64,
     ticket: stwa_infer::RequestId,
-    jobs: Vec<(usize, u64, u64, bool, u32, u32)>, // worker, conn, seq, keep_alive, sensor, horizon
+    jobs: Vec<(Route, u32, u32)>, // route, sensor, horizon
 }
 
 fn process_burst(
@@ -919,16 +1281,16 @@ fn process_burst(
     for job in burst {
         match &job.kind {
             JobKind::Forecast { sensor, horizon } => {
+                let Some(route) = job.route else { continue };
                 let fp = state.window_fp;
                 if let Some(values) = memo_get(state, fp) {
                     answer_forecast(
-                        state, shared, reply_txs, job, *sensor, *horizon, fp, "memo", &values,
+                        state, shared, reply_txs, route, *sensor, *horizon, fp, "memo", &values,
                     );
                     continue;
                 }
                 if let Some(p) = pending.iter_mut().find(|p| p.fp == fp) {
-                    p.jobs
-                        .push((job.worker, job.conn, job.seq, job.keep_alive, *sensor, *horizon));
+                    p.jobs.push((route, *sensor, *horizon));
                     continue;
                 }
                 let x = Tensor::from_vec(
@@ -939,9 +1301,14 @@ fn process_burst(
                     Ok(ticket) => pending.push(PendingEval {
                         fp,
                         ticket,
-                        jobs: vec![(job.worker, job.conn, job.seq, job.keep_alive, *sensor, *horizon)],
+                        jobs: vec![(route, *sensor, *horizon)],
                     }),
-                    Err(e) => reply_error(reply_txs, job, 500, &format!("submit: {e}")),
+                    Err(e) => send_reply(
+                        reply_txs,
+                        route,
+                        error_response(500, &format!("submit: {e}"), route.keep_alive),
+                        false,
+                    ),
                 }
             }
             JobKind::Observe { frame } => {
@@ -949,31 +1316,41 @@ fn process_burst(
                 // window they saw, never a newer one.
                 settle(state, shared, reply_txs, &mut pending);
                 apply_observe(state, frame);
-                shared.window_fp.store(state.window_fp, Ordering::Release);
-                let version = state.queue.session().frozen().frozen_at();
-                reply_ok(
-                    reply_txs,
-                    job,
-                    proto::observe_ack(version, state.window_fp),
-                );
+                if state.replica_idx == 0 {
+                    shared.window_fp.store(state.window_fp, Ordering::Release);
+                }
+                if let Some(route) = job.route {
+                    let body = proto::observe_ack(public_version(state), state.window_fp);
+                    send_reply(reply_txs, route, ok_response(body, route.keep_alive), true);
+                }
             }
-            JobKind::Swap => {
+            JobKind::Swap { target } => {
                 settle(state, shared, reply_txs, &mut pending);
-                let before = shared.swaps.load(Ordering::Relaxed);
-                try_swap(state, shared);
-                let swapped = shared.swaps.load(Ordering::Relaxed) > before;
-                let doc = Json::Obj(vec![
-                    ("swapped".into(), Json::Bool(swapped)),
-                    (
-                        "version".into(),
-                        Json::Num(state.queue.session().frozen().frozen_at() as f64),
-                    ),
-                    (
-                        "registry_version".into(),
-                        Json::Num(state.registry_version as f64),
-                    ),
-                ]);
-                reply_ok(reply_txs, job, doc.to_string().into_bytes());
+                let before = state.registry_version;
+                try_swap(state, shared, *target);
+                let swapped = state.registry_version != before;
+                if let Some(route) = job.route {
+                    if swapped {
+                        // The responder answers only after the whole
+                        // pool has flipped — no mixed-version serving
+                        // once the admin call returns.
+                        wait_for_pool_flip(shared, public_version(state), state.n_replicas);
+                    }
+                    let doc = Json::Obj(vec![
+                        ("swapped".into(), Json::Bool(swapped)),
+                        ("version".into(), Json::Num(public_version(state) as f64)),
+                        (
+                            "registry_version".into(),
+                            Json::Num(state.registry_version as f64),
+                        ),
+                    ]);
+                    send_reply(
+                        reply_txs,
+                        route,
+                        ok_response(doc.to_string().into_bytes(), route.keep_alive),
+                        false,
+                    );
+                }
             }
         }
     }
@@ -997,20 +1374,23 @@ fn settle(
         // this same thread, so the session can't go stale mid-burst.)
         let msg = format!("flush: {e}");
         for p in pending.drain(..) {
-            for (worker, conn, seq, keep_alive, _, _) in p.jobs {
-                send_reply(reply_txs, worker, conn, seq, error_response(500, &msg, keep_alive));
+            for (route, _, _) in p.jobs {
+                send_reply(reply_txs, route, error_response(500, &msg, route.keep_alive), false);
             }
         }
         return;
     }
-    let version = state.queue.session().frozen().frozen_at();
+    let version = public_version(state);
     for p in pending.drain(..) {
         match state.queue.take(p.ticket) {
             Some(out) => {
+                state.evals_counter.incr();
+                stwa_observe::counter!("serve.replica.evals").incr();
+                shared.replica_evals[state.replica_idx].fetch_add(1, Ordering::Relaxed);
                 // `[1, N, U, F]` → owned row-major values.
                 let values = Arc::new(out.data().to_vec());
                 memo_put(state, p.fp, Arc::clone(&values));
-                for (worker, conn, seq, keep_alive, sensor, horizon) in p.jobs {
+                for (route, sensor, horizon) in p.jobs {
                     let sliced = slice_forecast(state, &values, sensor, horizon);
                     // Prime the shared cache so repeats hit inline at
                     // the workers.
@@ -1025,23 +1405,16 @@ fn settle(
                     );
                     let body =
                         proto::forecast_body(sensor, horizon, version, p.fp, "miss", &sliced);
-                    send_reply(
-                        reply_txs,
-                        worker,
-                        conn,
-                        seq,
-                        ok_response(body, keep_alive),
-                    );
+                    send_reply(reply_txs, route, ok_response(body, route.keep_alive), false);
                 }
             }
             None => {
-                for (worker, conn, seq, keep_alive, _, _) in p.jobs {
+                for (route, _, _) in p.jobs {
                     send_reply(
                         reply_txs,
-                        worker,
-                        conn,
-                        seq,
-                        error_response(500, "evaluation lost its result", keep_alive),
+                        route,
+                        error_response(500, "evaluation lost its result", route.keep_alive),
+                        false,
                     );
                 }
             }
@@ -1088,14 +1461,14 @@ fn answer_forecast(
     state: &ModelState,
     shared: &Shared,
     reply_txs: &[(Sender<Reply>, Waker)],
-    job: &Job,
+    route: Route,
     sensor: u32,
     horizon: u32,
     fp: u64,
     source: &str,
     full: &Arc<Vec<f32>>,
 ) {
-    let version = state.queue.session().frozen().frozen_at();
+    let version = public_version(state);
     let sliced = slice_forecast(state, full, sensor, horizon);
     shared.cache.put(
         CacheKey {
@@ -1107,73 +1480,120 @@ fn answer_forecast(
         Arc::new(sliced.clone()),
     );
     let body = proto::forecast_body(sensor, horizon, version, fp, source, &sliced);
-    send_reply(
-        reply_txs,
-        job.worker,
-        job.conn,
-        job.seq,
-        ok_response(body, job.keep_alive),
-    );
+    send_reply(reply_txs, route, ok_response(body, route.keep_alive), false);
 }
 
-/// Poll the registry; swap the serving snapshot when a newer version
-/// is published. Old-version cache entries are purged so they can
-/// never answer again, and the old queue is closed (it is empty —
-/// swaps only run between settled bursts).
-fn try_swap(state: &mut ModelState, shared: &Shared) {
+/// Swap this replica's serving snapshot to a newer registry version
+/// (pinned, or latest when `target` is `None`). The flip happens
+/// between settled bursts — the queue is empty by construction — and
+/// reports to the pool-wide barrier; the *last* replica to flip
+/// publishes the shared version and purges the old one's cache
+/// entries, so the cache never loses both versions mid-swap.
+fn try_swap(state: &mut ModelState, shared: &Shared, target: Option<u32>) {
     let Some((registry, name)) = &state.registry else {
         return;
     };
-    let latest = match registry.latest(name) {
-        Ok(v) => v,
-        Err(_) => return, // nothing published yet
+    let latest = match target {
+        Some(v) => v,
+        None => match registry.latest(name) {
+            Ok(v) => v,
+            Err(_) => return, // nothing published yet
+        },
     };
     if latest <= state.registry_version {
         return;
     }
-    let old_version = state.queue.session().frozen().frozen_at();
+    let old_version = public_version(state);
     // Drain the (empty) queue and reject any stray submit from here on.
     let _ = state.queue.close();
-    match FrozenStwa::freeze_from_registry_at(
+    let rebuilt = FrozenStwa::freeze_from_registry_at(
         &state.model,
         registry,
         name,
         Some(latest),
         state.precision,
-    ) {
-        Ok(frozen) => {
-            let new_version = frozen.frozen_at();
-            match InferQueue::new(InferSession::from_frozen(frozen), state.queue_cfg) {
-                Ok(queue) => {
-                    state.queue = queue;
-                    state.registry_version = latest;
-                    state.memo.clear();
-                    shared.version.store(new_version, Ordering::Release);
-                    shared.cache.purge_version(old_version);
-                    shared.swaps.fetch_add(1, Ordering::Relaxed);
-                    stwa_observe::counter!("serve.swaps").incr();
-                }
-                Err(_) => {
-                    shared.swap_errors.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+    )
+    .and_then(|frozen| InferQueue::new(InferSession::from_frozen(frozen), state.queue_cfg));
+    match rebuilt {
+        Ok(queue) => {
+            state.queue = queue;
+            state.registry_version = latest;
+            state.memo.clear();
+            report_flip(state, shared, old_version);
         }
         Err(_) => {
             // Registry load failed (partial publish, IO error): keep
-            // serving the old snapshot. The old queue was closed, so
-            // rebuild one over the same frozen state via re-freeze.
+            // serving the old version. Restore its exact weights by
+            // re-loading it from the registry (the failed load may have
+            // touched the store); builder weights (version 0) were
+            // never overwritten by a *fully validated* load, so a plain
+            // re-freeze suffices.
             shared.swap_errors.fetch_add(1, Ordering::Relaxed);
-            if let Ok(frozen) = FrozenStwa::freeze_at(&state.model, state.precision) {
-                if let Ok(queue) = InferQueue::new(InferSession::from_frozen(frozen), state.queue_cfg)
-                {
-                    let v = queue.session().frozen().frozen_at();
-                    state.queue = queue;
-                    shared.version.store(v, Ordering::Release);
-                    shared.cache.purge_version(old_version);
-                    state.memo.clear();
-                }
+            stwa_observe::counter!("serve.swap_errors").incr();
+            let restored = if state.registry_version > 0 {
+                FrozenStwa::freeze_from_registry_at(
+                    &state.model,
+                    registry,
+                    name,
+                    Some(state.registry_version),
+                    state.precision,
+                )
+            } else {
+                FrozenStwa::freeze_at(&state.model, state.precision)
+            };
+            if let Ok(queue) = restored
+                .and_then(|frozen| InferQueue::new(InferSession::from_frozen(frozen), state.queue_cfg))
+            {
+                state.queue = queue;
+                state.memo.clear();
             }
         }
+    }
+}
+
+/// Pool-wide swap barrier. Each replica reports here after flipping;
+/// the last one publishes the new version, purges the retired
+/// version's cache entries, and records the swap duration.
+fn report_flip(state: &ModelState, shared: &Shared, old_version: u64) {
+    let new_version = public_version(state);
+    let mut st = shared.swap_state.lock().unwrap();
+    if st.target != new_version {
+        st.target = new_version;
+        st.flipped = 0;
+        st.old_version = old_version;
+        st.started = Some(Instant::now());
+    }
+    st.flipped += 1;
+    if st.flipped == state.n_replicas {
+        shared.version.store(new_version, Ordering::Release);
+        shared.cache.purge_version(st.old_version);
+        shared.swaps.fetch_add(1, Ordering::Relaxed);
+        stwa_observe::counter!("serve.swaps").incr();
+        if let Some(started) = st.started {
+            let us = started.elapsed().as_micros() as u64;
+            shared.swap_us.store(us, Ordering::Relaxed);
+            stwa_observe::gauge!("serve.swap_ms").set(us as f64 / 1000.0);
+        }
+    }
+}
+
+/// Block until every replica has flipped to `target` (the admin-swap
+/// responder uses this so "swapped: true" means the whole pool moved).
+/// Bounded: a replica whose load failed reports `swap_errors` instead
+/// of flipping, and the wait gives up rather than deadlocking.
+fn wait_for_pool_flip(shared: &Shared, target: u64, n_replicas: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        {
+            let st = shared.swap_state.lock().unwrap();
+            if st.target == target && st.flipped >= n_replicas {
+                return;
+            }
+        }
+        if Instant::now() >= deadline {
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(200));
     }
 }
 
@@ -1204,19 +1624,19 @@ fn error_response(status: u16, message: &str, keep_alive: bool) -> (Vec<u8>, boo
 
 fn send_reply(
     reply_txs: &[(Sender<Reply>, Waker)],
-    worker: usize,
-    conn: u64,
-    seq: u64,
+    route: Route,
     packaged: (Vec<u8>, bool),
+    observe: bool,
 ) {
     let (bytes, close_after) = packaged;
-    if let Some((tx, waker)) = reply_txs.get(worker) {
+    if let Some((tx, waker)) = reply_txs.get(route.worker) {
         if tx
             .send(Reply {
-                conn,
-                seq,
+                conn: route.conn,
+                seq: route.seq,
                 bytes,
                 close_after,
+                observe,
             })
             .is_ok()
         {
@@ -1225,22 +1645,40 @@ fn send_reply(
     }
 }
 
-fn reply_ok(reply_txs: &[(Sender<Reply>, Waker)], job: &Job, body: Vec<u8>) {
-    send_reply(
-        reply_txs,
-        job.worker,
-        job.conn,
-        job.seq,
-        ok_response(body, job.keep_alive),
-    );
-}
+#[cfg(test)]
+mod tests {
+    use super::{pick_replica, SPILL_DEPTH};
 
-fn reply_error(reply_txs: &[(Sender<Reply>, Waker)], job: &Job, status: u16, message: &str) {
-    send_reply(
-        reply_txs,
-        job.worker,
-        job.conn,
-        job.seq,
-        error_response(status, message, job.keep_alive),
-    );
+    #[test]
+    fn affinity_is_sensor_mod_n_when_unloaded() {
+        let depths = [0usize, 0, 0, 0];
+        for sensor in 0..32u32 {
+            assert_eq!(pick_replica(sensor, &depths), sensor as usize % 4);
+        }
+    }
+
+    #[test]
+    fn single_replica_always_wins() {
+        assert_eq!(pick_replica(7, &[usize::MAX - 1]), 0);
+    }
+
+    #[test]
+    fn spills_to_least_loaded_when_affinity_backed_up() {
+        let mut depths = [0usize; 4];
+        depths[1] = SPILL_DEPTH + 8; // sensor 5's affinity replica
+        assert_eq!(pick_replica(5, &depths), 0, "spill to the least-loaded");
+    }
+
+    #[test]
+    fn hysteresis_keeps_affinity_under_mild_imbalance() {
+        // Affinity is over the spill threshold but the rest of the pool
+        // is nearly as deep: stay put rather than flap.
+        let mut depths = [SPILL_DEPTH; 4];
+        depths[1] = SPILL_DEPTH + SPILL_DEPTH / 2 - 1;
+        assert_eq!(pick_replica(5, &depths), 1);
+        // Once the gap reaches the hysteresis margin, move.
+        depths[1] = SPILL_DEPTH + SPILL_DEPTH / 2;
+        depths[2] = SPILL_DEPTH - 1;
+        assert_eq!(pick_replica(5, &depths), 2);
+    }
 }

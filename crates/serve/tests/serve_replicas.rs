@@ -1,0 +1,328 @@
+//! Replica-pool end-to-end tests: several model threads behind the
+//! same reactor, each with its own frozen snapshot. The assertions
+//! extend the single-evaluator serving contract to the pool — every
+//! response is bitwise-verifiable against direct eval of the (version,
+//! window) it names no matter which replica answered, observes keep
+//! all replica windows identical, and a coordinated hot swap flips the
+//! whole pool with zero drops and no mixed-version responses once the
+//! swap call returns.
+
+#![cfg(target_os = "linux")]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use stwa_ckpt::{Registry, TrainCheckpoint};
+use stwa_core::{ForecastModel, StwaConfig, StwaModel};
+use stwa_infer::InferSession;
+use stwa_serve::{Client, ServeConfig, Server};
+use stwa_tensor::Tensor;
+
+const N: usize = 3;
+const H: usize = 12;
+const U: usize = 4;
+
+fn model(seed: u64) -> StwaModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    StwaModel::new(StwaConfig::st_wa(N, H, U), &mut rng).unwrap()
+}
+
+fn config(replicas: usize) -> ServeConfig {
+    ServeConfig {
+        io_threads: 2,
+        model_threads: replicas,
+        max_wait: Duration::from_millis(1),
+        ttl: Duration::from_secs(300),
+        // Swaps in these tests are admin-triggered only, so a publish
+        // never races the poller.
+        registry_poll: Duration::from_secs(60),
+        ..ServeConfig::default()
+    }
+}
+
+fn frame(t: usize, n: usize, f: usize) -> Vec<f32> {
+    (0..n * f)
+        .map(|i| ((t * 31 + i * 7) % 23) as f32 * 0.125 - 1.0)
+        .collect()
+}
+
+fn apply_frame(window: &mut [f32], frame: &[f32], n: usize, h: usize, f: usize) {
+    for s in 0..n {
+        let row = &mut window[s * h * f..(s + 1) * h * f];
+        row.copy_within(f.., 0);
+        row[(h - 1) * f..].copy_from_slice(&frame[s * f..(s + 1) * f]);
+    }
+}
+
+fn direct_eval(
+    session: &InferSession,
+    window: &[f32],
+    n: usize,
+    h: usize,
+    f: usize,
+    sensor: usize,
+    horizon: usize,
+) -> Vec<f32> {
+    let x = Tensor::from_vec(window.to_vec(), &[1, n, h, f]).unwrap();
+    let out = session.run(&x).unwrap(); // [1, N, U, F]
+    let u = out.shape()[2];
+    let start = sensor * u * f;
+    out.data()[start..start + horizon * f].to_vec()
+}
+
+fn observe_body(frame: &[f32]) -> Vec<u8> {
+    let items: Vec<String> = frame.iter().map(|v| format!("{}", *v as f64)).collect();
+    format!("{{\"frame\": [{}]}}", items.join(", ")).into_bytes()
+}
+
+fn assert_bitwise(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: value {i}: {a} vs {b}");
+    }
+}
+
+fn response_version(body: &[u8]) -> u64 {
+    stwa_observe::parse_json(std::str::from_utf8(body).unwrap())
+        .unwrap()
+        .get("version")
+        .and_then(|v| v.as_num())
+        .unwrap() as u64
+}
+
+fn stat(body: &[u8], key: &str) -> f64 {
+    stwa_observe::parse_json(std::str::from_utf8(body).unwrap())
+        .unwrap()
+        .get(key)
+        .and_then(|v| v.as_num())
+        .unwrap_or_else(|| panic!("stats missing {key}"))
+}
+
+#[test]
+fn replica_pool_serves_bitwise_correct_forecasts_from_every_replica() {
+    let server = Server::start(config(3), || Ok(model(42))).unwrap();
+    assert_eq!(server.replicas(), 3);
+    let dims = server.dims();
+    let (n, h, f) = (dims.sensors, dims.history, dims.features);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let mut window = vec![0.0f32; n * h * f];
+    for t in 0..h {
+        let fr = frame(t, n, f);
+        let resp = client.post("/observe", &observe_body(&fr)).unwrap();
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8_lossy(&resp.body));
+        apply_frame(&mut window, &fr, n, h, f);
+    }
+
+    // Sensor-affinity hashing sends sensor s to replica s % 3, so this
+    // sweep exercises all three replicas against the same window.
+    let reference = model(42);
+    let session = InferSession::new(&reference).unwrap();
+    for sensor in 0..n {
+        for horizon in 1..=dims.horizon {
+            let resp = client
+                .get(&format!("/forecast?sensor={sensor}&horizon={horizon}"))
+                .unwrap();
+            assert_eq!(resp.status, 200, "{:?}", String::from_utf8_lossy(&resp.body));
+            let got = stwa_serve::proto::parse_forecast_values(&resp.body).unwrap();
+            let want = direct_eval(&session, &window, n, h, f, sensor, horizon);
+            assert_bitwise(&got, &want, &format!("sensor {sensor} horizon {horizon}"));
+        }
+    }
+
+    // Every replica that owns a queried sensor actually evaluated.
+    let stats = client.get("/stats").unwrap();
+    let doc = stwa_observe::parse_json(std::str::from_utf8(&stats.body).unwrap()).unwrap();
+    assert_eq!(stat(&stats.body, "replicas") as usize, 3);
+    let evals: Vec<u64> = doc
+        .get("replica_evals")
+        .and_then(|v| v.as_arr())
+        .unwrap()
+        .iter()
+        .map(|v| v.as_num().unwrap() as u64)
+        .collect();
+    assert_eq!(evals.len(), 3);
+    let busy = evals.iter().filter(|&&e| e > 0).count();
+    assert!(busy >= 2, "misses must shard across replicas: {evals:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_observe_forecast_pairs_read_your_writes_across_replicas() {
+    let server = Server::start(config(3), || Ok(model(9))).unwrap();
+    let dims = server.dims();
+    let (n, h, f) = (dims.sensors, dims.history, dims.features);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Deep pipelined stream of (observe, forecast) pairs with the
+    // sensor rotating — successive forecasts land on different
+    // replicas, but each one must answer for the window its preceding
+    // observe produced (broadcast order + per-channel FIFO).
+    const PAIRS: usize = 10;
+    let mut windows = Vec::with_capacity(PAIRS);
+    let mut window = vec![0.0f32; n * h * f];
+    for t in 0..PAIRS {
+        let fr = frame(100 + t, n, f);
+        client.send_post("/observe", &observe_body(&fr)).unwrap();
+        client
+            .send_get(&format!("/forecast?sensor={}&horizon={}", t % n, 1 + t % dims.horizon))
+            .unwrap();
+        apply_frame(&mut window, &fr, n, h, f);
+        windows.push(window.clone());
+    }
+
+    let reference = model(9);
+    let session = InferSession::new(&reference).unwrap();
+    for (t, want_window) in windows.iter().enumerate() {
+        let ack = client.recv().unwrap();
+        assert_eq!(ack.status, 200, "observe {t}");
+        let ack_fp = stwa_serve::proto::parse_window_fp(&ack.body).unwrap();
+        let resp = client.recv().unwrap();
+        assert_eq!(resp.status, 200, "forecast {t}");
+        let got_fp = stwa_serve::proto::parse_window_fp(&resp.body).unwrap();
+        assert_eq!(got_fp, ack_fp, "forecast {t} answers the observed window");
+        let got = stwa_serve::proto::parse_forecast_values(&resp.body).unwrap();
+        let want = direct_eval(&session, want_window, n, h, f, t % n, 1 + t % dims.horizon);
+        assert_bitwise(&got, &want, &format!("pair {t}"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn coordinated_swap_under_pipelined_traffic_zero_drops_no_mixed_versions() {
+    let root = std::env::temp_dir().join(format!("stwa_serve_pool_swap_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let registry = Registry::open(&root).unwrap();
+    registry
+        .publish("ST-WA", &TrainCheckpoint::params_only("ST-WA", model(101).store()))
+        .unwrap();
+
+    let cfg = ServeConfig {
+        registry: Some((root.clone(), "ST-WA".to_string())),
+        ..config(3)
+    };
+    let server = Server::start(cfg, || Ok(model(1))).unwrap();
+    let dims = server.dims();
+    let (n, h, f) = (dims.sensors, dims.history, dims.features);
+    assert_eq!(server.version(), 1, "pool starts on registry v1");
+
+    let mut admin = Client::connect(server.addr()).unwrap();
+    let mut traffic = Client::connect(server.addr()).unwrap();
+
+    // Window stays all-zeros for the swap phase so any in-flight
+    // forecast is checkable against both versions.
+    let window = vec![0.0f32; n * h * f];
+    let v1_session = InferSession::new(&model(101)).unwrap();
+    let v2_session = InferSession::new(&model(202)).unwrap();
+
+    // Publish v2, then pipeline traffic *around* the swap: the
+    // traffic connection has a deep burst in flight while the admin
+    // connection swaps. Mid-swap responses may name v1 or v2 — each
+    // must be bitwise-true to the version it names.
+    registry
+        .publish("ST-WA", &TrainCheckpoint::params_only("ST-WA", model(202).store()))
+        .unwrap();
+    const BURST: usize = 24;
+    for i in 0..BURST {
+        traffic
+            .send_get(&format!("/forecast?sensor={}&horizon={}", i % n, 1 + i % dims.horizon))
+            .unwrap();
+    }
+    let swap = admin.post("/admin/swap", b"").unwrap();
+    assert_eq!(swap.status, 200);
+    let swap_text = String::from_utf8_lossy(&swap.body).to_string();
+    assert!(swap_text.contains("\"swapped\":true"), "{swap_text}");
+    assert_eq!(response_version(&swap.body), 2);
+    assert_eq!(server.version(), 2, "swap reply means the whole pool flipped");
+    assert_eq!(server.swaps(), 1);
+
+    for i in 0..BURST {
+        let resp = traffic.recv().unwrap_or_else(|e| panic!("in-flight request {i} dropped: {e}"));
+        assert_eq!(resp.status, 200, "in-flight request {i}");
+        let version = response_version(&resp.body);
+        let session = match version {
+            1 => &v1_session,
+            2 => &v2_session,
+            v => panic!("request {i} names unknown version {v}"),
+        };
+        let got = stwa_serve::proto::parse_forecast_values(&resp.body).unwrap();
+        let want = direct_eval(session, &window, n, h, f, i % n, 1 + i % dims.horizon);
+        assert_bitwise(&got, &want, &format!("mid-swap request {i} (v{version})"));
+    }
+
+    // After the swap call returned, no response may name v1 again —
+    // the version flips pool-wide before the admin reply leaves.
+    for i in 0..2 * BURST {
+        traffic
+            .send_get(&format!("/forecast?sensor={}&horizon={}", i % n, 1 + i % dims.horizon))
+            .unwrap();
+    }
+    for i in 0..2 * BURST {
+        let resp = traffic.recv().unwrap();
+        assert_eq!(resp.status, 200, "post-swap request {i}");
+        assert_eq!(response_version(&resp.body), 2, "post-swap request {i} mixed version");
+        let got = stwa_serve::proto::parse_forecast_values(&resp.body).unwrap();
+        let want = direct_eval(&v2_session, &window, n, h, f, i % n, 1 + i % dims.horizon);
+        assert_bitwise(&got, &want, &format!("post-swap request {i}"));
+    }
+
+    // Observes still keep every replica window identical after the
+    // swap: a post-observe sweep over all sensors is bitwise v2.
+    let fr = frame(7, n, f);
+    let ack = traffic.post("/observe", &observe_body(&fr)).unwrap();
+    assert_eq!(ack.status, 200);
+    let mut new_window = window.clone();
+    apply_frame(&mut new_window, &fr, n, h, f);
+    for sensor in 0..n {
+        let resp = traffic.get(&format!("/forecast?sensor={sensor}&horizon=2")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(response_version(&resp.body), 2);
+        let got = stwa_serve::proto::parse_forecast_values(&resp.body).unwrap();
+        let want = direct_eval(&v2_session, &new_window, n, h, f, sensor, 2);
+        assert_bitwise(&got, &want, &format!("post-observe sensor {sensor}"));
+    }
+
+    // Zero drops, zero swap errors, no client aborts; the in-flight
+    // stats request is the only parsed-but-unanswered one.
+    let stats = traffic.get("/stats").unwrap();
+    assert_eq!(stat(&stats.body, "swaps"), 1.0);
+    assert_eq!(stat(&stats.body, "swap_errors"), 0.0);
+    assert_eq!(stat(&stats.body, "client_aborts"), 0.0);
+    assert_eq!(
+        stat(&stats.body, "requests"),
+        stat(&stats.body, "responses") + 1.0,
+        "stats: {}",
+        String::from_utf8_lossy(&stats.body)
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shutdown_drains_every_pipelined_request_across_replicas() {
+    let server = Server::start(config(2), || Ok(model(5))).unwrap();
+    let dims = server.dims();
+    let (n, f) = (dims.sensors, dims.features);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    const K: usize = 24;
+    for i in 0..K {
+        if i == K / 2 {
+            client
+                .send_post("/observe", &observe_body(&frame(3, n, f)))
+                .unwrap();
+        }
+        client
+            .send_get(&format!("/forecast?sensor={}&horizon=1", i % n))
+            .unwrap();
+    }
+    // Shutdown with the burst outstanding across both replicas: the
+    // drain contract answers every request before any thread exits.
+    server.shutdown();
+    for i in 0..K + 1 {
+        let resp = client.recv().unwrap_or_else(|e| panic!("request {i} dropped: {e}"));
+        assert_eq!(resp.status, 200, "request {i}");
+    }
+}
